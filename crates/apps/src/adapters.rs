@@ -1,0 +1,267 @@
+//! [`NetApi`] adapters for the two stacks under comparison.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use kernel_tcp::{TcpApi, TcpConn, TcpError, TcpListener};
+use simnet::{MacAddr, ProcessCtx, SimResult};
+use sockets_emp::{Connection, EmpSockets, Listener, SockAddr as EmpAddr, SockError};
+
+use crate::api::{Conn, NetApi, NetConn, NetError, NetListener};
+
+// ---------------------------------------------------------------------
+// Sockets-over-EMP adapter
+// ---------------------------------------------------------------------
+
+/// The substrate as a [`NetApi`].
+pub struct EmpNet {
+    sockets: EmpSockets,
+    label: String,
+}
+
+impl EmpNet {
+    /// Wrap a substrate instance; `label` shows up in reports.
+    pub fn new(sockets: EmpSockets, label: impl Into<String>) -> Self {
+        EmpNet {
+            sockets,
+            label: label.into(),
+        }
+    }
+
+    /// The wrapped substrate.
+    pub fn sockets(&self) -> &EmpSockets {
+        &self.sockets
+    }
+}
+
+struct EmpConnAdapter(Connection);
+struct EmpListenerAdapter(Listener);
+
+fn from_sock_err(e: SockError) -> NetError {
+    match e {
+        SockError::ConnectionRefused => NetError::Refused,
+        SockError::Closed => NetError::Closed,
+        SockError::PeerClosed => NetError::PeerClosed,
+        SockError::MessageTooBig { .. } => NetError::TooBig,
+        other => NetError::Other(other.to_string()),
+    }
+}
+
+impl NetConn for EmpConnAdapter {
+    fn write(&self, ctx: &ProcessCtx, data: &[u8]) -> SimResult<Result<usize, NetError>> {
+        Ok(self.0.write(ctx, data)?.map_err(from_sock_err))
+    }
+
+    fn read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, NetError>> {
+        Ok(self.0.read(ctx, max)?.map_err(from_sock_err))
+    }
+
+    fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        self.0.close(ctx)
+    }
+
+    fn readable(&self) -> bool {
+        self.0.readable()
+    }
+
+    fn peer_host(&self) -> MacAddr {
+        self.0.peer()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl NetListener for EmpListenerAdapter {
+    fn accept(&self, ctx: &ProcessCtx) -> SimResult<Result<Conn, NetError>> {
+        Ok(self
+            .0
+            .accept(ctx)?
+            .map(|c| Box::new(EmpConnAdapter(c)) as Conn)
+            .map_err(from_sock_err))
+    }
+
+    fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        self.0.close(ctx)
+    }
+}
+
+impl NetApi for EmpNet {
+    fn connect(
+        &self,
+        ctx: &ProcessCtx,
+        host: MacAddr,
+        port: u16,
+    ) -> SimResult<Result<Conn, NetError>> {
+        Ok(self
+            .sockets
+            .connect(ctx, EmpAddr::new(host, port))?
+            .map(|c| Box::new(EmpConnAdapter(c)) as Conn)
+            .map_err(from_sock_err))
+    }
+
+    fn listen(
+        &self,
+        ctx: &ProcessCtx,
+        port: u16,
+        backlog: usize,
+    ) -> SimResult<Result<Box<dyn NetListener>, NetError>> {
+        Ok(self
+            .sockets
+            .listen(ctx, port, backlog)?
+            .map(|l| Box::new(EmpListenerAdapter(l)) as Box<dyn NetListener>)
+            .map_err(from_sock_err))
+    }
+
+    fn select_readable(&self, ctx: &ProcessCtx, conns: &[&Conn]) -> SimResult<usize> {
+        let inner: Vec<&Connection> = conns
+            .iter()
+            .map(|c| {
+                &c.as_any()
+                    .downcast_ref::<EmpConnAdapter>()
+                    .expect("EMP api selects EMP connections")
+                    .0
+            })
+            .collect();
+        self.sockets.select_readable(ctx, &inner)
+    }
+
+    fn local_host(&self) -> MacAddr {
+        self.sockets.local_host()
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Kernel TCP adapter
+// ---------------------------------------------------------------------
+
+/// The kernel baseline as a [`NetApi`].
+pub struct KernelNet {
+    api: TcpApi,
+    label: String,
+}
+
+impl KernelNet {
+    /// Wrap a kernel sockets API.
+    pub fn new(api: TcpApi, label: impl Into<String>) -> Self {
+        KernelNet {
+            api,
+            label: label.into(),
+        }
+    }
+
+    /// The wrapped kernel API.
+    pub fn api(&self) -> &TcpApi {
+        &self.api
+    }
+}
+
+struct TcpConnAdapter(TcpConn);
+struct TcpListenerAdapter(TcpListener);
+
+fn from_tcp_err(e: TcpError) -> NetError {
+    match e {
+        TcpError::ConnectionRefused => NetError::Refused,
+        TcpError::ConnectionReset => NetError::PeerClosed,
+        TcpError::Closed => NetError::Closed,
+        TcpError::AddrInUse => NetError::Other("address in use".into()),
+    }
+}
+
+impl NetConn for TcpConnAdapter {
+    fn write(&self, ctx: &ProcessCtx, data: &[u8]) -> SimResult<Result<usize, NetError>> {
+        Ok(self.0.write(ctx, data)?.map_err(from_tcp_err))
+    }
+
+    fn read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, NetError>> {
+        Ok(self.0.read(ctx, max)?.map_err(from_tcp_err))
+    }
+
+    fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        self.0.close(ctx)
+    }
+
+    fn readable(&self) -> bool {
+        self.0.readable()
+    }
+
+    fn peer_host(&self) -> MacAddr {
+        self.0.peer_addr().host
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl NetListener for TcpListenerAdapter {
+    fn accept(&self, ctx: &ProcessCtx) -> SimResult<Result<Conn, NetError>> {
+        let conn = self.0.accept(ctx)?;
+        Ok(Ok(Box::new(TcpConnAdapter(conn)) as Conn))
+    }
+
+    fn close(&self, _ctx: &ProcessCtx) -> SimResult<()> {
+        self.0.unlisten();
+        Ok(())
+    }
+}
+
+impl NetApi for KernelNet {
+    fn connect(
+        &self,
+        ctx: &ProcessCtx,
+        host: MacAddr,
+        port: u16,
+    ) -> SimResult<Result<Conn, NetError>> {
+        Ok(self
+            .api
+            .connect(ctx, kernel_tcp::SockAddr::new(host, port))?
+            .map(|c| Box::new(TcpConnAdapter(c)) as Conn)
+            .map_err(from_tcp_err))
+    }
+
+    fn listen(
+        &self,
+        ctx: &ProcessCtx,
+        port: u16,
+        backlog: usize,
+    ) -> SimResult<Result<Box<dyn NetListener>, NetError>> {
+        Ok(self
+            .api
+            .listen(ctx, port, backlog)?
+            .map(|l| Box::new(TcpListenerAdapter(l)) as Box<dyn NetListener>)
+            .map_err(from_tcp_err))
+    }
+
+    fn select_readable(&self, ctx: &ProcessCtx, conns: &[&Conn]) -> SimResult<usize> {
+        let inner: Vec<&TcpConn> = conns
+            .iter()
+            .map(|c| {
+                &c.as_any()
+                    .downcast_ref::<TcpConnAdapter>()
+                    .expect("kernel api selects kernel connections")
+                    .0
+            })
+            .collect();
+        self.api.select_readable(ctx, &inner)
+    }
+
+    fn local_host(&self) -> MacAddr {
+        self.api.local_host()
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// Convenience: arc up an adapter.
+pub fn arc_api<T: NetApi>(api: T) -> Arc<dyn NetApi> {
+    Arc::new(api)
+}

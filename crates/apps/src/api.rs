@@ -1,0 +1,107 @@
+//! A stack-agnostic sockets facade.
+//!
+//! The paper's whole point is that the *same application* runs over kernel
+//! TCP and over the EMP substrate. This module is that seam: every
+//! application in this crate is written against [`NetApi`]/[`NetConn`],
+//! and adapters implement them for both stacks.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use simnet::{MacAddr, ProcessCtx, SimResult};
+
+/// Unified socket errors across stacks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// Nobody listening (or backlog overflow).
+    Refused,
+    /// Local socket closed.
+    Closed,
+    /// Peer closed or reset.
+    PeerClosed,
+    /// Message exceeds what the receiver accepts (datagram substrates).
+    TooBig,
+    /// Anything else.
+    Other(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Refused => write!(f, "connection refused"),
+            NetError::Closed => write!(f, "socket closed"),
+            NetError::PeerClosed => write!(f, "peer closed"),
+            NetError::TooBig => write!(f, "message too big"),
+            NetError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// One established connection.
+pub trait NetConn: Send + Sync + 'static {
+    /// Write the whole buffer (blocking).
+    fn write(&self, ctx: &ProcessCtx, data: &[u8]) -> SimResult<Result<usize, NetError>>;
+    /// Read up to `max` bytes; empty = EOF.
+    fn read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, NetError>>;
+    /// Orderly close.
+    fn close(&self, ctx: &ProcessCtx) -> SimResult<()>;
+    /// Would `read` return without blocking?
+    fn readable(&self) -> bool;
+    /// The remote station.
+    fn peer_host(&self) -> MacAddr;
+    /// Downcast support for stack-specific `select()`.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Read exactly `n` bytes; `None` on premature EOF.
+    fn read_exact(&self, ctx: &ProcessCtx, n: usize) -> SimResult<Result<Option<Bytes>, NetError>> {
+        let mut buf = Vec::with_capacity(n);
+        while buf.len() < n {
+            let chunk = match self.read(ctx, n - buf.len())? {
+                Ok(c) => c,
+                Err(e) => return Ok(Err(e)),
+            };
+            if chunk.is_empty() {
+                return Ok(Ok(None));
+            }
+            buf.extend_from_slice(&chunk);
+        }
+        Ok(Ok(Some(Bytes::from(buf))))
+    }
+}
+
+/// A boxed connection, as applications hold it.
+pub type Conn = Box<dyn NetConn>;
+
+/// A listening socket.
+pub trait NetListener: Send + Sync + 'static {
+    /// Block for the next connection.
+    fn accept(&self, ctx: &ProcessCtx) -> SimResult<Result<Conn, NetError>>;
+    /// Stop listening.
+    fn close(&self, ctx: &ProcessCtx) -> SimResult<()>;
+}
+
+/// One node's sockets interface.
+pub trait NetApi: Send + Sync + 'static {
+    /// Active open.
+    fn connect(&self, ctx: &ProcessCtx, host: MacAddr, port: u16)
+        -> SimResult<Result<Conn, NetError>>;
+    /// Passive open.
+    fn listen(
+        &self,
+        ctx: &ProcessCtx,
+        port: u16,
+        backlog: usize,
+    ) -> SimResult<Result<Box<dyn NetListener>, NetError>>;
+    /// Block until one of `conns` is readable; returns its index.
+    fn select_readable(&self, ctx: &ProcessCtx, conns: &[&Conn]) -> SimResult<usize>;
+    /// This node's station address.
+    fn local_host(&self) -> MacAddr;
+    /// Short label for reports ("emp-ds", "tcp-16k", ...).
+    fn label(&self) -> String;
+}
+
+/// Shared handle applications pass around.
+pub type Api = Arc<dyn NetApi>;

@@ -1,0 +1,253 @@
+//! A key-value store — the paper's stated future work (§8: "utilizing
+//! and evaluating the proposed substrate for a range of commercial
+//! applications in the Data center environment").
+//!
+//! A memcached-shaped service: persistent connections carry GET/PUT
+//! requests with small keys and configurable value sizes; clients measure
+//! per-operation latency and aggregate throughput. The workload is where
+//! the substrate's strengths compound — small messages (latency-bound)
+//! on long-lived connections (its connection-setup advantage amortized
+//! away), so the win here is a clean view of the data-path difference.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{Sim, SimAccess, SimTime};
+
+use crate::api::Conn;
+use crate::testbed::Testbed;
+
+/// Server port.
+pub const KV_PORT: u16 = 111;
+
+const OP_GET: u8 = 1;
+const OP_PUT: u8 = 2;
+const STATUS_OK: u8 = 0;
+const STATUS_MISS: u8 = 1;
+
+/// Results of a client run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KvResults {
+    /// Operations completed.
+    pub ops: u64,
+    /// GETs that found a value.
+    pub hits: u64,
+    /// Mean per-operation round trip in µs.
+    pub mean_op_us: f64,
+    /// Aggregate operation throughput (ops/s) across all clients.
+    pub ops_per_sec: f64,
+}
+
+fn encode_request(op: u8, key: u32, value: Option<&[u8]>) -> Bytes {
+    let mut b = BytesMut::with_capacity(9 + value.map_or(0, <[u8]>::len));
+    b.put_u8(op);
+    b.put_u32_le(key);
+    b.put_u32_le(value.map_or(0, <[u8]>::len) as u32);
+    if let Some(v) = value {
+        b.extend_from_slice(v);
+    }
+    b.freeze()
+}
+
+fn read_exactly(
+    ctx: &simnet::ProcessCtx,
+    conn: &Conn,
+    n: usize,
+) -> simnet::SimResult<Option<Bytes>> {
+    match conn.read_exact(ctx, n)? {
+        Ok(v) => Ok(v),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Serve `expected_conns` client connections on node `server`, each
+/// handled by its own worker until the client closes.
+pub fn spawn_server(sim: &Sim, tb: &Testbed, server: usize, expected_conns: u32) {
+    let api = Arc::clone(&tb.nodes[server].api);
+    let store: Arc<Mutex<HashMap<u32, Bytes>>> = Arc::new(Mutex::new(HashMap::new()));
+    sim.spawn("kv-server", move |ctx| {
+        let l = api.listen(ctx, KV_PORT, 16)?.expect("port free");
+        for _ in 0..expected_conns {
+            let conn = l.accept(ctx)?.expect("client");
+            let store = Arc::clone(&store);
+            ctx.spawn("kv-worker", move |ctx| {
+                loop {
+                    // Request: op u8, key u32, value_len u32 [, value].
+                    let Some(hdr) = read_exactly(ctx, &conn, 9)? else {
+                        break;
+                    };
+                    let op = hdr[0];
+                    let key = u32::from_le_bytes(hdr[1..5].try_into().expect("4"));
+                    let vlen =
+                        u32::from_le_bytes(hdr[5..9].try_into().expect("4")) as usize;
+                    match op {
+                        OP_PUT => {
+                            let Some(value) = read_exactly(ctx, &conn, vlen)? else {
+                                break;
+                            };
+                            store.lock().insert(key, value);
+                            // Response: status u8, len u32 (0).
+                            let mut r = BytesMut::with_capacity(5);
+                            r.put_u8(STATUS_OK);
+                            r.put_u32_le(0);
+                            if conn.write(ctx, &r)?.is_err() {
+                                break;
+                            }
+                        }
+                        OP_GET => {
+                            let hit = store.lock().get(&key).cloned();
+                            let mut r = BytesMut::with_capacity(5);
+                            match &hit {
+                                Some(v) => {
+                                    r.put_u8(STATUS_OK);
+                                    r.put_u32_le(v.len() as u32);
+                                    r.extend_from_slice(v);
+                                }
+                                None => {
+                                    r.put_u8(STATUS_MISS);
+                                    r.put_u32_le(0);
+                                }
+                            }
+                            if conn.write(ctx, &r)?.is_err() {
+                                break;
+                            }
+                        }
+                        other => panic!("unknown kv op {other}"),
+                    }
+                }
+                let _ = conn.close(ctx);
+                Ok(())
+            });
+        }
+        l.close(ctx)?;
+        Ok(())
+    });
+}
+
+/// Run `n_clients` clients (on nodes 1..) against a server on node 0;
+/// each performs `ops_per_client` operations with the given value size
+/// and GET fraction. Deterministic for a given seed.
+pub fn run_workload(
+    tb: &Testbed,
+    n_clients: usize,
+    ops_per_client: u32,
+    value_size: usize,
+    get_fraction: f64,
+    seed: u64,
+) -> KvResults {
+    assert!(tb.nodes.len() > n_clients, "need a node per client + server");
+    let sim = Sim::new();
+    spawn_server(&sim, tb, 0, n_clients as u32);
+    let acc = Arc::new(Mutex::new((0u64, 0u64, 0.0f64, SimTime::ZERO)));
+
+    for c in 0..n_clients {
+        let api = Arc::clone(&tb.nodes[c + 1].api);
+        let host = tb.nodes[0].api.local_host();
+        let acc = Arc::clone(&acc);
+        sim.spawn(format!("kv-client-{c}"), move |ctx| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (c as u64) << 32);
+            let conn = api.connect(ctx, host, KV_PORT)?.expect("connect");
+            let value = vec![0xcdu8; value_size];
+            let key_space = 256u32;
+            let mut ops = 0u64;
+            let mut hits = 0u64;
+            let mut total_us = 0.0f64;
+            // Warm a few keys so GETs can hit.
+            for k in 0..8u32 {
+                conn.write(ctx, &encode_request(OP_PUT, k, Some(&value)))?
+                    .expect("put");
+                let _ = read_exactly(ctx, &conn, 5)?.expect("resp");
+            }
+            for _ in 0..ops_per_client {
+                let t0 = ctx.now();
+                let key = rng.gen_range(0..key_space);
+                if rng.gen_bool(get_fraction) {
+                    conn.write(ctx, &encode_request(OP_GET, key, None))?
+                        .expect("get");
+                    let hdr = read_exactly(ctx, &conn, 5)?.expect("resp");
+                    let len =
+                        u32::from_le_bytes(hdr[1..5].try_into().expect("4")) as usize;
+                    if hdr[0] == STATUS_OK {
+                        hits += 1;
+                        let body = read_exactly(ctx, &conn, len)?.expect("body");
+                        debug_assert_eq!(body.len(), value_size);
+                    }
+                } else {
+                    conn.write(ctx, &encode_request(OP_PUT, key, Some(&value)))?
+                        .expect("put");
+                    let _ = read_exactly(ctx, &conn, 5)?.expect("resp");
+                }
+                ops += 1;
+                total_us += (ctx.now() - t0).as_micros_f64();
+            }
+            conn.close(ctx)?;
+            let mut a = acc.lock();
+            a.0 += ops;
+            a.1 += hits;
+            a.2 += total_us;
+            a.3 = a.3.max(ctx.now());
+            Ok(())
+        });
+    }
+    sim.run_until(SimTime::from_secs(600));
+    let (ops, hits, total_us, end) = *acc.lock();
+    assert_eq!(
+        ops,
+        n_clients as u64 * u64::from(ops_per_client),
+        "every operation completes"
+    );
+    KvResults {
+        ops,
+        hits,
+        mean_op_us: total_us / ops as f64,
+        ops_per_sec: ops as f64 / end.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_roundtrips_values_exactly() {
+        // Direct correctness: PUT then GET the same key returns identical
+        // bytes (checked inside the client via length + debug asserts;
+        // here also via hit counting with a single hot key).
+        let tb = Testbed::emp_default(2);
+        let r = run_workload(&tb, 1, 60, 256, 0.7, 42);
+        assert_eq!(r.ops, 60);
+        assert!(r.hits > 0, "warmed keys must produce hits");
+        assert!(r.mean_op_us > 0.0);
+    }
+
+    #[test]
+    fn substrate_serves_ops_faster_than_tcp() {
+        // Data-center shape: small values, persistent connections, three
+        // clients. Per-op latency is dominated by the stack's small-
+        // message path (Figure 13a), so the substrate should serve ops
+        // ~3x faster.
+        let emp = run_workload(&Testbed::emp_default(4), 3, 50, 128, 0.9, 7);
+        let tcp = run_workload(&Testbed::kernel_default(4), 3, 50, 128, 0.9, 7);
+        let ratio = tcp.mean_op_us / emp.mean_op_us;
+        assert!(
+            ratio > 2.0,
+            "kv op latency ratio {ratio:.2} (emp {:.0} us, tcp {:.0} us)",
+            emp.mean_op_us,
+            tcp.mean_op_us
+        );
+        assert!(emp.ops_per_sec > tcp.ops_per_sec);
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = run_workload(&Testbed::emp_default(3), 2, 30, 64, 0.5, 9);
+        let b = run_workload(&Testbed::emp_default(3), 2, 30, 64, 0.5, 9);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.mean_op_us.to_bits(), b.mean_op_us.to_bits());
+    }
+}

@@ -1,0 +1,35 @@
+//! # emp-apps — the applications of the paper's evaluation (§7)
+//!
+//! Every application is written once against the stack-agnostic
+//! [`NetApi`] facade and runs over both the sockets-over-EMP substrate
+//! and the kernel TCP baseline:
+//!
+//! * [`pingpong`] — the latency microbenchmark (Figures 11-13);
+//! * [`bandwidth`] — the throughput microbenchmark (Figure 13);
+//! * [`ftp`] — RAM-disk-backed file transfer (Figure 14);
+//! * [`webserver`] — HTTP/1.0 and HTTP/1.1, one server + three clients
+//!   (Figures 15-16);
+//! * [`matmul`] — master/worker matrix multiply with `select()`
+//!   (Figure 17);
+//! * [`kvstore`] — a data-center-style key-value service (the paper's
+//!   §8 future work).
+//!
+//! [`testbed::Testbed`] builds the 4-node cluster over either stack.
+
+#![warn(missing_docs)]
+
+pub mod adapters;
+pub mod api;
+#[cfg(test)]
+mod api_tests;
+pub mod bandwidth;
+pub mod ftp;
+pub mod kvstore;
+pub mod matmul;
+pub mod pingpong;
+pub mod testbed;
+pub mod webserver;
+
+pub use adapters::{EmpNet, KernelNet};
+pub use api::{Api, Conn, NetApi, NetConn, NetError, NetListener};
+pub use testbed::{AppNode, Testbed};

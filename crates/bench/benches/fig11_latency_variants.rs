@@ -1,0 +1,30 @@
+//! Criterion wrapper for the Figure 11 harness (latency of the substrate
+//! variants): times a representative 4-byte ping-pong per variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emp_apps::{pingpong, Testbed};
+use emp_proto::EmpConfig;
+use simnet::Sim;
+use sockets_emp::SubstrateConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for (label, cfg) in [
+        ("ds", SubstrateConfig::ds()),
+        ("ds_da_uq", SubstrateConfig::ds_da_uq()),
+        ("dg", SubstrateConfig::dg()),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let sim = Sim::new();
+                let tb = Testbed::emp(2, EmpConfig::default(), cfg.clone(), label);
+                pingpong::one_way_latency_us(&sim, &tb, 4, 10)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion wrapper for the Figure 12 harness (delayed-ack latency vs
+//! credit size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emp_apps::{pingpong, Testbed};
+use emp_proto::EmpConfig;
+use simnet::Sim;
+use sockets_emp::SubstrateConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for credits in [1u32, 32] {
+        g.bench_function(format!("ds_da_credits_{credits}"), |b| {
+            b.iter(|| {
+                let sim = Sim::new();
+                let tb = Testbed::emp(
+                    2,
+                    EmpConfig::default(),
+                    SubstrateConfig::ds_da().with_credits(credits),
+                    "ds-da",
+                );
+                pingpong::one_way_latency_us(&sim, &tb, 4, 10)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

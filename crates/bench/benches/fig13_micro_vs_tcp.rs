@@ -1,0 +1,43 @@
+//! Criterion wrapper for the Figure 13 harnesses (latency and bandwidth,
+//! substrate vs kernel TCP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emp_apps::{bandwidth, pingpong, Testbed};
+use simnet::Sim;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("latency_emp", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let tb = Testbed::emp_default(2);
+            pingpong::one_way_latency_us(&sim, &tb, 4, 10)
+        })
+    });
+    g.bench_function("latency_tcp", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let tb = Testbed::kernel_default(2);
+            pingpong::one_way_latency_us(&sim, &tb, 4, 10)
+        })
+    });
+    g.bench_function("bandwidth_emp", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let tb = Testbed::emp_default(2);
+            bandwidth::throughput_mbps(&sim, &tb, 64 * 1024, 1 << 20)
+        })
+    });
+    g.bench_function("bandwidth_tcp", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let tb = Testbed::kernel_default(2);
+            bandwidth::throughput_mbps(&sim, &tb, 64 * 1024, 1 << 20)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion wrapper for the Figure 14 harness (ftp over RAM disks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emp_apps::{ftp, Testbed};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("ftp_emp_1mb", |b| {
+        b.iter(|| ftp::transfer_mbps(&Testbed::emp_default(2), 1 << 20))
+    });
+    g.bench_function("ftp_tcp_1mb", |b| {
+        b.iter(|| ftp::transfer_mbps(&Testbed::kernel_default(2), 1 << 20))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion wrapper for the Figure 15 harness (HTTP/1.0 web server).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emp_apps::{webserver, Testbed};
+use emp_proto::EmpConfig;
+use sockets_emp::SubstrateConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15");
+    g.sample_size(10);
+    g.bench_function("http10_emp", |b| {
+        b.iter(|| {
+            let tb = Testbed::emp(
+                4,
+                EmpConfig::default(),
+                SubstrateConfig::ds_da_uq().with_credits(4),
+                "emp-c4",
+            );
+            webserver::run_once(&tb, webserver::HttpVersion::Http10, 1024, 4)
+        })
+    });
+    g.bench_function("http10_tcp", |b| {
+        b.iter(|| {
+            let tb = Testbed::kernel_default(4);
+            webserver::run_once(&tb, webserver::HttpVersion::Http10, 1024, 4)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

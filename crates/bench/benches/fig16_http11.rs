@@ -1,0 +1,32 @@
+//! Criterion wrapper for the Figure 16 harness (HTTP/1.1 web server).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emp_apps::{webserver, Testbed};
+use emp_proto::EmpConfig;
+use sockets_emp::SubstrateConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.bench_function("http11_emp", |b| {
+        b.iter(|| {
+            let tb = Testbed::emp(
+                4,
+                EmpConfig::default(),
+                SubstrateConfig::ds_da_uq().with_credits(4),
+                "emp-c4",
+            );
+            webserver::run_once(&tb, webserver::HttpVersion::Http11, 1024, 8)
+        })
+    });
+    g.bench_function("http11_tcp", |b| {
+        b.iter(|| {
+            let tb = Testbed::kernel_default(4);
+            webserver::run_once(&tb, webserver::HttpVersion::Http11, 1024, 8)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion wrapper for the Figure 17 harness (distributed matmul).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use emp_apps::{matmul, Testbed};
+use simnet::Sim;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig17");
+    g.sample_size(10);
+    g.bench_function("matmul_emp_n48", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            matmul::run(&sim, &Testbed::emp_default(4), 48)
+        })
+    });
+    g.bench_function("matmul_tcp_n48", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            matmul::run(&sim, &Testbed::kernel_default(4), 48)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! cargo run --release -p emp-bench --bin figures            # all, full sweeps
+//! cargo run --release -p emp-bench --bin figures -- --quick # smoke profile
+//! cargo run --release -p emp-bench --bin figures -- fig14   # one figure
+//! ```
+//!
+//! Tables print to stdout; JSON lands in `target/figures/<id>.json`.
+
+use emp_bench::figures;
+use emp_bench::{Figure, Profile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = if args.iter().any(|a| a == "--quick") {
+        Profile::Quick
+    } else {
+        Profile::Full
+    };
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let figures: Vec<Figure> = if wanted.is_empty() {
+        figures::all_figures(profile)
+    } else {
+        let mut out = Vec::new();
+        for name in wanted {
+            let fig = match name.as_str() {
+                "fig11" => figures::fig11(profile),
+                "fig12" => figures::fig12(profile),
+                "fig13a" | "fig13" => figures::fig13_latency(profile),
+                "fig13b" => figures::fig13_bandwidth(profile),
+                "fig14" => figures::fig14(profile),
+                "fig15" => figures::fig15(profile),
+                "fig16" => figures::fig16(profile),
+                "fig17" => figures::fig17(profile),
+                "ablation-commthread" => figures::ablation_commthread(profile),
+                "ablation-piggyback" => figures::ablation_piggyback(profile),
+                "cpu-utilization" => figures::cpu_utilization(profile),
+                "ablation-nic-cpus" => figures::ablation_nic_cpus(profile),
+                "connect-time" => figures::connect_time(profile),
+                "datacenter-kv" => figures::datacenter_kv(profile),
+                other => {
+                    eprintln!("unknown figure '{other}'");
+                    std::process::exit(2);
+                }
+            };
+            out.push(fig);
+        }
+        out
+    };
+
+    let json_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(json_dir).expect("create target/figures");
+    for fig in &figures {
+        println!("{}", fig.to_table());
+        let path = json_dir.join(format!("{}.json", fig.id));
+        std::fs::write(&path, fig.to_json()).expect("write figure json");
+    }
+    println!("(json written to target/figures/)");
+}

@@ -1,0 +1,16 @@
+//! # emp-bench — figure harnesses and benchmarks
+//!
+//! Regenerates every figure of the paper's evaluation (§7) from the
+//! simulated testbed: [`figures::fig11`] through [`figures::fig17`], plus
+//! the §5.2/§6 ablations. The `figures` binary prints the tables and
+//! writes JSON; the criterion benches time representative points of each
+//! figure's harness.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod raw;
+pub mod report;
+
+pub use figures::{all_figures, Profile};
+pub use report::{Figure, Series};

@@ -1,0 +1,159 @@
+//! Shape regression tests: each figure's quick-profile data must show the
+//! qualitative relationships the paper's figures show. These complement
+//! the per-crate calibration tests (which pin absolute numbers) by
+//! pinning the *comparisons* — who wins, where, and in which direction
+//! the curves move.
+
+use emp_bench::{figures, Profile};
+
+#[test]
+fn fig11_enhancement_progression() {
+    let fig = figures::fig11(Profile::Quick);
+    let at4 = |label: &str| fig.value(label, 4.0).expect("4-byte point");
+    assert!(at4("DS") > at4("DS_DA"), "delayed acks help");
+    assert!(at4("DS_DA_UQ") > at4("DG"), "datagram beats streaming");
+    // §7.1: "The Datagram option performs the closest to EMP ... an
+    // overhead of as low as 1 us over EMP". Within the measurement's
+    // harness-structure noise, DG tracks raw EMP to well under 1 us.
+    assert!(
+        (at4("DG") - at4("EMP")).abs() < 1.0,
+        "datagram stays within ~1 us of raw EMP (paper §7.1): DG {} vs EMP {}",
+        at4("DG"),
+        at4("EMP")
+    );
+}
+
+#[test]
+fn fig12_delayed_acks_decay_with_credits() {
+    let fig = figures::fig12(Profile::Quick);
+    let da = |x: f64| fig.value("DS_DA", x).expect("point");
+    let ds = |x: f64| fig.value("DS", x).expect("point");
+    assert!(da(32.0) < da(1.0), "latency drops with credit size");
+    assert!((ds(1.0) - ds(32.0)).abs() < 1.0, "DS stays flat");
+    assert!(
+        (da(1.0) - ds(1.0)).abs() < 1.0,
+        "at credit 1 delayed acks degenerate to per-message acks"
+    );
+}
+
+#[test]
+fn fig13_substrate_beats_tcp_on_both_axes() {
+    let lat = figures::fig13_latency(Profile::Quick);
+    let tcp = lat.value("TCP-16K", 4.0).expect("point");
+    let dg = lat.value("Datagram", 4.0).expect("point");
+    let ds = lat.value("DataStream", 4.0).expect("point");
+    assert!(
+        (3.0..6.0).contains(&(tcp / dg)),
+        "datagram latency improvement ~4.2x (paper): {:.2}",
+        tcp / dg
+    );
+    assert!(
+        (2.5..4.5).contains(&(tcp / ds)),
+        "streaming latency improvement ~3.4x (paper): {:.2}",
+        tcp / ds
+    );
+
+    let bw = figures::fig13_bandwidth(Profile::Quick);
+    let emp = bw.value("DataStream", 65536.0).expect("point");
+    let tcp16 = bw.value("TCP-16K", 65536.0).expect("point");
+    let tcp_big = bw.value("TCP-256K", 65536.0).expect("point");
+    assert!(tcp16 < tcp_big, "bigger kernel buffers help TCP");
+    assert!(emp > tcp_big * 1.35, "substrate wins by >35% (paper: 53%)");
+}
+
+#[test]
+fn fig14_ftp_ordering() {
+    let fig = figures::fig14(Profile::Quick);
+    let x = (4 << 20) as f64;
+    let ds = fig.value("DataStream", x).expect("point");
+    let dg = fig.value("Datagram", x).expect("point");
+    let tcp = fig.value("TCP", x).expect("point");
+    assert!(ds > tcp && dg > tcp, "both substrate modes beat TCP");
+    assert!(
+        (ds - dg).abs() / ds < 0.15,
+        "DS and DG overlap under file-system overhead (paper §7.3)"
+    );
+}
+
+#[test]
+fn fig15_fig16_webserver_gap_narrows_with_http11() {
+    let f15 = figures::fig15(Profile::Quick);
+    let f16 = figures::fig16(Profile::Quick);
+    for x in [4.0, 1024.0] {
+        let r10 = f15.value("TCP", x).unwrap() / f15.value("Substrate", x).unwrap();
+        let r11 = f16.value("TCP", x).unwrap() / f16.value("Substrate", x).unwrap();
+        assert!(r10 > 2.0, "HTTP/1.0 speedup at {x}: {r10:.2}");
+        assert!(r11 > 1.2, "HTTP/1.1 still wins at {x}: {r11:.2}");
+        assert!(r11 < r10, "persistent connections narrow the gap at {x}");
+    }
+}
+
+#[test]
+fn fig17_matmul_gap_shrinks_with_n() {
+    let fig = figures::fig17(Profile::Quick);
+    let gap = |n: f64| fig.value("TCP", n).unwrap() / fig.value("Substrate", n).unwrap();
+    assert!(gap(48.0) > 1.0 && gap(96.0) > 1.0, "substrate always wins");
+}
+
+#[test]
+fn ablations_match_the_papers_qualitative_claims() {
+    let ct = figures::ablation_commthread(Profile::Quick);
+    let direct = ct.value("DS_DA_UQ", 0.0).unwrap();
+    let polling = ct.value("DS_DA_UQ", 1.0).unwrap();
+    let blocking = ct.value("DS_DA_UQ", 2.0).unwrap();
+    assert!(
+        (35.0..50.0).contains(&(polling - direct)),
+        "polling thread adds ~2x20 us per round trip: +{:.1}",
+        polling - direct
+    );
+    assert!(blocking > 2_000.0, "blocking thread is milliseconds");
+
+    let pb = figures::ablation_piggyback(Profile::Quick);
+    let off = pb.value("DS_DA_UQ", 0.0).unwrap();
+    let on = pb.value("DS_DA_UQ", 1.0).unwrap();
+    assert!(on < off, "piggy-backing helps bidirectional traffic");
+
+    let nc = figures::ablation_nic_cpus(Profile::Quick);
+    let bi1 = nc.value("bidirectional", 1.0).unwrap();
+    let bi2 = nc.value("bidirectional", 2.0).unwrap();
+    assert!(
+        bi2 > bi1 * 1.15,
+        "two firmware CPUs clearly win bidirectionally: {bi2:.0} vs {bi1:.0}"
+    );
+
+    let cpu = figures::cpu_utilization(Profile::Quick);
+    let tcp_ms = cpu.value("kernel CPU", 0.0).unwrap();
+    let emp_ms = cpu.value("kernel CPU", 1.0).unwrap();
+    assert!(tcp_ms > 10.0, "kernel TCP burns host CPU: {tcp_ms:.1} ms");
+    assert_eq!(emp_ms, 0.0, "the substrate burns none (§2 claim)");
+}
+
+#[test]
+fn connect_time_and_kv_match_paper_mechanisms() {
+    let ct = figures::connect_time(Profile::Quick);
+    let tcp_block = ct.value("connect() blocks", 0.0).unwrap();
+    let emp_block = ct.value("connect() blocks", 1.0).unwrap();
+    assert!(
+        (180.0..280.0).contains(&tcp_block),
+        "TCP connect ~200-250 us (paper §7.4): {tcp_block:.0}"
+    );
+    assert!(emp_block < 40.0, "substrate connect just posts: {emp_block:.0}");
+
+    let kv = figures::datacenter_kv(Profile::Quick);
+    let emp = kv.value("Substrate", 64.0).unwrap();
+    let tcp = kv.value("TCP", 64.0).unwrap();
+    assert!(
+        tcp / emp > 2.0,
+        "kv service ops ~3x faster on the substrate: {:.2}",
+        tcp / emp
+    );
+}
+
+#[test]
+fn figure_json_serializes() {
+    let fig = figures::fig12(Profile::Quick);
+    let json = fig.to_json();
+    assert!(json.contains("\"id\": \"fig12\""));
+    assert!(json.contains("\"points\""));
+    assert!(json.trim_end().ends_with('}'));
+}

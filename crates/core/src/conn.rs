@@ -1,0 +1,606 @@
+//! Connection state and management.
+//!
+//! §5.1's adopted design: connection management by *data message exchange*.
+//! `listen()` pre-posts `backlog` connection descriptors, `connect()` sends
+//! an explicit request carrying the client's address and parameters, and
+//! `accept()` blocks on the head of the backlog queue. Each established
+//! connection owns EMP descriptors (data, flow-control-ack, rendezvous,
+//! control) that the substrate must account for and explicitly release on
+//! `close()` — §5.3's resource management.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Weak};
+
+use emp_proto::{EmpEndpoint, RecvHandle, SendHandle};
+use hostsim::{VirtRange, PAGE_SIZE};
+use parking_lot::Mutex;
+use simnet::{wait_any, Completion, MacAddr, ProcessCtx, SimResult};
+
+use crate::config::{SocketType, SubstrateConfig};
+use crate::error::SockError;
+use crate::proto::{Msg, HEADER};
+use crate::tags;
+
+/// Per-process substrate state (behind `EmpSockets`).
+pub(crate) struct ProcShared {
+    pub(crate) ep: EmpEndpoint,
+    pub(crate) cfg: SubstrateConfig,
+    pub(crate) state: Mutex<ProcState>,
+}
+
+pub(crate) struct ProcState {
+    /// Recycled connection ids, reused only after the fresh space is
+    /// exhausted (TIME_WAIT-like quarantine: immediate reuse would let
+    /// stragglers from the previous connection match the new one's tags).
+    free_cids: VecDeque<u16>,
+    next_cid: u16,
+    /// The active-socket table (§5.3): every open connection, so teardown
+    /// can account for all NIC resources.
+    pub(crate) active: HashMap<u16, Weak<SockShared>>,
+    pub(crate) listeners: HashMap<u16, ()>,
+    /// Unexpected-queue slots currently allocated across connections.
+    pub(crate) unexpected_slots: usize,
+    /// Whether the baseline unexpected slots have been configured.
+    pub(crate) initialized: bool,
+    /// Bump allocator for synthetic buffer addresses (stable per purpose,
+    /// so the pin/translate cache behaves like reused real buffers).
+    range_cursor: u64,
+    /// Recycled buffer ranges by size: connections reuse the previous
+    /// connection's (already pinned) buffers, so only the first connection
+    /// of a given shape pays pin+translate syscalls — the way a real
+    /// substrate would pool its registered temp buffers.
+    range_pool: HashMap<u64, Vec<VirtRange>>,
+}
+
+impl ProcShared {
+    pub(crate) fn new(ep: EmpEndpoint, cfg: SubstrateConfig) -> Arc<Self> {
+        Arc::new(ProcShared {
+            ep,
+            cfg,
+            state: Mutex::new(ProcState {
+                free_cids: VecDeque::new(),
+                next_cid: 0,
+                active: HashMap::new(),
+                listeners: HashMap::new(),
+                unexpected_slots: 0,
+                initialized: false,
+                range_cursor: 0x1000_0000,
+                range_pool: HashMap::new(),
+            }),
+        })
+    }
+
+    pub(crate) fn alloc_cid(&self) -> Result<u16, SockError> {
+        let mut st = self.state.lock();
+        if st.next_cid <= tags::MAX_CID {
+            let cid = st.next_cid;
+            st.next_cid += 1;
+            return Ok(cid);
+        }
+        st.free_cids
+            .pop_front()
+            .ok_or_else(|| SockError::protocol("connection ids exhausted"))
+    }
+
+    pub(crate) fn free_cid(&self, cid: u16) {
+        let mut st = self.state.lock();
+        st.active.remove(&cid);
+        st.free_cids.push_back(cid);
+    }
+
+    /// Allocate a page-aligned fake buffer range, reusing a pooled one of
+    /// the same size when available (pin-cache hit).
+    pub(crate) fn alloc_range(&self, len: usize) -> VirtRange {
+        let mut st = self.state.lock();
+        let key = len.max(1) as u64;
+        if let Some(r) = st.range_pool.get_mut(&key).and_then(Vec::pop) {
+            return r;
+        }
+        let pages = key.div_ceil(PAGE_SIZE).max(1);
+        let addr = st.range_cursor;
+        st.range_cursor += (pages + 1) * PAGE_SIZE; // guard page between buffers
+        VirtRange::new(addr, key)
+    }
+
+    /// Return a buffer range to the pool for the next connection.
+    pub(crate) fn free_range(&self, range: VirtRange) {
+        let mut st = self.state.lock();
+        st.range_pool.entry(range.len).or_default().push(range);
+    }
+
+    /// First-use initialization: allocate the process's baseline
+    /// unexpected-queue slots.
+    pub(crate) fn ensure_init(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        let needs = {
+            let mut st = self.state.lock();
+            !std::mem::replace(&mut st.initialized, true)
+        };
+        if needs {
+            self.adjust_unexpected(ctx, self.cfg.base_unexpected_slots as isize)?;
+        }
+        Ok(())
+    }
+
+    /// Grow/shrink this process's unexpected-queue allocation.
+    pub(crate) fn adjust_unexpected(&self, ctx: &ProcessCtx, delta: isize) -> SimResult<()> {
+        let slots = {
+            let mut st = self.state.lock();
+            st.unexpected_slots = st.unexpected_slots.saturating_add_signed(delta);
+            st.unexpected_slots
+        };
+        self.ep.set_unexpected_slots(ctx, slots)
+    }
+}
+
+/// Per-connection substrate counters, mirroring what a production sockets
+/// library exposes for diagnosis (`getsockopt`-style).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// User bytes written on this connection.
+    pub bytes_sent: u64,
+    /// User bytes read on this connection.
+    pub bytes_received: u64,
+    /// Substrate data messages sent.
+    pub msgs_sent: u64,
+    /// Substrate data messages consumed.
+    pub msgs_received: u64,
+    /// Explicit flow-control acknowledgments sent.
+    pub fcacks_sent: u64,
+    /// Credit returns that rode on data messages (§6.1 piggy-back).
+    pub piggybacked_credits: u64,
+    /// Times a write blocked waiting for credits.
+    pub credit_stalls: u64,
+    /// Rendezvous round trips performed (datagram large sends).
+    pub rendezvous: u64,
+}
+
+/// A data descriptor slot: handle + the stable buffer range it reposts to.
+pub(crate) struct DataSlot {
+    pub(crate) handle: RecvHandle,
+    pub(crate) range: VirtRange,
+}
+
+/// Mutable per-connection state (single-process discipline: one simulated
+/// process drives each side of a connection, so this mutex is never
+/// contended — it exists for `Send`/`Sync` plumbing).
+pub(crate) struct SockInner {
+    // ---- transmit ----
+    /// Credits available to send (§6.1).
+    pub(crate) credits: u32,
+    /// Pre-posted flow-control-ack descriptors, completion order (empty in
+    /// unexpected-queue mode).
+    pub(crate) fcack_handles: VecDeque<RecvHandle>,
+    /// Fire-and-forget sends not yet known complete.
+    pub(crate) inflight_sends: Vec<SendHandle>,
+    /// The connection request (client side) — checked for refusal.
+    pub(crate) conn_send: Option<SendHandle>,
+    // ---- receive (stream) ----
+    /// Pre-posted data descriptors in completion order.
+    pub(crate) data_slots: VecDeque<DataSlot>,
+    /// Reassembled byte stream awaiting `read()` (chunks + total length).
+    pub(crate) stream_chunks: VecDeque<bytes::Bytes>,
+    pub(crate) stream_len: usize,
+    /// Messages consumed since the last credit return.
+    pub(crate) consumed: u32,
+    // ---- receive (datagram) ----
+    pub(crate) rndv_handle: Option<RecvHandle>,
+    pub(crate) dgram_data: Option<DataSlot>,
+    /// Rendezvous grant received and not yet consumed by a sender.
+    pub(crate) rndv_granted: bool,
+    /// Rendezvous refusal (receiver buffer too small), with its limit.
+    pub(crate) rndv_refused: Option<usize>,
+    // ---- statistics ----
+    pub(crate) stats: ConnStats,
+    // ---- control ----
+    pub(crate) ctrl_handle: Option<RecvHandle>,
+    pub(crate) peer_closed: bool,
+    /// Local write side shut down (half-close); reads keep working.
+    pub(crate) write_closed: bool,
+    pub(crate) closed: bool,
+    // ---- buffer ranges ----
+    pub(crate) send_range: VirtRange,
+    pub(crate) fcack_range: VirtRange,
+    pub(crate) ctrl_range: VirtRange,
+    pub(crate) rndv_range: VirtRange,
+    pub(crate) user_range: VirtRange,
+}
+
+/// One side of a substrate connection.
+pub(crate) struct SockShared {
+    pub(crate) proc_: Arc<ProcShared>,
+    /// The connection id (always the client's — it names both directions).
+    pub(crate) cid: u16,
+    /// The remote station.
+    pub(crate) peer: MacAddr,
+    /// Server port the connection targets (diagnostics).
+    pub(crate) port: u16,
+    /// Whether this side initiated the connection. Determines which tag
+    /// direction it posts receives on and which it sends with.
+    pub(crate) is_client: bool,
+    /// Stream or datagram (negotiated by the connection request).
+    pub(crate) socket_type: SocketType,
+    /// Effective credit count (client's N, mirrored by the acceptor).
+    pub(crate) credits_max: u32,
+    /// Effective temp-buffer size.
+    pub(crate) buf_size: usize,
+    pub(crate) inner: Mutex<SockInner>,
+}
+
+impl SockShared {
+    /// Build and wire up one side of a connection. For the client side
+    /// this happens at `connect()`; for the server side at `accept()`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn establish(
+        proc_: &Arc<ProcShared>,
+        ctx: &ProcessCtx,
+        cid: u16,
+        peer: MacAddr,
+        port: u16,
+        is_client: bool,
+        socket_type: SocketType,
+        credits_max: u32,
+        buf_size: usize,
+    ) -> SimResult<Arc<SockShared>> {
+        let sock = Arc::new(SockShared {
+            proc_: Arc::clone(proc_),
+            cid,
+            peer,
+            port,
+            is_client,
+            socket_type,
+            credits_max,
+            buf_size,
+            inner: Mutex::new(SockInner {
+                credits: credits_max,
+                fcack_handles: VecDeque::new(),
+                inflight_sends: Vec::new(),
+                conn_send: None,
+                data_slots: VecDeque::new(),
+                stream_chunks: VecDeque::new(),
+                stream_len: 0,
+                consumed: 0,
+                rndv_handle: None,
+                dgram_data: None,
+                rndv_granted: false,
+                rndv_refused: None,
+                stats: ConnStats::default(),
+                ctrl_handle: None,
+                peer_closed: false,
+                write_closed: false,
+                closed: false,
+                send_range: proc_.alloc_range(buf_size + HEADER),
+                fcack_range: proc_.alloc_range(HEADER),
+                ctrl_range: proc_.alloc_range(HEADER),
+                rndv_range: proc_.alloc_range(HEADER),
+                user_range: proc_.alloc_range(buf_size.max(1 << 20) + HEADER),
+            }),
+        });
+        proc_
+            .state
+            .lock()
+            .active
+            .insert(cid, Arc::downgrade(&sock));
+
+        let ep = &proc_.ep;
+        let cfg = &proc_.cfg;
+        // Control descriptor: close notifications, rendezvous acks.
+        {
+            let range = sock.inner.lock().ctrl_range;
+            let h = ep.post_recv(ctx, sock.rx_ctrl_tag(), Some(peer), HEADER, range)?;
+            sock.inner.lock().ctrl_handle = Some(h);
+        }
+        match socket_type {
+            SocketType::Stream => {
+                // N data descriptors into temp buffers (§5.2 eager w/ flow
+                // control), each with its own stable staging range.
+                for _ in 0..credits_max {
+                    let range = proc_.alloc_range(buf_size + HEADER);
+                    let h = ep.post_recv(
+                        ctx,
+                        sock.rx_data_tag(),
+                        Some(peer),
+                        buf_size + HEADER,
+                        range,
+                    )?;
+                    sock.inner
+                        .lock()
+                        .data_slots
+                        .push_back(DataSlot { handle: h, range });
+                }
+                // Flow-control-ack descriptors: pre-posted, or routed via
+                // the unexpected queue (§6.4).
+                let n_acks = cfg.fcack_descriptors();
+                for _ in 0..n_acks {
+                    let range = sock.inner.lock().fcack_range;
+                    let h = ep.post_recv(ctx, sock.rx_fcack_tag(), Some(peer), HEADER, range)?;
+                    sock.inner.lock().fcack_handles.push_back(h);
+                }
+                let quota = cfg.unexpected_quota();
+                if quota > 0 {
+                    proc_.adjust_unexpected(ctx, quota as isize)?;
+                }
+            }
+            SocketType::Datagram => {
+                // One rendezvous-request descriptor (§5.2's rendezvous).
+                let range = sock.inner.lock().rndv_range;
+                let h = ep.post_recv(ctx, sock.rx_rndv_tag(), Some(peer), HEADER, range)?;
+                sock.inner.lock().rndv_handle = Some(h);
+            }
+        }
+        Ok(sock)
+    }
+
+    // --- tag helpers -------------------------------------------------
+    // Receives match traffic flowing *towards* this side; sends carry the
+    // opposite direction.
+
+    pub(crate) fn rx_data_tag(&self) -> emp_proto::Tag {
+        tags::data_tag(self.cid, !self.is_client)
+    }
+
+    pub(crate) fn tx_data_tag(&self) -> emp_proto::Tag {
+        tags::data_tag(self.cid, self.is_client)
+    }
+
+    pub(crate) fn rx_fcack_tag(&self) -> emp_proto::Tag {
+        tags::fcack_tag(self.cid, !self.is_client)
+    }
+
+    pub(crate) fn tx_fcack_tag(&self) -> emp_proto::Tag {
+        tags::fcack_tag(self.cid, self.is_client)
+    }
+
+    pub(crate) fn rx_rndv_tag(&self) -> emp_proto::Tag {
+        tags::rndv_tag(self.cid, !self.is_client)
+    }
+
+    pub(crate) fn tx_rndv_tag(&self) -> emp_proto::Tag {
+        tags::rndv_tag(self.cid, self.is_client)
+    }
+
+    pub(crate) fn rx_ctrl_tag(&self) -> emp_proto::Tag {
+        tags::ctrl_tag(self.cid, !self.is_client)
+    }
+
+    pub(crate) fn tx_ctrl_tag(&self) -> emp_proto::Tag {
+        tags::ctrl_tag(self.cid, self.is_client)
+    }
+
+    /// Send a substrate message on this connection, returning the handle.
+    pub(crate) fn send_msg(
+        &self,
+        ctx: &ProcessCtx,
+        tag: emp_proto::Tag,
+        msg: &Msg,
+    ) -> SimResult<SendHandle> {
+        let range = self.inner.lock().send_range;
+        self.proc_.ep.post_send(ctx, self.peer, tag, msg.encode(), range)
+    }
+
+    /// Drain the control descriptor if it completed: handles `Close` and
+    /// rendezvous grants/refusals, reposting the descriptor while the
+    /// connection stays open.
+    pub(crate) fn poll_ctrl(&self, ctx: &ProcessCtx) -> SimResult<Result<(), SockError>> {
+        loop {
+            let handle = {
+                let i = self.inner.lock();
+                match &i.ctrl_handle {
+                    Some(h) if h.is_done() => h.clone(),
+                    _ => return Ok(Ok(())),
+                }
+            };
+            let Some(msg) = self.proc_.ep.wait_recv(ctx, &handle)? else {
+                // Unposted during close.
+                self.inner.lock().ctrl_handle = None;
+                return Ok(Ok(()));
+            };
+            let parsed = match Msg::decode(&msg.data) {
+                Ok(m) => m,
+                Err(e) => return Ok(Err(e)),
+            };
+            let mut repost = true;
+            match parsed {
+                Msg::Close => {
+                    self.inner.lock().peer_closed = true;
+                    repost = false;
+                }
+                Msg::RndvAck => {
+                    self.inner.lock().rndv_granted = true;
+                }
+                Msg::RndvNak { limit } => {
+                    self.inner.lock().rndv_refused = Some(limit as usize);
+                }
+                other => {
+                    return Ok(Err(SockError::protocol(format!(
+                        "unexpected control message {other:?}"
+                    ))))
+                }
+            }
+            if repost {
+                let range = self.inner.lock().ctrl_range;
+                let h = self.proc_.ep.post_recv(
+                    ctx,
+                    self.rx_ctrl_tag(),
+                    Some(self.peer),
+                    HEADER,
+                    range,
+                )?;
+                self.inner.lock().ctrl_handle = Some(h);
+            } else {
+                self.inner.lock().ctrl_handle = None;
+                return Ok(Ok(()));
+            }
+        }
+    }
+
+    /// The completion of the control channel. After close the channel is
+    /// gone; an already-done completion is returned so waiters wake
+    /// immediately and observe `peer_closed`/`closed`.
+    pub(crate) fn ctrl_completion(&self) -> Completion {
+        let i = self.inner.lock();
+        match &i.ctrl_handle {
+            Some(h) => h.completion().clone(),
+            None => Completion::new_done(),
+        }
+    }
+
+    /// Prune completed fire-and-forget sends; report a failed one.
+    pub(crate) fn reap_sends(&self) -> Result<(), SockError> {
+        let mut i = self.inner.lock();
+        let conn_status = i.conn_send.as_ref().and_then(|h| h.status());
+        match conn_status {
+            Some(false) => return Err(SockError::ConnectionRefused),
+            Some(true) => i.conn_send = None,
+            None => {}
+        }
+        let mut failed = false;
+        i.inflight_sends.retain(|h| match h.status() {
+            Some(true) => false,
+            Some(false) => {
+                failed = true;
+                false
+            }
+            None => true,
+        });
+        if failed {
+            // The peer stopped posting descriptors: treat as closed.
+            i.peer_closed = true;
+            return Err(SockError::PeerClosed);
+        }
+        Ok(())
+    }
+
+    /// Half-close: notify the peer that no more data will flow this way
+    /// (its reads will see EOF after draining), while this side keeps
+    /// reading. The shutdown(SHUT_WR) of the sockets API.
+    pub(crate) fn shutdown_write(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        let already = {
+            let mut i = self.inner.lock();
+            std::mem::replace(&mut i.write_closed, true) || i.closed
+        };
+        if already {
+            return Ok(());
+        }
+        let peer_closed = self.inner.lock().peer_closed;
+        if !peer_closed {
+            let h = self.send_msg(ctx, self.tx_ctrl_tag(), &Msg::Close)?;
+            self.inner.lock().inflight_sends.push(h);
+        }
+        Ok(())
+    }
+
+    /// Tear down this side: notify the peer, explicitly unpost every
+    /// descriptor (§5.3), release the unexpected-queue quota and recycle
+    /// the connection id.
+    pub(crate) fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        let already = {
+            let mut i = self.inner.lock();
+            std::mem::replace(&mut i.closed, true)
+        };
+        if already {
+            return Ok(());
+        }
+        let (peer_closed, already_shut) = {
+            let i = self.inner.lock();
+            (i.peer_closed, i.write_closed)
+        };
+        if !peer_closed && !already_shut {
+            let h = self.send_msg(ctx, self.tx_ctrl_tag(), &Msg::Close)?;
+            self.inner.lock().inflight_sends.push(h);
+        }
+        // Unpost everything still on the NIC, recycling the buffers.
+        let (handles, ranges) = {
+            let mut i = self.inner.lock();
+            let mut v: Vec<RecvHandle> = Vec::new();
+            let mut r: Vec<VirtRange> = vec![
+                i.send_range,
+                i.fcack_range,
+                i.ctrl_range,
+                i.rndv_range,
+                i.user_range,
+            ];
+            for slot in i.data_slots.drain(..) {
+                v.push(slot.handle);
+                r.push(slot.range);
+            }
+            v.extend(i.fcack_handles.drain(..));
+            v.extend(i.rndv_handle.take());
+            v.extend(i.ctrl_handle.take());
+            if let Some(slot) = i.dgram_data.take() {
+                v.push(slot.handle);
+            }
+            (v, r)
+        };
+        for h in handles {
+            if !h.is_done() {
+                self.proc_.ep.unpost_recv(ctx, &h)?;
+            }
+        }
+        for r in ranges {
+            self.proc_.free_range(r);
+        }
+        if self.socket_type == SocketType::Stream {
+            let quota = self.proc_.cfg.unexpected_quota();
+            if quota > 0 {
+                self.proc_.adjust_unexpected(ctx, -(quota as isize))?;
+            }
+        }
+        self.proc_.free_cid(self.cid);
+        Ok(())
+    }
+
+    /// Would `read()` return without blocking?
+    pub(crate) fn readable_now(&self) -> bool {
+        let i = self.inner.lock();
+        if i.stream_len > 0 || i.peer_closed || i.closed {
+            return true;
+        }
+        if let Some(front) = i.data_slots.front() {
+            if front.handle.is_done() {
+                return true;
+            }
+        }
+        if let Some(d) = &i.dgram_data {
+            if d.handle.is_done() {
+                return true;
+            }
+        }
+        if let Some(r) = &i.rndv_handle {
+            if r.is_done() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Completions a `select()` should watch for this connection.
+    pub(crate) fn watch_completions(&self) -> Vec<Completion> {
+        let i = self.inner.lock();
+        let mut v = Vec::new();
+        if let Some(front) = i.data_slots.front() {
+            v.push(front.handle.completion().clone());
+        }
+        if let Some(d) = &i.dgram_data {
+            v.push(d.handle.completion().clone());
+        }
+        if let Some(r) = &i.rndv_handle {
+            v.push(r.completion().clone());
+        }
+        if let Some(c) = &i.ctrl_handle {
+            v.push(c.completion().clone());
+        }
+        v
+    }
+
+    /// Block until either the given completion or the control channel
+    /// fires, then drain control.
+    pub(crate) fn wait_data_or_ctrl(
+        &self,
+        ctx: &ProcessCtx,
+        data: &Completion,
+    ) -> SimResult<Result<(), SockError>> {
+        let ctrl = self.ctrl_completion();
+        wait_any(ctx, &[data, &ctrl])?;
+        self.poll_ctrl(ctx)
+    }
+}

@@ -1,0 +1,222 @@
+//! Datagram sockets: data streaming disabled (§6.2).
+//!
+//! Message boundaries are preserved and delivery is zero-copy: `recv()`
+//! posts a descriptor pointing at the user buffer, so small messages land
+//! directly (the 28.5 µs path). Messages beyond one frame's worth use the
+//! §5.2 rendezvous — request, grant, data — which also means the deadlock
+//! of Figure 7 is reproducible here by design: two peers that both send
+//! large messages before either receives will block forever ("the
+//! responsibility to avoid a deadlock lies on the user").
+
+use bytes::Bytes;
+use simnet::ProcessCtx;
+
+use crate::conn::{DataSlot, SockShared};
+use crate::error::SockError;
+use crate::proto::{Msg, HEADER};
+use crate::stream::{ok_or_return, OpResult};
+
+impl SockShared {
+    /// Send one datagram. Small messages go eagerly (EMP retransmission
+    /// covers the no-descriptor race); large ones rendezvous.
+    pub(crate) fn dgram_send(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
+        ctx.delay(self.proc_.cfg.dgram_overhead)?;
+        ok_or_return!(self.reap_sends());
+        {
+            let i = self.inner.lock();
+            if i.closed || i.write_closed {
+                return Ok(Err(SockError::Closed));
+            }
+            // A received Close may be a half-close; writes flow until
+            // sends actually fail (see `check_writable`'s note).
+        }
+        if data.len() <= self.proc_.cfg.dgram_eager_max {
+            let msg = Msg::Data {
+                piggyback: 0,
+                payload: Bytes::copy_from_slice(data),
+            };
+            let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
+            {
+                let mut i = self.inner.lock();
+                i.stats.bytes_sent += data.len() as u64;
+                i.stats.msgs_sent += 1;
+                i.inflight_sends.push(h);
+            }
+            return Ok(Ok(data.len()));
+        }
+        // Rendezvous: announce, await the grant, then send.
+        let req = self.send_msg(
+            ctx,
+            self.tx_rndv_tag(),
+            &Msg::RndvReq {
+                size: data.len() as u32,
+            },
+        )?;
+        self.inner.lock().inflight_sends.push(req);
+        loop {
+            {
+                let mut i = self.inner.lock();
+                if let Some(limit) = i.rndv_refused.take() {
+                    return Ok(Err(SockError::MessageTooBig {
+                        size: data.len(),
+                        limit,
+                    }));
+                }
+                if i.rndv_granted {
+                    i.rndv_granted = false;
+                    break;
+                }
+                if i.peer_closed {
+                    return Ok(Err(SockError::PeerClosed));
+                }
+                if i.closed {
+                    return Ok(Err(SockError::Closed));
+                }
+            }
+            let ctrl = self.ctrl_completion();
+            simnet::wait_any(ctx, &[&ctrl])?;
+            ok_or_return!(self.poll_ctrl(ctx)?);
+        }
+        let msg = Msg::Data {
+            piggyback: 0,
+            payload: Bytes::copy_from_slice(data),
+        };
+        let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
+        // Rendezvous sends are synchronous: the receiver's descriptor is
+        // posted, so this completes without retransmission.
+        let acked = self.proc_.ep.wait_send(ctx, &h)?;
+        if !acked {
+            self.inner.lock().peer_closed = true;
+            return Ok(Err(SockError::PeerClosed));
+        }
+        {
+            let mut i = self.inner.lock();
+            i.stats.bytes_sent += data.len() as u64;
+            i.stats.msgs_sent += 1;
+            i.stats.rendezvous += 1;
+        }
+        Ok(Ok(data.len()))
+    }
+
+    /// Receive one whole datagram of up to `max` bytes, zero-copy into the
+    /// (simulated) user buffer. Empty bytes = peer closed.
+    pub(crate) fn dgram_recv(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
+        ctx.delay(self.proc_.cfg.dgram_overhead)?;
+        // Post the user-buffer descriptor if none is outstanding.
+        {
+            let need_post = {
+                let i = self.inner.lock();
+                if i.closed {
+                    return Ok(Err(SockError::Closed));
+                }
+                i.dgram_data.is_none()
+            };
+            if need_post {
+                let range = self.inner.lock().user_range;
+                let handle = self.proc_.ep.post_recv(
+                    ctx,
+                    self.rx_data_tag(),
+                    Some(self.peer),
+                    max + HEADER,
+                    range,
+                )?;
+                self.inner.lock().dgram_data = Some(DataSlot { handle, range });
+            }
+        }
+        loop {
+            // Data landed?
+            let data_done = {
+                let i = self.inner.lock();
+                i.dgram_data.as_ref().is_some_and(|d| d.handle.is_done())
+            };
+            if data_done {
+                let slot = self.inner.lock().dgram_data.take().expect("checked");
+                let Some(msg) = self.proc_.ep.wait_recv(ctx, &slot.handle)? else {
+                    return Ok(Err(SockError::Closed));
+                };
+                let parsed = ok_or_return!(Msg::decode(&msg.data));
+                let Msg::Data { payload, .. } = parsed else {
+                    return Ok(Err(SockError::protocol("non-data message on data tag")));
+                };
+                {
+                    let mut i = self.inner.lock();
+                    i.stats.bytes_received += payload.len() as u64;
+                    i.stats.msgs_received += 1;
+                }
+                return Ok(Ok(payload));
+            }
+            // Rendezvous request?
+            let rndv_done = {
+                let i = self.inner.lock();
+                i.rndv_handle.as_ref().is_some_and(|h| h.is_done())
+            };
+            if rndv_done {
+                ok_or_return!(self.serve_rndv_request(ctx, max)?);
+                continue;
+            }
+            // Peer gone?
+            {
+                let i = self.inner.lock();
+                if i.peer_closed {
+                    return Ok(Ok(Bytes::new()));
+                }
+            }
+            // Block on data, rendezvous request, or control.
+            let (data_c, rndv_c) = {
+                let i = self.inner.lock();
+                (
+                    i.dgram_data
+                        .as_ref()
+                        .map(|d| d.handle.completion().clone())
+                        .expect("posted above"),
+                    i.rndv_handle.as_ref().map(|h| h.completion().clone()),
+                )
+            };
+            let ctrl = self.ctrl_completion();
+            let mut watch = vec![&data_c, &ctrl];
+            if let Some(r) = &rndv_c {
+                watch.push(r);
+            }
+            simnet::wait_any(ctx, &watch)?;
+            ok_or_return!(self.poll_ctrl(ctx)?);
+        }
+    }
+
+    /// Answer a rendezvous request while a receive of capacity `max` is
+    /// posted: grant if it fits, refuse otherwise; repost the request
+    /// descriptor either way.
+    fn serve_rndv_request(&self, ctx: &ProcessCtx, max: usize) -> OpResult<()> {
+        let handle = self
+            .inner
+            .lock()
+            .rndv_handle
+            .take()
+            .expect("caller checked rndv handle");
+        let Some(msg) = self.proc_.ep.wait_recv(ctx, &handle)? else {
+            return Ok(Ok(()));
+        };
+        let parsed = ok_or_return!(Msg::decode(&msg.data));
+        let Msg::RndvReq { size } = parsed else {
+            return Ok(Err(SockError::protocol(
+                "non-rendezvous message on rendezvous tag",
+            )));
+        };
+        // Repost the request descriptor for the next sender (§5.2: "posts
+        // two descriptors - one for the expected data message and the
+        // other for the next request").
+        let range = self.inner.lock().rndv_range;
+        let new_handle =
+            self.proc_
+                .ep
+                .post_recv(ctx, self.rx_rndv_tag(), Some(self.peer), HEADER, range)?;
+        self.inner.lock().rndv_handle = Some(new_handle);
+        let reply = if size as usize <= max {
+            Msg::RndvAck
+        } else {
+            Msg::RndvNak { limit: max as u32 }
+        };
+        let h = self.send_msg(ctx, self.tx_ctrl_tag(), &reply)?;
+        self.inner.lock().inflight_sends.push(h);
+        Ok(Ok(()))
+    }
+}

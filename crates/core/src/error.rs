@@ -1,0 +1,72 @@
+//! Socket errors — a small errno-style set.
+
+use simnet::SimError;
+
+/// Errors surfaced by the substrate sockets API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SockError {
+    /// No listener answered the connection request (EMP gave up
+    /// retransmitting it).
+    ConnectionRefused,
+    /// Operation on a locally closed socket.
+    Closed,
+    /// The peer closed; writes fail (reads drain then return EOF).
+    PeerClosed,
+    /// A datagram exceeded the receiver's posted buffer, or a stream write
+    /// exceeded what the substrate can fragment.
+    MessageTooBig {
+        /// Message size.
+        size: usize,
+        /// What the receiver could take.
+        limit: usize,
+    },
+    /// Port outside the substrate's encodable range, or already listening.
+    AddrInUse,
+    /// Malformed substrate message or protocol violation.
+    Protocol(String),
+}
+
+impl SockError {
+    pub(crate) fn protocol(msg: impl Into<String>) -> Self {
+        SockError::Protocol(msg.into())
+    }
+}
+
+impl std::fmt::Display for SockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SockError::ConnectionRefused => write!(f, "connection refused"),
+            SockError::Closed => write!(f, "socket closed"),
+            SockError::PeerClosed => write!(f, "peer closed the connection"),
+            SockError::MessageTooBig { size, limit } => {
+                write!(f, "message of {size} bytes exceeds receiver limit {limit}")
+            }
+            SockError::AddrInUse => write!(f, "address in use"),
+            SockError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SockError {}
+
+impl From<SockError> for SimError {
+    fn from(e: SockError) -> SimError {
+        SimError::app(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_simerror_conversion() {
+        let e = SockError::MessageTooBig {
+            size: 100,
+            limit: 64,
+        };
+        assert!(e.to_string().contains("100"));
+        let s: SimError = SockError::Closed.into();
+        assert_eq!(s, SimError::app("socket closed"));
+    }
+}

@@ -1,0 +1,222 @@
+//! File-descriptor tracking — the §5.4 name-space interposition.
+//!
+//! UNIX applications call generic `read()`/`write()`/`close()` on integer
+//! descriptors that may name files, pipes or sockets. The substrate cannot
+//! blindly override those symbols (a read might be on a local file), so it
+//! tracks descriptor state: calls that *create* descriptors — `open()`,
+//! `socket()`/`connect()`/`accept()` — register what each fd is, and the
+//! generic calls dispatch to either the EMP substrate or the (simulated)
+//! OS. The ftp application exercises exactly this: every transfer does
+//! both file reads and socket writes through the same fd-based interface.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use hostsim::{FileHandle, RamDisk};
+use parking_lot::Mutex;
+use simnet::{ProcessCtx, SimResult};
+
+use crate::error::SockError;
+use crate::socket::{Connection, EmpSockets, Listener, SockAddr};
+
+enum FdEntry {
+    File(FileHandle),
+    Socket(Arc<Connection>),
+    Listener(Arc<Listener>),
+}
+
+/// A per-process descriptor table routing POSIX-style calls to the
+/// substrate or the filesystem.
+#[derive(Clone)]
+pub struct FdTable {
+    sockets: EmpSockets,
+    fs: RamDisk,
+    inner: Arc<Mutex<FdState>>,
+}
+
+struct FdState {
+    entries: HashMap<i32, FdEntry>,
+    next_fd: i32,
+}
+
+/// Errors from the unified descriptor interface.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FdError {
+    /// Unknown or already-closed descriptor.
+    BadFd,
+    /// The operation does not apply to this descriptor kind (e.g. `read`
+    /// on a listener).
+    WrongKind,
+    /// Socket-layer failure.
+    Sock(SockError),
+    /// Filesystem failure.
+    Fs(hostsim::FsError),
+}
+
+impl std::fmt::Display for FdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FdError::BadFd => write!(f, "bad file descriptor"),
+            FdError::WrongKind => write!(f, "operation not supported on this descriptor"),
+            FdError::Sock(e) => write!(f, "{e}"),
+            FdError::Fs(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FdError {}
+
+impl From<SockError> for FdError {
+    fn from(e: SockError) -> Self {
+        FdError::Sock(e)
+    }
+}
+
+type FdResult<T> = SimResult<Result<T, FdError>>;
+
+macro_rules! fd_try {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(err) => return Ok(Err(err.into())),
+        }
+    };
+}
+
+impl FdTable {
+    /// Build a table over a node's substrate instance and RAM disk.
+    pub fn new(sockets: EmpSockets, fs: RamDisk) -> Self {
+        FdTable {
+            sockets,
+            fs,
+            inner: Arc::new(Mutex::new(FdState {
+                entries: HashMap::new(),
+                // Descriptors 0-2 belong to stdio, as on a real system.
+                next_fd: 3,
+            })),
+        }
+    }
+
+    /// The substrate underneath (for select and diagnostics).
+    pub fn sockets(&self) -> &EmpSockets {
+        &self.sockets
+    }
+
+    fn install(&self, entry: FdEntry) -> i32 {
+        let mut st = self.inner.lock();
+        let fd = st.next_fd;
+        st.next_fd += 1;
+        st.entries.insert(fd, entry);
+        fd
+    }
+
+    /// `open(2)` on the RAM disk.
+    pub fn open(&self, ctx: &ProcessCtx, path: &str) -> FdResult<i32> {
+        let fh = fd_try!(self.fs.open(ctx, path)?.map_err(FdError::Fs));
+        Ok(Ok(self.install(FdEntry::File(fh))))
+    }
+
+    /// `creat(2)` on the RAM disk.
+    pub fn create(&self, ctx: &ProcessCtx, path: &str) -> FdResult<i32> {
+        let fh = self.fs.create(ctx, path)?;
+        Ok(Ok(self.install(FdEntry::File(fh))))
+    }
+
+    /// `socket(2)` + `connect(2)` to a substrate address.
+    pub fn socket_connect(&self, ctx: &ProcessCtx, addr: SockAddr) -> FdResult<i32> {
+        let conn = fd_try!(self.sockets.connect(ctx, addr)?);
+        Ok(Ok(self.install(FdEntry::Socket(Arc::new(conn)))))
+    }
+
+    /// `socket(2)` + `bind(2)` + `listen(2)`.
+    pub fn socket_listen(&self, ctx: &ProcessCtx, port: u16, backlog: usize) -> FdResult<i32> {
+        let l = fd_try!(self.sockets.listen(ctx, port, backlog)?);
+        Ok(Ok(self.install(FdEntry::Listener(Arc::new(l)))))
+    }
+
+    /// `accept(2)` on a listener fd; returns the connection's fd.
+    pub fn accept(&self, ctx: &ProcessCtx, fd: i32) -> FdResult<i32> {
+        let l = {
+            let st = self.inner.lock();
+            match st.entries.get(&fd) {
+                Some(FdEntry::Listener(l)) => Arc::clone(l),
+                Some(_) => return Ok(Err(FdError::WrongKind)),
+                None => return Ok(Err(FdError::BadFd)),
+            }
+        };
+        let conn = fd_try!(l.accept(ctx)?);
+        Ok(Ok(self.install(FdEntry::Socket(Arc::new(conn)))))
+    }
+
+    /// Generic `read(2)`: dispatches on what the descriptor names.
+    pub fn read(&self, ctx: &ProcessCtx, fd: i32, max: usize) -> FdResult<Bytes> {
+        let entry = {
+            let st = self.inner.lock();
+            match st.entries.get(&fd) {
+                Some(FdEntry::File(fh)) => Ok(*fh),
+                Some(FdEntry::Socket(c)) => Err(Arc::clone(c)),
+                Some(FdEntry::Listener(_)) => return Ok(Err(FdError::WrongKind)),
+                None => return Ok(Err(FdError::BadFd)),
+            }
+        };
+        match entry {
+            Ok(fh) => {
+                let data = fd_try!(self.fs.read(ctx, fh, max)?.map_err(FdError::Fs));
+                Ok(Ok(data))
+            }
+            Err(conn) => {
+                let data = fd_try!(conn.read(ctx, max)?);
+                Ok(Ok(data))
+            }
+        }
+    }
+
+    /// Generic `write(2)`.
+    pub fn write(&self, ctx: &ProcessCtx, fd: i32, data: &[u8]) -> FdResult<usize> {
+        let entry = {
+            let st = self.inner.lock();
+            match st.entries.get(&fd) {
+                Some(FdEntry::File(fh)) => Ok(*fh),
+                Some(FdEntry::Socket(c)) => Err(Arc::clone(c)),
+                Some(FdEntry::Listener(_)) => return Ok(Err(FdError::WrongKind)),
+                None => return Ok(Err(FdError::BadFd)),
+            }
+        };
+        match entry {
+            Ok(fh) => {
+                let n = fd_try!(self.fs.write(ctx, fh, data)?.map_err(FdError::Fs));
+                Ok(Ok(n))
+            }
+            Err(conn) => {
+                let n = fd_try!(conn.write(ctx, data)?);
+                Ok(Ok(n))
+            }
+        }
+    }
+
+    /// Generic `close(2)`.
+    pub fn close(&self, ctx: &ProcessCtx, fd: i32) -> FdResult<()> {
+        let entry = {
+            let mut st = self.inner.lock();
+            match st.entries.remove(&fd) {
+                Some(e) => e,
+                None => return Ok(Err(FdError::BadFd)),
+            }
+        };
+        match entry {
+            FdEntry::File(fh) => {
+                fd_try!(self.fs.close(ctx, fh)?.map_err(FdError::Fs));
+            }
+            FdEntry::Socket(conn) => conn.close(ctx)?,
+            FdEntry::Listener(l) => l.close(ctx)?,
+        }
+        Ok(Ok(()))
+    }
+
+    /// Number of live descriptors (diagnostics; the ftp tests assert no
+    /// leaks).
+    pub fn live_fds(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+}

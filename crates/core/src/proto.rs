@@ -1,0 +1,266 @@
+//! Substrate message formats, carried as EMP message payloads.
+//!
+//! Every substrate message starts with an 8-byte header (kind, flags,
+//! a 16-bit argument, a 32-bit argument); data messages append the user
+//! payload. Encoding is explicit — this is the real wire format of the
+//! substrate, exercised by every benchmark byte.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::config::SocketType;
+use crate::error::SockError;
+
+/// Bytes of substrate header preceding any payload.
+pub const HEADER: usize = 8;
+
+/// Largest user payload of an eager datagram: one EMP frame's worth after
+/// the substrate header, so small datagrams stay single-frame (the 28.5 µs
+/// path of §7.1).
+pub const MAX_EAGER_DGRAM: usize = emp_proto::MAX_CHUNK - HEADER;
+
+const KIND_DATA: u8 = 1;
+const KIND_FCACK: u8 = 2;
+const KIND_CONN_REQ: u8 = 3;
+const KIND_RNDV_REQ: u8 = 4;
+const KIND_RNDV_ACK: u8 = 5;
+const KIND_CLOSE: u8 = 6;
+const KIND_RNDV_NAK: u8 = 7;
+
+/// A substrate message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// User data with piggy-backed credit return (§6.1).
+    Data {
+        /// Credits returned to the receiver-of-this-message's send side.
+        piggyback: u16,
+        /// The user bytes.
+        payload: Bytes,
+    },
+    /// Explicit flow-control acknowledgment returning `credits` credits.
+    FcAck {
+        /// Credits returned.
+        credits: u16,
+    },
+    /// Connection request (§5.1 "Data Message Exchange"): carries what
+    /// TCP's SYN carries — who is connecting — plus the parameters the
+    /// receive side needs to mirror.
+    ConnReq {
+        /// Client's connection id (names the connection in both
+        /// directions' tags).
+        cid: u16,
+        /// Destination port.
+        port: u16,
+        /// Stream or datagram.
+        socket_type: SocketType,
+        /// Sender's credit count N.
+        credits: u16,
+        /// Sender's temp-buffer size.
+        buf_size: u32,
+    },
+    /// Rendezvous request: "I want to send `size` bytes" (§5.2).
+    RndvReq {
+        /// Message size in bytes.
+        size: u32,
+    },
+    /// Rendezvous grant: "descriptor posted, go ahead".
+    RndvAck,
+    /// Rendezvous refusal: the receiver's posted buffer is smaller than
+    /// the announced message.
+    RndvNak {
+        /// What the receiver could take.
+        limit: u32,
+    },
+    /// Orderly close notification (§5.3).
+    Close,
+}
+
+impl Msg {
+    /// Serialize to the wire form handed to EMP.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(HEADER);
+        match self {
+            Msg::Data { piggyback, payload } => {
+                b.put_u8(KIND_DATA);
+                b.put_u8(0);
+                b.put_u16_le(*piggyback);
+                b.put_u32_le(payload.len() as u32);
+                b.extend_from_slice(payload);
+            }
+            Msg::FcAck { credits } => {
+                b.put_u8(KIND_FCACK);
+                b.put_u8(0);
+                b.put_u16_le(*credits);
+                b.put_u32_le(0);
+            }
+            Msg::ConnReq {
+                cid,
+                port,
+                socket_type,
+                credits,
+                buf_size,
+            } => {
+                b.put_u8(KIND_CONN_REQ);
+                b.put_u8(match socket_type {
+                    SocketType::Stream => 0,
+                    SocketType::Datagram => 1,
+                });
+                b.put_u16_le(*cid);
+                b.put_u32_le(*buf_size);
+                b.put_u16_le(*port);
+                b.put_u16_le(*credits);
+            }
+            Msg::RndvReq { size } => {
+                b.put_u8(KIND_RNDV_REQ);
+                b.put_u8(0);
+                b.put_u16_le(0);
+                b.put_u32_le(*size);
+            }
+            Msg::RndvAck => {
+                b.put_u8(KIND_RNDV_ACK);
+                b.put_u8(0);
+                b.put_u16_le(0);
+                b.put_u32_le(0);
+            }
+            Msg::RndvNak { limit } => {
+                b.put_u8(KIND_RNDV_NAK);
+                b.put_u8(0);
+                b.put_u16_le(0);
+                b.put_u32_le(*limit);
+            }
+            Msg::Close => {
+                b.put_u8(KIND_CLOSE);
+                b.put_u8(0);
+                b.put_u16_le(0);
+                b.put_u32_le(0);
+            }
+        }
+        b.freeze()
+    }
+
+    /// Parse a wire message.
+    pub fn decode(raw: &Bytes) -> Result<Msg, SockError> {
+        if raw.len() < HEADER {
+            return Err(SockError::protocol("message shorter than header"));
+        }
+        let kind = raw[0];
+        let arg16 = u16::from_le_bytes([raw[2], raw[3]]);
+        let arg32 = u32::from_le_bytes([raw[4], raw[5], raw[6], raw[7]]);
+        match kind {
+            KIND_DATA => {
+                let len = arg32 as usize;
+                if raw.len() < HEADER + len {
+                    return Err(SockError::protocol("data message truncated"));
+                }
+                Ok(Msg::Data {
+                    piggyback: arg16,
+                    payload: raw.slice(HEADER..HEADER + len),
+                })
+            }
+            KIND_FCACK => Ok(Msg::FcAck { credits: arg16 }),
+            KIND_CONN_REQ => {
+                if raw.len() < HEADER + 4 {
+                    return Err(SockError::protocol("conn request truncated"));
+                }
+                let port = u16::from_le_bytes([raw[8], raw[9]]);
+                let credits = u16::from_le_bytes([raw[10], raw[11]]);
+                Ok(Msg::ConnReq {
+                    cid: arg16,
+                    port,
+                    socket_type: if raw[1] == 0 {
+                        SocketType::Stream
+                    } else {
+                        SocketType::Datagram
+                    },
+                    credits,
+                    buf_size: arg32,
+                })
+            }
+            KIND_RNDV_REQ => Ok(Msg::RndvReq { size: arg32 }),
+            KIND_RNDV_ACK => Ok(Msg::RndvAck),
+            KIND_RNDV_NAK => Ok(Msg::RndvNak { limit: arg32 }),
+            KIND_CLOSE => Ok(Msg::Close),
+            other => Err(SockError::protocol(format!("unknown message kind {other}"))),
+        }
+    }
+
+    /// Total wire length (header + payload).
+    pub fn wire_len(&self) -> usize {
+        HEADER
+            + match self {
+                Msg::Data { payload, .. } => payload.len(),
+                Msg::ConnReq { .. } => 4,
+                _ => 0,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: Msg) {
+        let enc = m.encode();
+        assert_eq!(enc.len(), m.wire_len());
+        let dec = Msg::decode(&enc).expect("decodes");
+        assert_eq!(dec, m);
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        roundtrip(Msg::Data {
+            piggyback: 7,
+            payload: Bytes::from_static(b"payload bytes"),
+        });
+        roundtrip(Msg::Data {
+            piggyback: 0,
+            payload: Bytes::new(),
+        });
+        roundtrip(Msg::FcAck { credits: 16 });
+        roundtrip(Msg::ConnReq {
+            cid: 0x1234,
+            port: 80,
+            socket_type: SocketType::Stream,
+            credits: 32,
+            buf_size: 65536,
+        });
+        roundtrip(Msg::ConnReq {
+            cid: 1,
+            port: 0xFFE,
+            socket_type: SocketType::Datagram,
+            credits: 4,
+            buf_size: 1024,
+        });
+        roundtrip(Msg::RndvReq { size: 1 << 20 });
+        roundtrip(Msg::RndvAck);
+        roundtrip(Msg::RndvNak { limit: 4096 });
+        roundtrip(Msg::Close);
+    }
+
+    #[test]
+    fn truncated_messages_rejected() {
+        assert!(Msg::decode(&Bytes::from_static(b"abc")).is_err());
+        let mut enc = Msg::Data {
+            piggyback: 0,
+            payload: Bytes::from_static(b"0123456789"),
+        }
+        .encode()
+        .to_vec();
+        enc.truncate(12);
+        assert!(Msg::decode(&Bytes::from(enc)).is_err());
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let raw = Bytes::from(vec![99u8, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(Msg::decode(&raw).is_err());
+    }
+
+    #[test]
+    fn eager_dgram_fits_one_emp_frame() {
+        let m = Msg::Data {
+            piggyback: 0,
+            payload: Bytes::from(vec![0u8; MAX_EAGER_DGRAM]),
+        };
+        assert_eq!(m.wire_len(), emp_proto::MAX_CHUNK);
+    }
+}

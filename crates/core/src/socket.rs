@@ -1,0 +1,366 @@
+//! The public sockets API of the substrate.
+//!
+//! [`EmpSockets`] is one process's sockets library instance; it hands out
+//! [`Listener`]s and [`Connection`]s whose `read`/`write`/`close` behave
+//! like their BSD counterparts — while everything underneath runs on EMP
+//! in user space, kernel-free after buffer registration.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use emp_proto::{EmpEndpoint, RecvHandle};
+use parking_lot::Mutex;
+use simnet::{wait_any, MacAddr, ProcessCtx, SimResult};
+
+use crate::config::{SocketType, SubstrateConfig};
+use crate::conn::{ProcShared, SockShared};
+use crate::error::SockError;
+use crate::proto::{Msg, HEADER};
+use crate::stream::{ok_or_return, OpResult};
+use crate::tags;
+
+/// A remote (or local) substrate address: station + port.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SockAddr {
+    /// Station address.
+    pub host: MacAddr,
+    /// Port (must fit the substrate's tag encoding, `<= tags::MAX_PORT`).
+    pub port: u16,
+}
+
+impl SockAddr {
+    /// Construct from host and port.
+    pub fn new(host: MacAddr, port: u16) -> Self {
+        SockAddr { host, port }
+    }
+}
+
+/// One process's sockets-over-EMP library instance.
+#[derive(Clone)]
+pub struct EmpSockets {
+    proc_: Arc<ProcShared>,
+}
+
+impl EmpSockets {
+    /// Bind the substrate to a node's EMP endpoint with the given
+    /// configuration.
+    pub fn new(ep: EmpEndpoint, cfg: SubstrateConfig) -> Self {
+        EmpSockets {
+            proc_: ProcShared::new(ep, cfg),
+        }
+    }
+
+    /// This station's address.
+    pub fn local_host(&self) -> MacAddr {
+        self.proc_.ep.addr()
+    }
+
+    /// The substrate configuration in force.
+    pub fn cfg(&self) -> &SubstrateConfig {
+        &self.proc_.cfg
+    }
+
+    /// The EMP endpoint underneath (stats, NIC access).
+    pub fn endpoint(&self) -> &EmpEndpoint {
+        &self.proc_.ep
+    }
+
+    /// Passive open: pre-post `backlog` connection-request descriptors on
+    /// `port` (§5.1: the backlog "limits the number of connections that
+    /// can be simultaneously waiting for an acceptance").
+    pub fn listen(&self, ctx: &ProcessCtx, port: u16, backlog: usize) -> OpResult<Listener> {
+        self.proc_.ensure_init(ctx)?;
+        if port > tags::MAX_PORT {
+            return Ok(Err(SockError::AddrInUse));
+        }
+        {
+            let mut st = self.proc_.state.lock();
+            if st.listeners.contains_key(&port) {
+                return Ok(Err(SockError::AddrInUse));
+            }
+            st.listeners.insert(port, ());
+        }
+        let range = self.proc_.alloc_range(HEADER + 4);
+        let mut pending = VecDeque::with_capacity(backlog);
+        for _ in 0..backlog.max(1) {
+            pending.push_back(self.proc_.ep.post_recv(
+                ctx,
+                tags::conn_tag(port),
+                None,
+                HEADER + 4,
+                range,
+            )?);
+        }
+        Ok(Ok(Listener {
+            proc_: Arc::clone(&self.proc_),
+            port,
+            pending: Arc::new(Mutex::new(pending)),
+            range,
+        }))
+    }
+
+    /// Active open: allocate a connection id, wire up the local side, and
+    /// send the connection-request message. Returns immediately — the
+    /// application may start writing data right away (§7.4 relies on the
+    /// request/data pipelining); a refused connection surfaces as
+    /// [`SockError::ConnectionRefused`] on a later operation.
+    pub fn connect(&self, ctx: &ProcessCtx, addr: SockAddr) -> OpResult<Connection> {
+        self.proc_.ensure_init(ctx)?;
+        if addr.port > tags::MAX_PORT {
+            return Ok(Err(SockError::AddrInUse));
+        }
+        let cid = ok_or_return!(self.proc_.alloc_cid());
+        let cfg = &self.proc_.cfg;
+        let sock = SockShared::establish(
+            &self.proc_,
+            ctx,
+            cid,
+            addr.host,
+            addr.port,
+            true, // we are the client
+            cfg.socket_type,
+            cfg.credits,
+            cfg.temp_buf_size,
+        )?;
+        let req = Msg::ConnReq {
+            cid,
+            port: addr.port,
+            socket_type: cfg.socket_type,
+            credits: cfg.credits as u16,
+            buf_size: cfg.temp_buf_size as u32,
+        };
+        let h = sock.send_msg(ctx, tags::conn_tag(addr.port), &req)?;
+        sock.inner.lock().conn_send = Some(h);
+        Ok(Ok(Connection { sock }))
+    }
+
+    /// `select()` for readability across connections: blocks until one
+    /// would not block on `read`, returning its index.
+    pub fn select_readable(
+        &self,
+        ctx: &ProcessCtx,
+        conns: &[&Connection],
+    ) -> SimResult<usize> {
+        assert!(!conns.is_empty(), "select on an empty set");
+        loop {
+            for (idx, c) in conns.iter().enumerate() {
+                if c.sock.readable_now() {
+                    return Ok(idx);
+                }
+            }
+            let completions: Vec<simnet::Completion> = conns
+                .iter()
+                .flat_map(|c| c.sock.watch_completions())
+                .collect();
+            let refs: Vec<&simnet::Completion> = completions.iter().collect();
+            wait_any(ctx, &refs)?;
+            for c in conns {
+                // Drain control channels so close notifications mark
+                // readability (EOF counts as readable).
+                let _ = c.sock.poll_ctrl(ctx)?;
+            }
+        }
+    }
+}
+
+/// A listening substrate socket.
+pub struct Listener {
+    proc_: Arc<ProcShared>,
+    port: u16,
+    /// Pre-posted connection descriptors, completion order.
+    pending: Arc<Mutex<VecDeque<RecvHandle>>>,
+    range: hostsim::VirtRange,
+}
+
+impl Listener {
+    /// The listening port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Block for the next connection request and build the server side of
+    /// the connection (§5.1: "the substrate blocks on the completion of
+    /// the descriptor at the head of the backlog queue").
+    pub fn accept(&self, ctx: &ProcessCtx) -> OpResult<Connection> {
+        let handle = {
+            let mut p = self.pending.lock();
+            match p.pop_front() {
+                Some(h) => h,
+                // The listener was closed (backlog drained).
+                None => return Ok(Err(SockError::Closed)),
+            }
+        };
+        // Keep the backlog depth constant.
+        let replacement = self.proc_.ep.post_recv(
+            ctx,
+            tags::conn_tag(self.port),
+            None,
+            HEADER + 4,
+            self.range,
+        )?;
+        self.pending.lock().push_back(replacement);
+
+        let Some(msg) = self.proc_.ep.wait_recv(ctx, &handle)? else {
+            return Ok(Err(SockError::Closed));
+        };
+        let parsed = ok_or_return!(Msg::decode(&msg.data));
+        let Msg::ConnReq {
+            cid,
+            port,
+            socket_type,
+            credits,
+            buf_size,
+        } = parsed
+        else {
+            return Ok(Err(SockError::protocol(
+                "non-connection message on a listen tag",
+            )));
+        };
+        debug_assert_eq!(port, self.port);
+        let sock = SockShared::establish(
+            &self.proc_,
+            ctx,
+            cid,
+            msg.src,
+            port,
+            false, // accepted side: we are the server
+            socket_type,
+            u32::from(credits),
+            buf_size as usize,
+        )?;
+        Ok(Ok(Connection { sock }))
+    }
+
+    /// Stop listening: unpost the backlog descriptors and free the port.
+    pub fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        let handles: Vec<RecvHandle> = self.pending.lock().drain(..).collect();
+        for h in handles {
+            if !h.is_done() {
+                self.proc_.ep.unpost_recv(ctx, &h)?;
+            }
+        }
+        self.proc_.state.lock().listeners.remove(&self.port);
+        Ok(())
+    }
+}
+
+/// An established substrate connection (one side).
+pub struct Connection {
+    sock: Arc<SockShared>,
+}
+
+impl Connection {
+    /// The remote station.
+    pub fn peer(&self) -> MacAddr {
+        self.sock.peer
+    }
+
+    /// The connection id (diagnostics).
+    pub fn cid(&self) -> u16 {
+        self.sock.cid
+    }
+
+    /// The server port this connection targets.
+    pub fn port(&self) -> u16 {
+        self.sock.port
+    }
+
+    /// The negotiated credit count N.
+    pub fn credits(&self) -> u32 {
+        self.sock.credits_max
+    }
+
+    /// Stream or datagram.
+    pub fn socket_type(&self) -> SocketType {
+        self.sock.socket_type
+    }
+
+    /// Write the whole buffer.
+    ///
+    /// * Stream sockets: fragments into temp-buffer-sized messages behind
+    ///   credit-based flow control; blocking, zero-copy on the send side.
+    /// * Datagram sockets: one message with preserved boundaries; eager if
+    ///   it fits a frame, rendezvous otherwise.
+    pub fn write(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
+        match self.sock.socket_type {
+            SocketType::Stream => self.sock.stream_write(ctx, data),
+            SocketType::Datagram => self.sock.dgram_send(ctx, data),
+        }
+    }
+
+    /// Read up to `max` bytes.
+    ///
+    /// * Stream sockets: any available prefix (TCP-style partial reads);
+    ///   empty bytes = EOF after the peer closed.
+    /// * Datagram sockets: exactly one whole message (which must fit
+    ///   `max`); empty bytes = peer closed.
+    pub fn read(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
+        match self.sock.socket_type {
+            SocketType::Stream => self.sock.stream_read(ctx, max),
+            SocketType::Datagram => self.sock.dgram_recv(ctx, max),
+        }
+    }
+
+    /// Read exactly `n` bytes (stream sockets); `None` on premature EOF.
+    pub fn read_exact(&self, ctx: &ProcessCtx, n: usize) -> OpResult<Option<Bytes>> {
+        let mut buf = Vec::with_capacity(n);
+        while buf.len() < n {
+            let chunk = ok_or_return!(self.read(ctx, n - buf.len())?);
+            if chunk.is_empty() {
+                return Ok(Ok(None));
+            }
+            buf.extend_from_slice(&chunk);
+        }
+        Ok(Ok(Some(Bytes::from(buf))))
+    }
+
+    /// Would `read` return without blocking?
+    pub fn readable(&self) -> bool {
+        self.sock.readable_now()
+    }
+
+    /// Half-close the write side (`shutdown(SHUT_WR)`): the peer sees EOF
+    /// after draining, while this side keeps reading. Useful for
+    /// request/response protocols that signal end-of-request by shutdown.
+    pub fn shutdown_write(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        self.sock.shutdown_write(ctx)
+    }
+
+    /// Orderly close: notify the peer and release every descriptor this
+    /// connection holds (§5.3).
+    pub fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        self.sock.close(ctx)
+    }
+
+    /// Per-connection substrate counters.
+    pub fn stats(&self) -> crate::conn::ConnStats {
+        self.sock.inner.lock().stats
+    }
+
+    /// Diagnostic: per data slot `(descriptor id, done)` in queue order
+    /// (`u64::MAX` marks a handle satisfied from the unexpected pool).
+    pub fn debug_slots(&self) -> Vec<(u64, bool)> {
+        let i = self.sock.inner.lock();
+        i.data_slots
+            .iter()
+            .map(|s| (s.handle.id(), s.handle.is_done()))
+            .collect()
+    }
+
+    /// Diagnostic snapshot: `(data_slots, done_slots, stream_len, credits,
+    /// consumed, peer_closed, closed)`.
+    pub fn debug_state(&self) -> (usize, usize, usize, u32, u32, bool, bool) {
+        let i = self.sock.inner.lock();
+        let done = i.data_slots.iter().filter(|s| s.handle.is_done()).count();
+        (
+            i.data_slots.len(),
+            done,
+            i.stream_len,
+            i.credits,
+            i.consumed,
+            i.peer_closed,
+            i.closed,
+        )
+    }
+}

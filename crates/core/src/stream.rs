@@ -1,0 +1,345 @@
+//! Data-streaming sockets: the eager-with-flow-control path (§5.2, §6).
+//!
+//! The receive side pre-posts N descriptors into temp buffers; arriving
+//! messages dissolve into a byte stream that `read()` serves with partial
+//! reads (TCP's data-streaming semantics) at the cost of one extra copy.
+//! The send side spends credits, piggy-backs credit returns on reverse
+//! data, and blocks on explicit flow-control acks when it runs dry —
+//! consumed from pre-posted descriptors, or from the EMP unexpected queue
+//! when §6.4 is enabled.
+
+use bytes::Bytes;
+use simnet::{ProcessCtx, SimResult};
+
+use crate::config::RecvMode;
+use crate::conn::{DataSlot, SockShared};
+use crate::error::SockError;
+use crate::proto::Msg;
+
+/// A `Result` nested in the simulation result: outer for engine
+/// termination, inner for socket errors.
+pub(crate) type OpResult<T> = SimResult<Result<T, SockError>>;
+
+macro_rules! ok_or_return {
+    ($e:expr) => {
+        match $e {
+            Ok(v) => v,
+            Err(err) => return Ok(Err(err)),
+        }
+    };
+}
+
+pub(crate) use ok_or_return;
+
+impl SockShared {
+    /// Blocking stream write: fragments into temp-buffer-sized substrate
+    /// messages, spending one credit each. Zero-copy on the send side —
+    /// the call returns when the NIC has acknowledged the last fragment
+    /// (the buffer is the application's to reuse again).
+    pub(crate) fn stream_write(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
+        let mut off = 0;
+        while off < data.len() || (data.is_empty() && off == 0) {
+            ok_or_return!(self.check_writable());
+            ok_or_return!(self.acquire_credit(ctx)?);
+            let chunk = (data.len() - off).min(self.buf_size);
+            let piggyback = self.take_due_ack();
+            {
+                let mut i = self.inner.lock();
+                i.stats.bytes_sent += chunk as u64;
+                i.stats.msgs_sent += 1;
+                i.stats.piggybacked_credits += u64::from(piggyback);
+            }
+            let msg = Msg::Data {
+                piggyback,
+                payload: Bytes::copy_from_slice(&data[off..off + chunk]),
+            };
+            ctx.delay(self.proc_.cfg.stream_overhead)?;
+            self.comm_thread_penalty(ctx)?;
+            if chunk <= self.proc_.cfg.send_copy_threshold {
+                // Buffered send: copy into a registered staging buffer and
+                // return without waiting (like TCP's write-into-sockbuf).
+                ctx.delay(self.proc_.ep.host().cost().memcpy(chunk))?;
+                let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
+                self.inner.lock().inflight_sends.push(h);
+            } else {
+                // Zero-copy send: the user buffer is pinned and handed to
+                // the NIC; block until every frame is acknowledged.
+                let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
+                let acked = self.proc_.ep.wait_send(ctx, &h)?;
+                if !acked {
+                    self.inner.lock().peer_closed = true;
+                    return Ok(Err(SockError::PeerClosed));
+                }
+            }
+            off += chunk;
+            if data.is_empty() {
+                break;
+            }
+        }
+        Ok(Ok(data.len()))
+    }
+
+    /// Blocking stream read: up to `max` bytes, at least one (or an empty
+    /// buffer at EOF). Pays the §6.2 temp-buffer-to-user copy.
+    pub(crate) fn stream_read(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
+        if max == 0 {
+            return Ok(Ok(Bytes::new()));
+        }
+        loop {
+            // 1. Serve buffered bytes.
+            let served = {
+                let mut i = self.inner.lock();
+                if i.closed {
+                    return Ok(Err(SockError::Closed));
+                }
+                if i.stream_len > 0 {
+                    let mut out = Vec::with_capacity(max.min(i.stream_len));
+                    while out.len() < max {
+                        let Some(mut chunk) = i.stream_chunks.pop_front() else {
+                            break;
+                        };
+                        let want = max - out.len();
+                        if chunk.len() > want {
+                            let rest = chunk.split_off(want);
+                            i.stream_chunks.push_front(rest);
+                        }
+                        out.extend_from_slice(&chunk);
+                    }
+                    i.stream_len -= out.len();
+                    Some(Bytes::from(out))
+                } else {
+                    None
+                }
+            };
+            if let Some(out) = served {
+                // The data-streaming copy from the substrate's temporary
+                // buffer into the caller's buffer (§6.2).
+                ctx.delay(self.proc_.ep.host().cost().memcpy(out.len()))?;
+                self.inner.lock().stats.bytes_received += out.len() as u64;
+                return Ok(Ok(out));
+            }
+            // 2. Pull any completed message into the stream.
+            let front_done = {
+                let i = self.inner.lock();
+                i.data_slots.front().is_some_and(|s| s.handle.is_done())
+            };
+            if front_done {
+                ok_or_return!(self.pull_stream_msg(ctx)?);
+                continue;
+            }
+            // 3. EOF once the peer closed and everything is drained.
+            {
+                let i = self.inner.lock();
+                if i.peer_closed {
+                    return Ok(Ok(Bytes::new()));
+                }
+            }
+            // 4. Block for data or control.
+            let data_completion = {
+                let i = self.inner.lock();
+                i.data_slots
+                    .front()
+                    .map(|s| s.handle.completion().clone())
+                    .expect("stream socket keeps N descriptors posted")
+            };
+            ok_or_return!(self.wait_data_or_ctrl(ctx, &data_completion)?);
+        }
+    }
+
+    /// Consume the head data descriptor (which must be complete), append
+    /// its payload to the stream, repost the descriptor, and run the
+    /// credit-return policy (§6.1/§6.3).
+    pub(crate) fn pull_stream_msg(&self, ctx: &ProcessCtx) -> OpResult<()> {
+        let slot = {
+            let mut i = self.inner.lock();
+            i.data_slots.pop_front().expect("caller checked front")
+        };
+        self.comm_thread_penalty(ctx)?;
+        let Some(msg) = self.proc_.ep.wait_recv(ctx, &slot.handle)? else {
+            return Ok(Ok(())); // unposted during close
+        };
+        let parsed = ok_or_return!(Msg::decode(&msg.data));
+        let Msg::Data { piggyback, payload } = parsed else {
+            return Ok(Err(SockError::protocol("non-data message on data tag")));
+        };
+        ctx.delay(self.proc_.cfg.stream_overhead)?;
+        // Repost the descriptor to the same staging range.
+        let handle = self.proc_.ep.post_recv(
+            ctx,
+            self.rx_data_tag(),
+            Some(self.peer),
+            self.buf_size + crate::proto::HEADER,
+            slot.range,
+        )?;
+        let send_explicit = {
+            let mut i = self.inner.lock();
+            i.credits += u32::from(piggyback);
+            i.stats.msgs_received += 1;
+            i.stream_len += payload.len();
+            i.stream_chunks.push_back(payload);
+            i.data_slots.push_back(DataSlot {
+                handle,
+                range: slot.range,
+            });
+            i.consumed += 1;
+            // §6.3: with delayed acks the return is due only after half
+            // the credits are consumed. Piggy-backing rides on writes that
+            // happen to occur before the threshold (§6.1: "when a message
+            // is available to be sent... we cannot always rely on this
+            // approach and need an explicit acknowledgment mechanism too");
+            // at the threshold, with no write in hand, the ack goes out
+            // explicitly.
+            let threshold = self.proc_.cfg.ack_threshold();
+            if i.consumed >= threshold {
+                Some(std::mem::take(&mut i.consumed) as u16)
+            } else {
+                None
+            }
+        };
+        if let Some(credits) = send_explicit {
+            let h = self.send_msg(ctx, self.tx_fcack_tag(), &Msg::FcAck { credits })?;
+            let mut i = self.inner.lock();
+            i.stats.fcacks_sent += 1;
+            i.inflight_sends.push(h);
+        }
+        Ok(Ok(()))
+    }
+
+    /// Take whatever credit return is pending and ride it on an outgoing
+    /// data message (§6.1 piggy-backing; free, so done for any amount).
+    fn take_due_ack(&self) -> u16 {
+        if !self.proc_.cfg.piggyback_acks {
+            return 0;
+        }
+        let mut i = self.inner.lock();
+        std::mem::take(&mut i.consumed) as u16
+    }
+
+    fn check_writable(&self) -> Result<(), SockError> {
+        self.reap_sends()?;
+        let i = self.inner.lock();
+        if i.closed || i.write_closed {
+            return Err(SockError::Closed);
+        }
+        // Note: a received Close does NOT fail writes here — the peer may
+        // only have shut down its write side (its descriptors stay posted
+        // and our data still flows, as TCP allows after a FIN). A *fully*
+        // closed peer unposts its descriptors, which surfaces as failed
+        // sends through `reap_sends` above.
+        Ok(())
+    }
+
+    /// Spend one credit, blocking on flow-control acks while none are
+    /// available.
+    fn acquire_credit(&self, ctx: &ProcessCtx) -> OpResult<()> {
+        loop {
+            self.reap_fcacks(ctx)?;
+            {
+                let mut i = self.inner.lock();
+                if i.credits > 0 {
+                    i.credits -= 1;
+                    return Ok(Ok(()));
+                }
+                if i.peer_closed {
+                    return Ok(Err(SockError::PeerClosed));
+                }
+                i.stats.credit_stalls += 1;
+            }
+            // Out of credits: block for the next flow-control ack.
+            if self.proc_.cfg.acks_in_unexpected_queue {
+                // §6.4: the ack may already be parked in the unexpected
+                // pool; otherwise post a descriptor and wait.
+                let h = self.proc_.ep.post_recv(
+                    ctx,
+                    self.rx_fcack_tag(),
+                    Some(self.peer),
+                    crate::proto::HEADER,
+                    self.inner.lock().fcack_range,
+                )?;
+                ok_or_return!(self.wait_data_or_ctrl(ctx, h.completion())?);
+                if h.is_done() {
+                    if let Some(msg) = self.proc_.ep.wait_recv(ctx, &h)? {
+                        ok_or_return!(self.apply_fcack(&msg.data));
+                    }
+                } else {
+                    // Control woke us (close); unpost the straggler.
+                    self.proc_.ep.unpost_recv(ctx, &h)?;
+                }
+            } else {
+                let front = {
+                    let i = self.inner.lock();
+                    i.fcack_handles
+                        .front()
+                        .map(|h| h.completion().clone())
+                        .expect("stream socket pre-posts fc-ack descriptors")
+                };
+                ok_or_return!(self.wait_data_or_ctrl(ctx, &front)?);
+                self.reap_fcacks(ctx)?;
+            }
+        }
+    }
+
+    /// Consume completed pre-posted fc-ack descriptors (non-UQ mode) and,
+    /// in UQ mode, anything parked in the unexpected pool.
+    pub(crate) fn reap_fcacks(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        if self.proc_.cfg.acks_in_unexpected_queue {
+            while let Some(msg) = self.proc_.ep.try_claim_unexpected(
+                ctx,
+                self.rx_fcack_tag(),
+                Some(self.peer),
+            )? {
+                let _ = self.apply_fcack(&msg.data);
+            }
+            return Ok(());
+        }
+        loop {
+            let handle = {
+                let i = self.inner.lock();
+                match i.fcack_handles.front() {
+                    Some(h) if h.is_done() => h.clone(),
+                    _ => return Ok(()),
+                }
+            };
+            self.inner.lock().fcack_handles.pop_front();
+            if let Some(msg) = self.proc_.ep.wait_recv(ctx, &handle)? {
+                let _ = self.apply_fcack(&msg.data);
+                // Repost to keep the fc-ack descriptor count constant.
+                let range = self.inner.lock().fcack_range;
+                let h = self.proc_.ep.post_recv(
+                    ctx,
+                    self.rx_fcack_tag(),
+                    Some(self.peer),
+                    crate::proto::HEADER,
+                    range,
+                )?;
+                self.inner.lock().fcack_handles.push_back(h);
+            }
+        }
+    }
+
+    fn apply_fcack(&self, raw: &Bytes) -> Result<(), SockError> {
+        match Msg::decode(raw)? {
+            Msg::FcAck { credits } => {
+                self.inner.lock().credits += u32::from(credits);
+                Ok(())
+            }
+            other => Err(SockError::protocol(format!(
+                "non-ack message on fc-ack tag: {other:?}"
+            ))),
+        }
+    }
+
+    /// The §5.2 communication-thread ablation: every message handoff costs
+    /// a thread synchronization (polling) or a scheduler-granularity wait
+    /// (blocking thread).
+    pub(crate) fn comm_thread_penalty(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        let cost = match self.proc_.cfg.recv_mode {
+            RecvMode::Direct => return Ok(()),
+            RecvMode::CommThreadPolling => self.proc_.ep.host().cost().thread_sync,
+            // On average half a scheduling quantum until the blocked
+            // communication thread runs again.
+            RecvMode::CommThreadBlocking => self.proc_.ep.host().cost().scheduler_granularity / 2,
+        };
+        ctx.delay(cost)
+    }
+}

@@ -1,0 +1,136 @@
+//! Tag-space partitioning.
+//!
+//! EMP matches on a single 16-bit tag (plus the sender's source index).
+//! The substrate carves that space into classes so connection requests,
+//! data, flow-control acks, rendezvous requests and control messages land
+//! in different descriptors (§5.1: "we need to distinguish connection
+//! messages from data messages, for which we used the tag matching
+//! facility provided by EMP").
+//!
+//! A connection is identified everywhere by the *client's* connection id:
+//! both directions use tags derived from it, and source filters
+//! disambiguate between hosts. This lets a client start sending data
+//! immediately after its connection request, without waiting for any
+//! reply carrying a server-chosen id (§7.4 relies on that).
+//!
+//! Crucially, every class carries a **direction bit** (client→server vs
+//! server→client). Without it, a node that holds both a *client*
+//! connection to host X and an *accepted* connection from host X can see
+//! the two connections' ids collide — ids are allocated independently per
+//! client process — and `(tag, source)` alone would cross-match their
+//! descriptors. Bidirectional workloads (two nodes streaming at each
+//! other) hit this immediately.
+//!
+//! Layout: `[15:14]` class (data/fcack/rndv/ctrl), `[13]` direction
+//! (0 = to server, 1 = to client), `[12:0]` connection id. Connection
+//! requests overlay the ctrl/to-client class with the id range
+//! `0x1000..=0x1FFF` (i.e. tags `0xF000..=0xFFFF`), which is why ids and
+//! ports are both capped at `0x0FFF`.
+
+use emp_proto::Tag;
+
+/// Highest allocatable connection id.
+pub const MAX_CID: u16 = 0x0FFF;
+
+/// Highest port usable with the substrate (embedded in the
+/// connection-request tag).
+pub const MAX_PORT: u16 = 0x0FFF;
+
+const CLASS_DATA: u16 = 0b00 << 14;
+const CLASS_FCACK: u16 = 0b01 << 14;
+const CLASS_RNDV: u16 = 0b10 << 14;
+const CLASS_CTRL: u16 = 0b11 << 14;
+const DIR_TO_CLIENT: u16 = 1 << 13;
+
+fn tag(class: u16, to_server: bool, cid: u16) -> Tag {
+    debug_assert!(cid <= MAX_CID);
+    let dir = if to_server { 0 } else { DIR_TO_CLIENT };
+    Tag(class | dir | cid)
+}
+
+/// Tag of data messages on connection `cid` travelling in the given
+/// direction.
+pub fn data_tag(cid: u16, to_server: bool) -> Tag {
+    tag(CLASS_DATA, to_server, cid)
+}
+
+/// Tag of flow-control acknowledgments on connection `cid`.
+pub fn fcack_tag(cid: u16, to_server: bool) -> Tag {
+    tag(CLASS_FCACK, to_server, cid)
+}
+
+/// Tag of rendezvous requests on connection `cid`.
+pub fn rndv_tag(cid: u16, to_server: bool) -> Tag {
+    tag(CLASS_RNDV, to_server, cid)
+}
+
+/// Tag of control messages (rendezvous grants/refusals, close) on
+/// connection `cid`.
+pub fn ctrl_tag(cid: u16, to_server: bool) -> Tag {
+    tag(CLASS_CTRL, to_server, cid)
+}
+
+/// Tag of connection requests to `port`.
+pub fn conn_tag(port: u16) -> Tag {
+    assert!(
+        port <= MAX_PORT,
+        "substrate ports must be <= {MAX_PORT} (tag-space encoding)"
+    );
+    Tag(CLASS_CTRL | DIR_TO_CLIENT | 0x1000 | port)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_and_directions_are_disjoint() {
+        let cid = 0x234;
+        let mut tags = Vec::new();
+        for to_server in [true, false] {
+            tags.push(data_tag(cid, to_server));
+            tags.push(fcack_tag(cid, to_server));
+            tags.push(rndv_tag(cid, to_server));
+            tags.push(ctrl_tag(cid, to_server));
+        }
+        tags.push(conn_tag(0x234));
+        for (i, a) in tags.iter().enumerate() {
+            for (j, b) in tags.iter().enumerate() {
+                assert_eq!(i == j, a == b, "tags {i} and {j}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn conn_tags_match_the_legacy_layout() {
+        // 0xF000 | port, so every port has a stable, documented tag.
+        assert_eq!(conn_tag(0), Tag(0xF000));
+        assert_eq!(conn_tag(80), Tag(0xF050));
+        assert_eq!(conn_tag(0x0FFF), Tag(0xFFFF));
+    }
+
+    #[test]
+    fn conn_tags_never_collide_with_ctrl_tags() {
+        // ctrl/to-client tags use cid <= 0x0FFF; conn tags use the
+        // 0x1000..=0x1FFF range of the same class+direction.
+        for cid in [0u16, 1, 0x0FFF] {
+            for port in [0u16, 1, 0x0FFF] {
+                assert_ne!(ctrl_tag(cid, false), conn_tag(port));
+            }
+        }
+    }
+
+    #[test]
+    fn different_cids_never_collide() {
+        assert_ne!(data_tag(1, true), data_tag(2, true));
+        assert_ne!(data_tag(1, true), data_tag(1, false));
+        assert_ne!(fcack_tag(1, true), data_tag(1, true));
+        assert_ne!(conn_tag(80), conn_tag(81));
+    }
+
+    #[test]
+    #[should_panic(expected = "substrate ports must be")]
+    fn oversized_port_rejected() {
+        conn_tag(0x1000);
+    }
+}

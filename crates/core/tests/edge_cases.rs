@@ -1,0 +1,362 @@
+//! Substrate edge cases: port limits, zero-length traffic, giant writes,
+//! listener lifecycle, many sequential connections, id recycling.
+
+use emp_proto::{build_cluster, EmpCluster, EmpConfig};
+use parking_lot::Mutex;
+use simnet::{Completion, Sim, SimDuration, SimTime, SwitchConfig};
+use sockets_emp::{EmpSockets, SockAddr, SockError, SubstrateConfig};
+use std::sync::Arc;
+
+fn cluster(n: usize) -> EmpCluster {
+    build_cluster(n, EmpConfig::default(), SwitchConfig::default())
+}
+
+fn sub(cl: &EmpCluster, node: usize, cfg: SubstrateConfig) -> EmpSockets {
+    EmpSockets::new(cl.nodes[node].endpoint(), cfg)
+}
+
+#[test]
+fn ports_beyond_the_tag_space_are_rejected() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let s = sub(&cl, 0, SubstrateConfig::ds_da_uq());
+    sim.spawn("p", move |ctx| {
+        let too_big = 0x1000;
+        assert_eq!(
+            s.listen(ctx, too_big, 4)?.err(),
+            Some(SockError::AddrInUse)
+        );
+        assert_eq!(
+            s.connect(ctx, SockAddr::new(simnet::MacAddr(1), too_big))?.err(),
+            Some(SockError::AddrInUse)
+        );
+        Ok(())
+    });
+    sim.run();
+}
+
+#[test]
+fn duplicate_listen_is_rejected() {
+    let sim = Sim::new();
+    let cl = cluster(1);
+    let s = sub(&cl, 0, SubstrateConfig::ds_da_uq());
+    sim.spawn("p", move |ctx| {
+        let _l = s.listen(ctx, 80, 4)?.expect("first listen");
+        assert_eq!(s.listen(ctx, 80, 4)?.err(), Some(SockError::AddrInUse));
+        Ok(())
+    });
+    sim.run();
+}
+
+#[test]
+fn zero_length_stream_write_is_a_noop() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let server = sub(&cl, 1, SubstrateConfig::ds_da_uq());
+    let client = sub(&cl, 0, SubstrateConfig::ds_da_uq());
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("server", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port");
+        let conn = l.accept(ctx)?.expect("conn");
+        let d = conn.read(ctx, 64)?.expect("data");
+        assert_eq!(&d[..], b"after-empty");
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("client", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        assert_eq!(conn.write(ctx, b"")?.expect("empty write"), 0);
+        conn.write(ctx, b"after-empty")?.expect("send");
+        ctx.delay(SimDuration::from_millis(1))?;
+        conn.close(ctx)?;
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+#[test]
+fn giant_write_fragments_beyond_the_credit_budget() {
+    // 2 credits x 8 KiB buffers but a 200 KiB write: 25 messages, forced
+    // through the flow-control loop many times over.
+    let mut cfg = SubstrateConfig::ds_da_uq().with_credits(2);
+    cfg.temp_buf_size = 8 * 1024;
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let server = sub(&cl, 1, cfg.clone());
+    let client = sub(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    const TOTAL: usize = 200_000;
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("server", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port");
+        let conn = l.accept(ctx)?.expect("conn");
+        let mut got = 0usize;
+        while got < TOTAL {
+            let d = conn.read(ctx, 16 * 1024)?.expect("data");
+            assert!(!d.is_empty());
+            for (i, b) in d.iter().enumerate() {
+                assert_eq!(*b as usize, (got + i) % 199);
+            }
+            got += d.len();
+        }
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("client", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        let payload: Vec<u8> = (0..TOTAL).map(|i| (i % 199) as u8).collect();
+        assert_eq!(conn.write(ctx, &payload)?.expect("giant write"), TOTAL);
+        ctx.delay(SimDuration::from_millis(5))?;
+        conn.close(ctx)?;
+        Ok(())
+    });
+    sim.run_until(SimTime::from_secs(60));
+    assert!(done.is_done());
+}
+
+#[test]
+fn connection_ids_are_quarantined_not_instantly_reused() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let server = sub(&cl, 1, SubstrateConfig::ds_da_uq().with_credits(2));
+    let client = sub(&cl, 0, SubstrateConfig::ds_da_uq().with_credits(2));
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let cids = Arc::new(Mutex::new(Vec::new()));
+    let c2 = Arc::clone(&cids);
+    const ROUNDS: usize = 5;
+
+    sim.spawn("server", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port");
+        for _ in 0..ROUNDS {
+            let conn = l.accept(ctx)?.expect("conn");
+            let d = conn.read(ctx, 16)?.expect("data");
+            conn.write(ctx, &d)?.expect("echo");
+            loop {
+                if conn.read(ctx, 16)?.expect("drain").is_empty() {
+                    break;
+                }
+            }
+            conn.close(ctx)?;
+        }
+        Ok(())
+    });
+    sim.spawn("client", move |ctx| {
+        for i in 0..ROUNDS {
+            let conn = client.connect(ctx, addr)?.expect("connect");
+            c2.lock().push(conn.cid());
+            conn.write(ctx, format!("round-{i}").as_bytes())?.expect("send");
+            let r = conn.read(ctx, 16)?.expect("echo");
+            assert_eq!(&r[..], format!("round-{i}").as_bytes());
+            conn.close(ctx)?;
+        }
+        Ok(())
+    });
+    sim.run();
+    let ids = cids.lock();
+    assert_eq!(ids.len(), ROUNDS);
+    let mut unique = ids.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), ROUNDS, "fresh cid per connection: {ids:?}");
+}
+
+#[test]
+fn listener_close_releases_backlog_descriptors() {
+    let sim = Sim::new();
+    let cl = cluster(1);
+    let s = sub(&cl, 0, SubstrateConfig::ds_da_uq());
+    let nic = Arc::clone(&cl.nodes[0].nic);
+    sim.spawn("p", move |ctx| {
+        let l = s.listen(ctx, 80, 6)?.expect("port");
+        ctx.delay(SimDuration::from_micros(50))?;
+        assert_eq!(nic.preposted_len(), 6, "backlog descriptors posted");
+        l.close(ctx)?;
+        ctx.delay(SimDuration::from_micros(50))?;
+        assert_eq!(nic.preposted_len(), 0, "listener close unposts them");
+        // The port is free again.
+        let _l2 = s.listen(ctx, 80, 2)?.expect("relisten");
+        Ok(())
+    });
+    sim.run();
+}
+
+#[test]
+fn reads_capped_at_zero_bytes_return_immediately() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let server = sub(&cl, 1, SubstrateConfig::ds_da_uq());
+    let client = sub(&cl, 0, SubstrateConfig::ds_da_uq());
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    sim.spawn("server", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port");
+        let conn = l.accept(ctx)?.expect("conn");
+        let t0 = simnet::SimAccess::now(ctx);
+        let d = conn.read(ctx, 0)?.expect("zero read");
+        assert!(d.is_empty());
+        assert_eq!(simnet::SimAccess::now(ctx), t0, "no blocking, no cost");
+        Ok(())
+    });
+    sim.spawn("client", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        ctx.delay(SimDuration::from_millis(1))?;
+        conn.close(ctx)?;
+        Ok(())
+    });
+    sim.run();
+}
+
+#[test]
+fn connection_statistics_track_traffic() {
+    use sockets_emp::ConnStats;
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let cfg = SubstrateConfig::ds().with_credits(2); // per-message explicit acks
+    let server = sub(&cl, 1, cfg.clone());
+    let client = sub(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let server_stats = Arc::new(Mutex::new(ConnStats::default()));
+    let client_stats = Arc::new(Mutex::new(ConnStats::default()));
+
+    let ss = Arc::clone(&server_stats);
+    sim.spawn("server", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port");
+        let conn = l.accept(ctx)?.expect("conn");
+        let mut got = 0;
+        while got < 1000 {
+            let d = conn.read(ctx, 4096)?.expect("data");
+            got += d.len();
+        }
+        conn.write(ctx, &[1u8; 100])?.expect("reply");
+        ctx.delay(SimDuration::from_millis(2))?;
+        *ss.lock() = conn.stats();
+        conn.close(ctx)?;
+        Ok(())
+    });
+    let cs = Arc::clone(&client_stats);
+    sim.spawn("client", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        for _ in 0..10 {
+            conn.write(ctx, &[7u8; 100])?.expect("send");
+        }
+        let r = conn.read_exact(ctx, 100)?.expect("read").expect("reply");
+        assert_eq!(r.len(), 100);
+        ctx.delay(SimDuration::from_millis(2))?;
+        *cs.lock() = conn.stats();
+        conn.close(ctx)?;
+        Ok(())
+    });
+    sim.run();
+    let s = *server_stats.lock();
+    let c = *client_stats.lock();
+    assert_eq!(c.bytes_sent, 1000);
+    assert_eq!(c.msgs_sent, 10);
+    assert_eq!(c.bytes_received, 100);
+    assert_eq!(s.bytes_received, 1000);
+    assert_eq!(s.msgs_received, 10);
+    assert_eq!(s.bytes_sent, 100);
+    // Per-message explicit acks (threshold 1, piggyback off in ds()).
+    assert_eq!(s.fcacks_sent, 10);
+    // The client ran out of its 2 credits repeatedly.
+    assert!(c.credit_stalls > 0, "2 credits for 10 messages must stall");
+}
+
+#[test]
+fn rendezvous_statistics_count_round_trips() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let server = sub(&cl, 1, SubstrateConfig::dg());
+    let client = sub(&cl, 0, SubstrateConfig::dg());
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("server", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port");
+        let conn = l.accept(ctx)?.expect("conn");
+        // Both reads offer 100 KiB: the first returns the small eager
+        // message (boundaries preserved), the second the rendezvous one.
+        let small = conn.read(ctx, 100_000)?.expect("small");
+        assert_eq!(small.len(), 100);
+        let large = conn.read(ctx, 100_000)?.expect("large");
+        assert_eq!(large.len(), 50_000);
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("client", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        conn.write(ctx, &[1u8; 100])?.expect("eager");
+        conn.write(ctx, &[2u8; 50_000])?.expect("rendezvous");
+        ctx.delay(SimDuration::from_millis(1))?;
+        let st = conn.stats();
+        assert_eq!(st.msgs_sent, 2);
+        assert_eq!(st.rendezvous, 1, "only the large datagram rendezvoused");
+        conn.close(ctx)?;
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+#[test]
+fn shutdown_write_half_closes() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let server = sub(&cl, 1, SubstrateConfig::ds_da_uq());
+    let client = sub(&cl, 0, SubstrateConfig::ds_da_uq());
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("server", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port");
+        let conn = l.accept(ctx)?.expect("conn");
+        // Drain the request until the client's shutdown EOF...
+        let mut req = Vec::new();
+        loop {
+            let d = conn.read(ctx, 64)?.expect("data");
+            if d.is_empty() {
+                break;
+            }
+            req.extend_from_slice(&d);
+        }
+        assert_eq!(&req[..], b"whole request");
+        // ...then respond on the still-open reverse direction.
+        conn.write(ctx, b"whole response")?.expect("respond");
+        conn.close(ctx)?;
+        Ok(())
+    });
+    sim.spawn("client", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        conn.write(ctx, b"whole request")?.expect("send");
+        conn.shutdown_write(ctx)?;
+        let err = conn.write(ctx, b"more")?.expect_err("write side closed");
+        assert_eq!(err, SockError::Closed);
+        let resp = conn.read_exact(ctx, 14)?.expect("read").expect("response");
+        assert_eq!(&resp[..], b"whole response");
+        conn.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+#[test]
+fn accept_after_listener_close_errors_cleanly() {
+    let sim = Sim::new();
+    let cl = cluster(1);
+    let s = sub(&cl, 0, SubstrateConfig::ds_da_uq());
+    sim.spawn("p", move |ctx| {
+        let l = s.listen(ctx, 80, 2)?.expect("port");
+        l.close(ctx)?;
+        assert_eq!(l.accept(ctx)?.err(), Some(SockError::Closed));
+        Ok(())
+    });
+    sim.run();
+}

@@ -1,0 +1,223 @@
+//! The host-side EMP API.
+//!
+//! What a user-space program (here: the sockets substrate) sees: post a
+//! send, post a receive descriptor, wait for completions. Every call
+//! charges realistic host costs — descriptor construction, the combined
+//! pin-and-translate system call (cached after first touch), the PCI
+//! doorbell write — before the firmware takes over. This is the OS-bypass
+//! path: note the *absence* of per-operation kernel costs once buffers are
+//! registered.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use hostsim::{Host, VirtRange};
+use simnet::{MacAddr, ProcessCtx, SimResult};
+
+use crate::nic::{DescId, EmpNic, RecvState, SendState};
+use crate::wire::{RecvMsg, Tag};
+
+/// Handle to an in-flight send.
+#[derive(Clone)]
+pub struct SendHandle {
+    state: SendState,
+}
+
+impl SendHandle {
+    /// True once the send completed (successfully or not).
+    pub fn is_done(&self) -> bool {
+        self.state.completion.is_done()
+    }
+
+    /// `Some(acked)` once complete; `None` while in flight.
+    pub fn status(&self) -> Option<bool> {
+        *self.state.ok.lock()
+    }
+
+    /// The completion to block on.
+    pub fn completion(&self) -> &simnet::Completion {
+        &self.state.completion
+    }
+}
+
+/// Handle to a posted receive descriptor.
+#[derive(Clone)]
+pub struct RecvHandle {
+    id: DescId,
+    state: RecvState,
+}
+
+impl RecvHandle {
+    /// The NIC descriptor id (for explicit unposting).
+    pub fn id(&self) -> DescId {
+        self.id
+    }
+
+    /// True once a message landed or the descriptor was unposted.
+    pub fn is_done(&self) -> bool {
+        self.state.completion.is_done()
+    }
+
+    /// The completion to block on (e.g. with [`simnet::wait_any`]).
+    pub fn completion(&self) -> &simnet::Completion {
+        &self.state.completion
+    }
+}
+
+/// Result of polling a receive without blocking.
+#[derive(Clone, Debug)]
+pub enum RecvPoll {
+    /// Nothing has landed yet.
+    Pending,
+    /// The descriptor was explicitly unposted.
+    Cancelled,
+    /// A message arrived.
+    Ready(RecvMsg),
+}
+
+/// A host process's interface to its EMP NIC.
+#[derive(Clone)]
+pub struct EmpEndpoint {
+    host: Host,
+    nic: Arc<EmpNic>,
+}
+
+impl EmpEndpoint {
+    /// Bind `host`'s process to its NIC.
+    pub fn new(host: Host, nic: Arc<EmpNic>) -> Self {
+        EmpEndpoint { host, nic }
+    }
+
+    /// This station's address (the EMP source index).
+    pub fn addr(&self) -> MacAddr {
+        self.nic.mac()
+    }
+
+    /// The host this endpoint runs on.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// The NIC behind this endpoint (stats, direct firmware access).
+    pub fn nic(&self) -> &Arc<EmpNic> {
+        &self.nic
+    }
+
+    /// Post a message send from the buffer `buf` (whose registration state
+    /// determines whether the pin syscall is paid). Returns immediately
+    /// after the doorbell; use [`EmpEndpoint::wait_send`] to block until
+    /// the NIC has every frame acknowledged.
+    pub fn post_send(
+        &self,
+        ctx: &ProcessCtx,
+        dst: MacAddr,
+        tag: Tag,
+        data: Bytes,
+        buf: VirtRange,
+    ) -> SimResult<SendHandle> {
+        let cfg = self.nic.cfg();
+        let (pin, _) = self.host.memory().lock().register(buf, self.host.cost());
+        ctx.delay(cfg.desc_build + pin + self.host.cost().doorbell_write)?;
+        let state = self.nic.start_send(ctx, dst, tag, data);
+        Ok(SendHandle { state })
+    }
+
+    /// Block until the send is fully acknowledged (`true`) or abandoned
+    /// after the retry limit (`false`).
+    pub fn wait_send(&self, ctx: &ProcessCtx, h: &SendHandle) -> SimResult<bool> {
+        h.state.completion.wait(ctx)?;
+        ctx.delay(self.host.cost().poll_completion)?;
+        Ok(h.state.ok.lock().expect("completed send has a status"))
+    }
+
+    /// True once the send completed (either way); never blocks.
+    pub fn send_done(&self, h: &SendHandle) -> bool {
+        h.state.completion.is_done()
+    }
+
+    /// Post a receive descriptor matching `tag` (and `src` if given) into a
+    /// buffer of `capacity` bytes at `buf`.
+    ///
+    /// If a matching message is parked in the NIC's unexpected queue, the
+    /// descriptor-insert firmware claims it (in order with frame
+    /// processing) and the handle completes as usual; the extra staging
+    /// copy the unexpected path costs (§6.4) is paid when the message is
+    /// collected.
+    pub fn post_recv(
+        &self,
+        ctx: &ProcessCtx,
+        tag: Tag,
+        src: Option<MacAddr>,
+        capacity: usize,
+        buf: VirtRange,
+    ) -> SimResult<RecvHandle> {
+        let cfg = self.nic.cfg();
+        let (pin, _) = self.host.memory().lock().register(buf, self.host.cost());
+        ctx.delay(cfg.desc_build + pin + self.host.cost().doorbell_write)?;
+        let (id, state) = self.nic.post_descriptor(ctx, tag, src, capacity);
+        Ok(RecvHandle { id, state })
+    }
+
+    /// Block until the descriptor delivers a message (or `None` if it was
+    /// explicitly unposted). Messages that came through the unexpected
+    /// queue cost an extra staging-to-user copy here (§6.4) — free for
+    /// the zero-payload acks the substrate routes that way.
+    pub fn wait_recv(&self, ctx: &ProcessCtx, h: &RecvHandle) -> SimResult<Option<RecvMsg>> {
+        h.state.completion.wait(ctx)?;
+        ctx.delay(self.host.cost().poll_completion)?;
+        let msg = h.state.slot.lock().clone().expect("completed recv has a result");
+        if let Some(m) = &msg {
+            if m.from_unexpected {
+                ctx.delay(self.host.cost().memcpy(m.data.len()))?;
+            }
+        }
+        Ok(msg)
+    }
+
+    /// Non-blocking check of a receive (costs one poll of the completion
+    /// word).
+    pub fn poll_recv(&self, ctx: &ProcessCtx, h: &RecvHandle) -> SimResult<RecvPoll> {
+        ctx.delay(self.host.cost().poll_completion)?;
+        if !h.state.completion.is_done() {
+            return Ok(RecvPoll::Pending);
+        }
+        Ok(match h.state.slot.lock().clone().expect("completed recv has a result") {
+            Some(msg) => RecvPoll::Ready(msg),
+            None => RecvPoll::Cancelled,
+        })
+    }
+
+    /// Claim a message from the unexpected pool without posting anything
+    /// if none matches. Charges the doorbell-free host path: a check of
+    /// the pool plus the staging copy when a message is claimed.
+    pub fn try_claim_unexpected(
+        &self,
+        ctx: &ProcessCtx,
+        tag: Tag,
+        src: Option<MacAddr>,
+    ) -> SimResult<Option<RecvMsg>> {
+        ctx.delay(self.host.cost().poll_completion)?;
+        match self.nic.claim_unexpected(tag, src) {
+            Some(msg) => {
+                ctx.delay(self.host.cost().memcpy(msg.data.len()))?;
+                Ok(Some(msg))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Explicitly unpost a descriptor (garbage collection, §4.2/§5.3). The
+    /// handle completes with `None` unless a message already matched it.
+    pub fn unpost_recv(&self, ctx: &ProcessCtx, h: &RecvHandle) -> SimResult<()> {
+        ctx.delay(self.host.cost().doorbell_write)?;
+        self.nic.unpost_descriptor(ctx, h.id);
+        Ok(())
+    }
+
+    /// Configure the depth of the NIC's unexpected queue.
+    pub fn set_unexpected_slots(&self, ctx: &ProcessCtx, slots: usize) -> SimResult<()> {
+        ctx.delay(self.host.cost().doorbell_write)?;
+        self.nic.set_unexpected_slots(ctx, slots);
+        Ok(())
+    }
+}

@@ -1,0 +1,1018 @@
+//! The EMP firmware: the protocol state machines that run on the NIC.
+//!
+//! This is Figure 2 of the paper in executable form. Transmit: a host
+//! request (T1) is parsed by the tx CPU (T2-T3 bookkeeping), each frame is
+//! DMA-fetched (T5) and sent; a transmission record tracks acknowledged
+//! frames, with timeout-driven retransmission. Receive: each arriving frame
+//! is classified (R3), tag-matched against the pre-posted descriptor list
+//! (R4, at the measured 550 ns per descriptor walked), and DMA'd to the
+//! host buffer (R6); cumulative acks go back every `ack_window` frames.
+//! Frames that match nothing fall into the unexpected queue if slots are
+//! available (checked last, extra host copy on claim), else are dropped for
+//! the sender to retransmit.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Weak};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use simnet::{
+    Completion, EtherType, Frame, FrameSink, MacAddr, Sim, SimAccess, SimAccessExt, SimDuration,
+};
+use tigon_nic::Tigon;
+
+use crate::config::EmpConfig;
+use crate::wire::{chunk_range, frames_for, EmpWire, RecvMsg, Tag};
+
+/// Identifier of a posted receive descriptor.
+pub type DescId = u64;
+
+/// Diagnostic view of a live transmit record:
+/// `(msg_id, acked, next_to_send, num_frames, retries)`.
+pub type TxRecordView = (u64, u32, u32, u32, u32);
+
+/// Observable protocol counters.
+#[derive(Clone, Debug, Default)]
+pub struct EmpStats {
+    /// Messages fully sent and acknowledged.
+    pub msgs_sent: u64,
+    /// Messages fully received (descriptor or unexpected queue).
+    pub msgs_received: u64,
+    /// Data frames dropped because nothing matched and no unexpected slot
+    /// was free.
+    pub frames_dropped: u64,
+    /// Frames retransmitted after timeout.
+    pub frames_retransmitted: u64,
+    /// Messages abandoned after `max_retries`.
+    pub sends_failed: u64,
+    /// Protocol acks put on the wire.
+    pub acks_sent: u64,
+    /// Messages that completed through the unexpected queue.
+    pub unexpected_msgs: u64,
+    /// Total descriptors examined by the tag matcher (walk length sum).
+    pub descriptors_walked: u64,
+}
+
+/// Host-visible side of a send: completes when every frame is acked (or the
+/// protocol gives up).
+#[derive(Clone)]
+pub struct SendState {
+    pub(crate) completion: Completion,
+    pub(crate) ok: Arc<Mutex<Option<bool>>>,
+}
+
+impl SendState {
+    fn new() -> Self {
+        SendState {
+            completion: Completion::new(),
+            ok: Arc::new(Mutex::new(None)),
+        }
+    }
+}
+
+/// Host-visible side of a posted receive. `slot` fills with `Some(msg)` on
+/// delivery or `None` if the descriptor was explicitly unposted.
+#[derive(Clone)]
+pub struct RecvState {
+    pub(crate) completion: Completion,
+    pub(crate) slot: Arc<Mutex<Option<Option<RecvMsg>>>>,
+}
+
+impl RecvState {
+    pub(crate) fn new() -> Self {
+        RecvState {
+            completion: Completion::new(),
+            slot: Arc::new(Mutex::new(None)),
+        }
+    }
+
+}
+
+struct TxRecord {
+    dst: MacAddr,
+    tag: Tag,
+    data: Bytes,
+    num_frames: u32,
+    /// Next frame index to release to the wire (rewinds on retransmit).
+    next_to_send: u32,
+    /// Cumulative frames acknowledged by the receiver.
+    acked: u32,
+    /// Consecutive timer rounds without ack progress.
+    retries: u32,
+    /// Whether the perpetual per-message timer is running.
+    timer_armed: bool,
+    state: SendState,
+}
+
+struct RecvDesc {
+    id: DescId,
+    tag: Tag,
+    src_filter: Option<MacAddr>,
+    capacity: usize,
+    state: RecvState,
+}
+
+enum RecvDest {
+    /// Matched a pre-posted descriptor.
+    Desc(RecvState),
+    /// Landed in the unexpected queue.
+    Unexpected,
+}
+
+struct ActiveRecv {
+    tag: Tag,
+    num_frames: u32,
+    total_len: u32,
+    /// Fragments stored so far (any order — the sender may retransmit
+    /// from an earlier offset after loss).
+    received_count: u32,
+    /// Length of the contiguous prefix, the value cumulative acks carry.
+    contiguous: u32,
+    have: Vec<bool>,
+    buf: Vec<u8>,
+    dest: RecvDest,
+}
+
+impl ActiveRecv {
+    /// Store one fragment; returns `(was_duplicate, message_complete)`.
+    fn store(&mut self, idx: u32, chunk: &[u8]) -> (bool, bool) {
+        if self.have[idx as usize] {
+            return (true, false);
+        }
+        let start = idx as usize * crate::wire::MAX_CHUNK;
+        self.buf[start..start + chunk.len()].copy_from_slice(chunk);
+        self.have[idx as usize] = true;
+        self.received_count += 1;
+        while (self.contiguous as usize) < self.have.len() && self.have[self.contiguous as usize] {
+            self.contiguous += 1;
+        }
+        (false, self.contiguous == self.num_frames)
+    }
+}
+
+struct NicState {
+    next_msg_id: u64,
+    next_desc_id: DescId,
+    tx: HashMap<u64, TxRecord>,
+    /// Messages with frames still to release, in FIFO order.
+    tx_order: VecDeque<u64>,
+    /// Released-but-unacknowledged frames across all messages.
+    tx_inflight: u32,
+    /// Pre-posted descriptors in post order — the list the tag matcher
+    /// walks, 550 ns per entry examined.
+    preposted: Vec<RecvDesc>,
+    /// In-progress multi-frame receives, keyed by (source, message id).
+    active: HashMap<(MacAddr, u64), ActiveRecv>,
+    /// Slots available for unexpected messages.
+    unexpected_capacity: usize,
+    /// Slots consumed: active unexpected receives + unclaimed pool entries.
+    unexpected_in_use: usize,
+    /// Completed unexpected messages awaiting a claiming descriptor.
+    pool: VecDeque<RecvMsg>,
+    /// Unexpected messages whose final fragment is classified but whose
+    /// DMA to the staging area has not finished: they are in neither
+    /// `active` nor `pool`, yet later messages of the same lane must not
+    /// overtake them into a descriptor.
+    pending_unexpected: HashMap<(MacAddr, Tag), u32>,
+    /// Recently completed receives, so duplicates of a message whose
+    /// final ack was lost can be re-acknowledged instead of silently
+    /// dropped (which would wedge the sender forever).
+    recent_done: HashMap<(MacAddr, u64), u32>,
+    recent_done_order: VecDeque<(MacAddr, u64)>,
+    stats: EmpStats,
+}
+
+/// Completed-receive memory depth (bounds `recent_done`).
+const RECENT_DONE_CAP: usize = 4096;
+
+/// One EMP NIC: the Tigon hardware plus the protocol state it runs.
+pub struct EmpNic {
+    tigon: Tigon,
+    cfg: EmpConfig,
+    state: Mutex<NicState>,
+    self_ref: Weak<EmpNic>,
+}
+
+impl EmpNic {
+    /// Build the NIC for station `mac`.
+    pub fn new(mac: MacAddr, cfg: EmpConfig) -> Arc<Self> {
+        Arc::new_cyclic(|weak| EmpNic {
+            tigon: Tigon::new(mac, cfg.nic.clone()),
+            cfg,
+            state: Mutex::new(NicState {
+                next_msg_id: 0,
+                next_desc_id: 0,
+                tx: HashMap::new(),
+                tx_order: VecDeque::new(),
+                tx_inflight: 0,
+                preposted: Vec::new(),
+                active: HashMap::new(),
+                unexpected_capacity: 0,
+                unexpected_in_use: 0,
+                pool: VecDeque::new(),
+                pending_unexpected: HashMap::new(),
+                recent_done: HashMap::new(),
+                recent_done_order: VecDeque::new(),
+                stats: EmpStats::default(),
+            }),
+            self_ref: weak.clone(),
+        })
+    }
+
+    /// Station address.
+    pub fn mac(&self) -> MacAddr {
+        self.tigon.mac()
+    }
+
+    /// Protocol configuration.
+    pub fn cfg(&self) -> &EmpConfig {
+        &self.cfg
+    }
+
+    /// The underlying NIC hardware (to attach the link, read CPU stats).
+    pub fn tigon(&self) -> &Tigon {
+        &self.tigon
+    }
+
+    /// Snapshot of the protocol counters.
+    pub fn stats(&self) -> EmpStats {
+        self.state.lock().stats.clone()
+    }
+
+    /// Pre-posted descriptors currently on the NIC.
+    pub fn preposted_len(&self) -> usize {
+        self.state.lock().preposted.len()
+    }
+
+    /// Diagnostic snapshot of the pre-posted descriptor list:
+    /// `(tag, source filter, capacity)` in walk order.
+    pub fn debug_preposted(&self) -> Vec<(Tag, Option<MacAddr>, usize)> {
+        self.state
+            .lock()
+            .preposted
+            .iter()
+            .map(|d| (d.tag, d.src_filter, d.capacity))
+            .collect()
+    }
+
+    /// Diagnostic snapshot of the unexpected pool: `(tag, src, len)`.
+    pub fn debug_pool(&self) -> Vec<(Tag, MacAddr, usize)> {
+        self.state
+            .lock()
+            .pool
+            .iter()
+            .map(|m| (m.tag, m.src, m.data.len()))
+            .collect()
+    }
+
+    /// Diagnostic: `(unexpected_in_use, unexpected_capacity)`.
+    pub fn debug_unexpected(&self) -> (usize, usize) {
+        let st = self.state.lock();
+        (st.unexpected_in_use, st.unexpected_capacity)
+    }
+
+    /// Diagnostic: live transmit records plus the global in-flight count.
+    pub fn debug_tx(&self) -> (Vec<TxRecordView>, u32) {
+        let st = self.state.lock();
+        let mut v: Vec<_> = st
+            .tx
+            .iter()
+            .map(|(id, r)| (*id, r.acked, r.next_to_send, r.num_frames, r.retries))
+            .collect();
+        v.sort_unstable();
+        (v, st.tx_inflight)
+    }
+
+    fn arc(&self) -> Arc<EmpNic> {
+        self.self_ref.upgrade().expect("EmpNic is always Arc-owned")
+    }
+
+    // ------------------------------------------------------------------
+    // Transmit path
+    // ------------------------------------------------------------------
+
+    /// Accept a host send request (T1 has already been paid by the host;
+    /// this starts the firmware side). Returns the send's host-visible
+    /// state.
+    pub fn start_send(&self, s: &dyn SimAccess, dst: MacAddr, tag: Tag, data: Bytes) -> SendState {
+        let state = SendState::new();
+        let msg_id = {
+            let mut st = self.state.lock();
+            let msg_id = st.next_msg_id;
+            st.next_msg_id += 1;
+            let num_frames = frames_for(data.len());
+            st.tx.insert(
+                msg_id,
+                TxRecord {
+                    dst,
+                    tag,
+                    data,
+                    num_frames,
+                    next_to_send: 0,
+                    acked: 0,
+                    retries: 0,
+                    timer_armed: false,
+                    state: state.clone(),
+                },
+            );
+            msg_id
+        };
+        let me = self.arc();
+        let earliest = s.now() + self.cfg.nic.pci_post_latency;
+        self.tigon
+            .cpu_tx
+            .exec_at(s, earliest, self.cfg.nic.tx_request_cost, move |sim| {
+                me.state.lock().tx_order.push_back(msg_id);
+                me.release_tx(sim);
+            });
+        state
+    }
+
+    /// Release frames to the wire, respecting the per-NIC transmit window:
+    /// at most `tx_window_frames` released-but-unacknowledged frames exist
+    /// across all messages. Messages release in FIFO order, which keeps the
+    /// receiver's processing backlog (and therefore ack lag) bounded — the
+    /// reliability window of a NIC-driven protocol.
+    fn release_tx(&self, sim: &Sim) {
+        let window = self.cfg.tx_window_frames;
+        let mut to_schedule = Vec::new();
+        {
+            let mut st = self.state.lock();
+            while st.tx_inflight < window {
+                let Some(&msg_id) = st.tx_order.front() else {
+                    break;
+                };
+                // Stagger retransmission rounds: shrink the round size by
+                // the retry count (mod 4) so a deterministic protocol
+                // cannot phase-lock with a periodic loss pattern whose
+                // period divides the round size.
+                let stagger = st
+                    .tx
+                    .get(&msg_id)
+                    .map_or(0, |r| r.retries % 4);
+                let effective = window.saturating_sub(stagger).max(1);
+                if st.tx_inflight >= effective {
+                    break;
+                }
+                let budget = effective - st.tx_inflight;
+                let Some(rec) = st.tx.get_mut(&msg_id) else {
+                    // Abandoned message still queued for release.
+                    st.tx_order.pop_front();
+                    continue;
+                };
+                let end = rec.num_frames.min(rec.next_to_send + budget);
+                for idx in rec.next_to_send..end {
+                    let (a, b) = chunk_range(rec.data.len(), idx);
+                    to_schedule.push(Frame {
+                        src: self.mac(),
+                        dst: rec.dst,
+                        ethertype: EtherType::EMP,
+                        payload: wire_payload(EmpWire::Data {
+                            msg_id,
+                            tag: rec.tag,
+                            frame_idx: idx,
+                            num_frames: rec.num_frames,
+                            total_len: rec.data.len() as u32,
+                            chunk: rec.data.slice(a..b),
+                        }),
+                    });
+                }
+                let released = end - rec.next_to_send;
+                rec.next_to_send = end;
+                let fully_released = rec.next_to_send == rec.num_frames;
+                let arm = if !rec.timer_armed && rec.next_to_send > rec.acked {
+                    rec.timer_armed = true;
+                    Some(rec.acked)
+                } else {
+                    None
+                };
+                st.tx_inflight += released;
+                if let Some(acked_snapshot) = arm {
+                    // Arming only schedules an event; safe under the lock.
+                    self.arm_retransmit_timer(
+                        sim,
+                        msg_id,
+                        acked_snapshot,
+                        self.cfg.retransmit_timeout,
+                    );
+                }
+                if fully_released {
+                    st.tx_order.pop_front();
+                } else {
+                    break; // window exhausted mid-message
+                }
+            }
+        }
+        for frame in to_schedule {
+            let me = self.arc();
+            let cost = self.cfg.nic.dma_time(frame.payload.wire_len()) + self.cfg.nic.tx_frame_cost;
+            self.tigon.cpu_tx.exec(sim, cost, move |sim| {
+                me.tigon.send_frame(sim, frame);
+            });
+        }
+    }
+
+    /// The per-message retransmission timer. Re-arms while the record
+    /// lives; on a silent period with no ack progress it rewinds the send
+    /// pointer to the acknowledged prefix and releases again, with
+    /// exponential backoff on consecutive fruitless rounds.
+    fn arm_retransmit_timer(
+        &self,
+        s: &dyn SimAccess,
+        msg_id: u64,
+        acked_snapshot: u32,
+        timeout: SimDuration,
+    ) {
+        let me = self.arc();
+        s.schedule_after(timeout, move |sim| {
+            enum Action {
+                Rearm(u32, SimDuration),
+                Fail(SendState),
+                Retransmit(SimDuration, u32),
+            }
+            let action = {
+                let mut st = me.state.lock();
+                let Some(rec) = st.tx.get_mut(&msg_id) else {
+                    return; // acked and removed: the common case
+                };
+                if rec.acked > acked_snapshot {
+                    // Progress since the last arming: not a loss, reset
+                    // the backoff and keep watching.
+                    rec.retries = 0;
+                    Action::Rearm(rec.acked, me.cfg.retransmit_timeout)
+                } else {
+                    rec.retries += 1;
+                    if rec.retries > me.cfg.max_retries {
+                        let rec = st.tx.remove(&msg_id).expect("present above");
+                        st.stats.sends_failed += 1;
+                        // The abandoned message's outstanding frames leave
+                        // the in-flight window with it.
+                        st.tx_inflight -= rec.next_to_send - rec.acked;
+                        // Drop any queued release entry for this message.
+                        st.tx_order.retain(|&id| id != msg_id);
+                        Action::Fail(rec.state)
+                    } else {
+                        // Rewind to the acked prefix and release again.
+                        let rewound = rec.next_to_send - rec.acked;
+                        rec.next_to_send = rec.acked;
+                        let retries = rec.retries;
+                        let acked = rec.acked;
+                        st.tx_inflight -= rewound;
+                        st.stats.frames_retransmitted += u64::from(rewound);
+                        if !st.tx_order.contains(&msg_id) {
+                            st.tx_order.push_front(msg_id);
+                        }
+                        let backoff =
+                            me.cfg.retransmit_timeout * 2u64.pow(retries.min(5));
+                        Action::Retransmit(backoff, acked)
+                    }
+                }
+            };
+            match action {
+                Action::Rearm(acked, timeout) => {
+                    me.arm_retransmit_timer(sim, msg_id, acked, timeout)
+                }
+                Action::Fail(state) => {
+                    *state.ok.lock() = Some(false);
+                    state.completion.complete(sim);
+                }
+                Action::Retransmit(backoff, acked) => {
+                    me.arm_retransmit_timer(sim, msg_id, acked, backoff);
+                    me.release_tx(sim);
+                }
+            }
+        });
+    }
+
+    fn process_ack(&self, sim: &Sim, msg_id: u64, frames: u32) {
+        let finished = {
+            let mut st = self.state.lock();
+            let Some(rec) = st.tx.get_mut(&msg_id) else {
+                return; // duplicate ack after completion
+            };
+            // Invariant: this message holds `next_to_send - acked` of the
+            // global in-flight window. An ack can outrun `next_to_send`
+            // when it belongs to frames sent before a retransmission
+            // rewind — then those frames need no resend, so the send
+            // pointer jumps forward with it.
+            let old_outstanding = rec.next_to_send - rec.acked;
+            rec.acked = rec.acked.max(frames);
+            rec.next_to_send = rec.next_to_send.max(rec.acked);
+            let freed = old_outstanding - (rec.next_to_send - rec.acked);
+            st.tx_inflight -= freed;
+            let rec = st.tx.get_mut(&msg_id).expect("present above");
+            if rec.acked >= rec.num_frames {
+                let rec = st.tx.remove(&msg_id).expect("present above");
+                st.stats.msgs_sent += 1;
+                st.tx_order.retain(|&id| id != msg_id);
+                Some(rec.state)
+            } else {
+                None
+            }
+        };
+        if let Some(state) = finished {
+            // The completion is host-visible only after the status DMA.
+            let post = self.cfg.nic.completion_post;
+            s_complete_send(sim, state, post);
+        }
+        self.release_tx(sim);
+    }
+
+    // ------------------------------------------------------------------
+    // Receive path
+    // ------------------------------------------------------------------
+
+    /// Host posts a receive descriptor (R1/R2 already paid host-side).
+    /// The descriptor becomes matchable once the rx CPU inserts it — and
+    /// the *insert* first scans the unexpected queue, serialized with
+    /// frame processing on the rx CPU, so a message that raced ahead of
+    /// the descriptor is claimed in order rather than stranded in the
+    /// pool. (The host pays the staging copy when it collects the
+    /// message; see `EmpEndpoint::wait_recv`.)
+    pub fn post_descriptor(
+        &self,
+        s: &dyn SimAccess,
+        tag: Tag,
+        src_filter: Option<MacAddr>,
+        capacity: usize,
+    ) -> (DescId, RecvState) {
+        let state = RecvState::new();
+        let id = {
+            let mut st = self.state.lock();
+            let id = st.next_desc_id;
+            st.next_desc_id += 1;
+            id
+        };
+        let me = self.arc();
+        let st_clone = state.clone();
+        let earliest = s.now() + self.cfg.nic.pci_post_latency;
+        self.tigon
+            .cpu_rx
+            .exec_at(s, earliest, self.cfg.rx_post_cost, move |sim| {
+                me.state.lock().preposted.push(RecvDesc {
+                    id,
+                    tag,
+                    src_filter,
+                    capacity,
+                    state: st_clone,
+                });
+                me.drain_pool_matches(sim);
+            });
+        (id, state)
+    }
+
+    /// Host explicitly unposts a descriptor (§4.2: "every descriptor is
+    /// required to be either used for a message or explicitly unposted").
+    /// The descriptor's recv state completes with `None`.
+    pub fn unpost_descriptor(&self, s: &dyn SimAccess, id: DescId) {
+        let me = self.arc();
+        let earliest = s.now() + self.cfg.nic.pci_post_latency;
+        self.tigon
+            .cpu_rx
+            .exec_at(s, earliest, self.cfg.rx_post_cost, move |sim| {
+                let state = {
+                    let mut st = me.state.lock();
+                    let pos = st.preposted.iter().position(|d| d.id == id);
+                    pos.map(|p| st.preposted.remove(p).state)
+                };
+                if let Some(state) = state {
+                    *state.slot.lock() = Some(None);
+                    state.completion.complete(sim);
+                }
+            });
+    }
+
+    /// Resize the unexpected queue (number of in-flight-or-unclaimed
+    /// unexpected messages the NIC will hold).
+    pub fn set_unexpected_slots(&self, s: &dyn SimAccess, slots: usize) {
+        let me = self.arc();
+        let earliest = s.now() + self.cfg.nic.pci_post_latency;
+        self.tigon
+            .cpu_rx
+            .exec_at(s, earliest, self.cfg.rx_post_cost, move |_| {
+                me.state.lock().unexpected_capacity = slots;
+            });
+    }
+
+    /// Host-side claim of a pooled unexpected message matching `(tag, src)`.
+    /// Returns the message; the caller charges the extra copy cost.
+    pub fn claim_unexpected(&self, tag: Tag, src_filter: Option<MacAddr>) -> Option<RecvMsg> {
+        let mut st = self.state.lock();
+        let pos = st
+            .pool
+            .iter()
+            .position(|m| m.tag == tag && src_filter.is_none_or(|s| s == m.src))?;
+        let msg = st.pool.remove(pos).expect("position just found");
+        st.unexpected_in_use -= 1;
+        Some(msg)
+    }
+
+    /// Classification + matching, at the completion of the first rx CPU
+    /// phase. Returns the work for the second phase.
+    fn rx_match(&self, frame: &Frame, wire: &EmpWire) -> RxPhase2 {
+        let EmpWire::Data {
+            msg_id,
+            tag,
+            frame_idx,
+            num_frames,
+            total_len,
+            chunk,
+        } = wire
+        else {
+            unreachable!("rx_match is only called for data frames");
+        };
+        let src = frame.src;
+        let mut st = self.state.lock();
+        let key = (src, *msg_id);
+
+        // A duplicate of a message that already completed (its final ack
+        // was lost): re-acknowledge the full count so the sender finishes.
+        if let Some(&frames) = st.recent_done.get(&key) {
+            return RxPhase2 {
+                walked: 0,
+                dma_bytes: 0,
+                ack: Some((src, *msg_id, frames)),
+                deliver: None,
+            };
+        }
+
+        // Fragments of an already-bound message skip the walk (the match
+        // is recorded in the receive data structures, R4). Fragments may
+        // arrive out of order after loss; each lands at its own offset.
+        if let Some(active) = st.active.get_mut(&key) {
+            let (dup, done) = active.store(*frame_idx, chunk);
+            if dup {
+                // Retransmission overlap: nothing stored; re-ack the
+                // contiguous prefix so the sender advances.
+                let contiguous = active.contiguous;
+                return RxPhase2 {
+                    walked: 0,
+                    dma_bytes: 0,
+                    ack: Some((src, *msg_id, contiguous)),
+                    deliver: None,
+                };
+            }
+            let at_window = active.received_count % self.cfg.ack_window == 0;
+            let ack = (done || at_window).then_some((src, *msg_id, active.contiguous));
+            if done {
+                let active = st.active.remove(&key).expect("present above");
+                return self.finish_recv(&mut st, key, *tag, active, chunk.len(), ack);
+            }
+            return RxPhase2 {
+                walked: 0,
+                dma_bytes: chunk.len(),
+                ack,
+                deliver: None,
+            };
+        }
+
+        // First fragment seen for this message (not necessarily index 0 —
+        // every fragment carries the tag and totals): walk the pre-posted
+        // list (R4). A descriptor matches on tag, optional source filter,
+        // and sufficient capacity.
+        //
+        // Lane FIFO: if an *earlier* message of the same (tag, source)
+        // lane is still in the unexpected queue (parked or mid-DMA), this
+        // message must queue behind it rather than overtake it into a
+        // descriptor — otherwise a stream's bytes reorder whenever its
+        // first messages raced ahead of the descriptors.
+        let lane_blocked = st
+            .pool
+            .iter()
+            .any(|m| m.tag == *tag && m.src == src)
+            || st
+                .pending_unexpected
+                .get(&(src, *tag))
+                .is_some_and(|&n| n > 0)
+            || st.active.iter().any(|(k, a)| {
+                k.0 == src && a.tag == *tag && matches!(a.dest, RecvDest::Unexpected)
+            });
+        let mut walked = 0usize;
+        let mut found = None;
+        if !lane_blocked {
+            for (i, d) in st.preposted.iter().enumerate() {
+                walked = i + 1;
+                if d.tag == *tag
+                    && d.src_filter.is_none_or(|f| f == src)
+                    && d.capacity >= *total_len as usize
+                {
+                    found = Some(i);
+                    break;
+                }
+            }
+        } else {
+            // The matcher still walks the whole list before falling back.
+            walked = st.preposted.len();
+        }
+        st.stats.descriptors_walked += walked as u64;
+
+        let dest = match found {
+            Some(i) => {
+                let desc = st.preposted.remove(i);
+                RecvDest::Desc(desc.state)
+            }
+            None => {
+                // Unexpected queue: checked after the whole pre-posted list.
+                if st.unexpected_in_use < st.unexpected_capacity {
+                    st.unexpected_in_use += 1;
+                    st.stats.descriptors_walked += 1;
+                    RecvDest::Unexpected
+                } else {
+                    st.stats.frames_dropped += 1;
+                    return RxPhase2 {
+                        walked,
+                        dma_bytes: 0,
+                        ack: None,
+                        deliver: None,
+                    };
+                }
+            }
+        };
+
+        let mut active = ActiveRecv {
+            tag: *tag,
+            num_frames: *num_frames,
+            total_len: *total_len,
+            received_count: 0,
+            contiguous: 0,
+            have: vec![false; *num_frames as usize],
+            buf: vec![0u8; *total_len as usize],
+            dest,
+        };
+        let (_dup, done) = active.store(*frame_idx, chunk);
+        let at_window = active.received_count.is_multiple_of(self.cfg.ack_window);
+        let ack = (done || at_window).then_some((src, *msg_id, active.contiguous));
+        if done {
+            return self.finish_recv(&mut st, key, *tag, active, chunk.len(), ack);
+        }
+        st.active.insert(key, active);
+        RxPhase2 {
+            walked,
+            dma_bytes: chunk.len(),
+            ack,
+            deliver: None,
+        }
+    }
+
+    fn finish_recv(
+        &self,
+        st: &mut NicState,
+        key: (MacAddr, u64),
+        tag: Tag,
+        active: ActiveRecv,
+        last_chunk: usize,
+        ack: Option<(MacAddr, u64, u32)>,
+    ) -> RxPhase2 {
+        debug_assert_eq!(active.buf.len(), active.total_len as usize);
+        st.stats.msgs_received += 1;
+        // Remember the completion so late duplicates are re-acked.
+        st.recent_done.insert(key, active.num_frames);
+        st.recent_done_order.push_back(key);
+        if st.recent_done_order.len() > RECENT_DONE_CAP {
+            let old = st.recent_done_order.pop_front().expect("nonempty");
+            st.recent_done.remove(&old);
+        }
+        let (src, _) = key;
+        let walked = 0; // walk already accounted when the message bound
+        let data = Bytes::from(active.buf);
+        let deliver = match active.dest {
+            RecvDest::Desc(state) => Deliver::Host {
+                state,
+                msg: RecvMsg {
+                    src,
+                    tag,
+                    data,
+                    from_unexpected: false,
+                },
+            },
+            RecvDest::Unexpected => {
+                st.stats.unexpected_msgs += 1;
+                *st.pending_unexpected.entry((src, tag)).or_insert(0) += 1;
+                Deliver::Pool(RecvMsg {
+                    src,
+                    tag,
+                    data,
+                    from_unexpected: true,
+                })
+            }
+        };
+        RxPhase2 {
+            walked,
+            dma_bytes: last_chunk,
+            ack,
+            deliver: Some(deliver),
+        }
+    }
+
+    /// Finalize a message that went through the unexpected path: park it
+    /// in the pool, then run the matcher — a descriptor posted while the
+    /// message was in flight through the DMA engine takes it.
+    fn finalize_unexpected(&self, sim: &Sim, msg: RecvMsg) {
+        {
+            let mut st = self.state.lock();
+            let key = (msg.src, msg.tag);
+            if let Some(n) = st.pending_unexpected.get_mut(&key) {
+                *n -= 1;
+                if *n == 0 {
+                    st.pending_unexpected.remove(&key);
+                }
+            }
+            st.pool.push_back(msg);
+        }
+        self.drain_pool_matches(sim);
+    }
+
+    /// Match pooled unexpected messages against pre-posted descriptors.
+    /// Runs on descriptor insertion and on unexpected-message completion,
+    /// always serialized on the rx CPU; messages are considered in pool
+    /// (arrival) order and descriptors in post order, so each traffic lane
+    /// `(tag, src)` completes its descriptors in order — as long as a
+    /// lane's descriptor capacities are uniform, which the substrate
+    /// guarantees per connection.
+    fn drain_pool_matches(&self, sim: &Sim) {
+        loop {
+            let delivered = {
+                let mut st = self.state.lock();
+                let mut found = None;
+                'outer: for (mi, m) in st.pool.iter().enumerate() {
+                    for (di, d) in st.preposted.iter().enumerate() {
+                        if d.tag == m.tag
+                            && d.src_filter.is_none_or(|f| f == m.src)
+                            && d.capacity >= m.data.len()
+                        {
+                            found = Some((mi, di));
+                            break 'outer;
+                        }
+                    }
+                }
+                match found {
+                    Some((mi, di)) => {
+                        let msg = st.pool.remove(mi).expect("index just found");
+                        let desc = st.preposted.remove(di);
+                        st.unexpected_in_use -= 1;
+                        Some((desc.state, msg))
+                    }
+                    None => None,
+                }
+            };
+            let Some((state, msg)) = delivered else { break };
+            let post = self.cfg.nic.completion_post;
+            sim.schedule_after(post, move |sim| {
+                *state.slot.lock() = Some(Some(msg));
+                state.completion.complete(sim);
+            });
+        }
+    }
+
+    fn send_ack(&self, sim: &Sim, dst: MacAddr, msg_id: u64, frames: u32) {
+        self.state.lock().stats.acks_sent += 1;
+        let me = self.arc();
+        let frame = Frame {
+            src: self.mac(),
+            dst,
+            ethertype: EtherType::EMP,
+            payload: wire_payload(EmpWire::Ack { msg_id, frames }),
+        };
+        self.tigon
+            .cpu_tx
+            .exec(sim, self.cfg.nic.ack_cost, move |sim| {
+                me.tigon.send_frame(sim, frame);
+            });
+    }
+}
+
+/// Work computed by the rx matching phase, executed as the second rx task.
+struct RxPhase2 {
+    walked: usize,
+    dma_bytes: usize,
+    ack: Option<(MacAddr, u64, u32)>,
+    deliver: Option<Deliver>,
+}
+
+enum Deliver {
+    Host { state: RecvState, msg: RecvMsg },
+    Pool(RecvMsg),
+}
+
+fn wire_payload(wire: EmpWire) -> simnet::Payload {
+    let len = wire.wire_len();
+    simnet::Payload::new(wire, len)
+}
+
+fn s_complete_send(sim: &Sim, state: SendState, post: SimDuration) {
+    sim.schedule_after(post, move |sim| {
+        *state.ok.lock() = Some(true);
+        state.completion.complete(sim);
+    });
+}
+
+impl FrameSink for EmpNic {
+    fn deliver(&self, s: &dyn SimAccess, frame: Frame) {
+        if frame.ethertype != EtherType::EMP || frame.dst != self.mac() {
+            return; // flooded foreign traffic; MAC filter drops it
+        }
+        let Some(wire) = frame.payload.downcast::<EmpWire>().cloned() else {
+            return;
+        };
+        match wire {
+            EmpWire::Ack { msg_id, frames } => {
+                let me = self.arc();
+                self.tigon.cpu_rx.exec(s, self.cfg.nic.ack_cost, move |sim| {
+                    me.process_ack(sim, msg_id, frames);
+                });
+            }
+            EmpWire::Data { .. } => {
+                let me = self.arc();
+                // Phase 1: classification + bookkeeping, fixed cost.
+                self.tigon
+                    .cpu_rx
+                    .exec(s, self.cfg.nic.rx_frame_cost, move |sim| {
+                        let phase2 = me.rx_match(&frame, &wire);
+                        let cfg = &me.cfg.nic;
+                        let mut cost = cfg.tag_match_time(phase2.walked)
+                            + cfg.dma_time(phase2.dma_bytes);
+                        if matches!(phase2.deliver, Some(Deliver::Host { .. })) {
+                            cost += cfg.completion_post;
+                        }
+                        // Phase 2: tag-match walk + DMA to host (+ status
+                        // post), still serial on the rx CPU — this serial
+                        // chain is EMP's large-message bottleneck.
+                        let me2 = Arc::clone(&me);
+                        me.tigon.cpu_rx.exec(sim, cost, move |sim| {
+                            if let Some((dst, msg_id, frames)) = phase2.ack {
+                                me2.send_ack(sim, dst, msg_id, frames);
+                            }
+                            match phase2.deliver {
+                                Some(Deliver::Host { state, msg }) => {
+                                    *state.slot.lock() = Some(Some(msg));
+                                    state.completion.complete(sim);
+                                }
+                                Some(Deliver::Pool(msg)) => {
+                                    me2.finalize_unexpected(sim, msg);
+                                }
+                                None => {}
+                            }
+                        });
+                    });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn active(frames: u32, len: u32) -> ActiveRecv {
+        ActiveRecv {
+            tag: Tag(1),
+            num_frames: frames,
+            total_len: len,
+            received_count: 0,
+            contiguous: 0,
+            have: vec![false; frames as usize],
+            buf: vec![0u8; len as usize],
+            dest: RecvDest::Unexpected,
+        }
+    }
+
+    #[test]
+    fn in_order_fragments_complete() {
+        let len = (2 * crate::wire::MAX_CHUNK + 100) as u32;
+        let mut a = active(3, len);
+        let chunk0 = vec![1u8; crate::wire::MAX_CHUNK];
+        let chunk1 = vec![2u8; crate::wire::MAX_CHUNK];
+        let chunk2 = vec![3u8; 100];
+        assert_eq!(a.store(0, &chunk0), (false, false));
+        assert_eq!(a.contiguous, 1);
+        assert_eq!(a.store(1, &chunk1), (false, false));
+        assert_eq!(a.store(2, &chunk2), (false, true));
+        assert_eq!(a.received_count, 3);
+        assert!(a.buf[..crate::wire::MAX_CHUNK].iter().all(|&b| b == 1));
+        assert!(a.buf[len as usize - 100..].iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn out_of_order_fragments_track_the_contiguous_prefix() {
+        let len = (2 * crate::wire::MAX_CHUNK + 50) as u32;
+        let mut a = active(3, len);
+        let full = vec![9u8; crate::wire::MAX_CHUNK];
+        let tail = vec![7u8; 50];
+        // Arrive 2, 0, 1 (a retransmission pattern).
+        assert_eq!(a.store(2, &tail), (false, false));
+        assert_eq!(a.contiguous, 0, "gap at 0 holds the prefix");
+        assert_eq!(a.store(0, &full), (false, false));
+        assert_eq!(a.contiguous, 1);
+        assert_eq!(a.store(1, &full), (false, true));
+        assert_eq!(a.contiguous, 3, "prefix jumps over the stored tail");
+    }
+
+    #[test]
+    fn duplicates_are_detected_and_store_nothing() {
+        let mut a = active(2, (crate::wire::MAX_CHUNK + 10) as u32);
+        let c = vec![5u8; crate::wire::MAX_CHUNK];
+        assert_eq!(a.store(0, &c), (false, false));
+        assert_eq!(a.store(0, &c), (true, false), "duplicate flagged");
+        assert_eq!(a.received_count, 1);
+    }
+}

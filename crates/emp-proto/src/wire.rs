@@ -1,0 +1,164 @@
+//! EMP wire format.
+//!
+//! EMP fragments messages into Ethernet frames. Every data frame carries a
+//! compact header (message id, 16-bit tag, frame index/count, total length)
+//! used by the receiving NIC for tag matching and reassembly; acknowledgment
+//! frames carry the cumulative frame count received. Header sizes are
+//! charged on the wire, so small-message latency and large-message goodput
+//! both see them.
+
+use bytes::Bytes;
+use simnet::{MacAddr, MTU};
+
+/// EMP's 16-bit matching tag (the paper: "an arbitrary user-provided 16-bit
+/// tag" matched together with the sender's source index).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Tag(pub u16);
+
+/// Bytes of EMP header in every data frame (msg id, tag, frame idx/count,
+/// total length, flags).
+pub const DATA_HEADER: usize = 20;
+/// On-wire payload size of an acknowledgment frame.
+pub const ACK_WIRE: usize = 20;
+/// Maximum message bytes carried per frame.
+pub const MAX_CHUNK: usize = MTU - DATA_HEADER;
+
+/// Number of frames needed for a message of `len` bytes (at least one; a
+/// zero-length message still sends a header-only frame).
+pub fn frames_for(len: usize) -> u32 {
+    if len == 0 {
+        1
+    } else {
+        len.div_ceil(MAX_CHUNK) as u32
+    }
+}
+
+/// The byte range of the message carried by frame `idx`.
+pub fn chunk_range(len: usize, idx: u32) -> (usize, usize) {
+    let start = (idx as usize) * MAX_CHUNK;
+    let end = (start + MAX_CHUNK).min(len);
+    (start.min(len), end)
+}
+
+/// An EMP frame as it crosses the wire.
+#[derive(Clone, Debug)]
+pub enum EmpWire {
+    /// One fragment of a message.
+    Data {
+        /// Sender-local message identifier.
+        msg_id: u64,
+        /// Matching tag.
+        tag: Tag,
+        /// Fragment index, `0..num_frames`.
+        frame_idx: u32,
+        /// Total fragments in the message.
+        num_frames: u32,
+        /// Total message length in bytes.
+        total_len: u32,
+        /// The fragment's bytes (a cheap slice of the message buffer —
+        /// EMP is zero-copy, and so is the simulation of it).
+        chunk: Bytes,
+    },
+    /// Cumulative acknowledgment: "I have the first `frames` fragments of
+    /// your message `msg_id`". Generated and consumed entirely by the NICs;
+    /// hosts never see these (paper §5.2).
+    Ack {
+        /// The acknowledged message (sender-local id, scoped by the
+        /// acknowledging NIC's address).
+        msg_id: u64,
+        /// Cumulative fragments received.
+        frames: u32,
+    },
+}
+
+impl EmpWire {
+    /// On-wire Ethernet payload size of this frame.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            EmpWire::Data { chunk, .. } => DATA_HEADER + chunk.len(),
+            EmpWire::Ack { .. } => ACK_WIRE,
+        }
+    }
+}
+
+/// A fully reassembled incoming message, as the host sees it.
+#[derive(Clone, Debug)]
+pub struct RecvMsg {
+    /// Sending station.
+    pub src: MacAddr,
+    /// Tag it matched.
+    pub tag: Tag,
+    /// Message contents.
+    pub data: Bytes,
+    /// True if it arrived through the unexpected queue (and therefore cost
+    /// an extra host copy when claimed).
+    pub from_unexpected: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragmentation_counts() {
+        assert_eq!(frames_for(0), 1);
+        assert_eq!(frames_for(1), 1);
+        assert_eq!(frames_for(MAX_CHUNK), 1);
+        assert_eq!(frames_for(MAX_CHUNK + 1), 2);
+        assert_eq!(frames_for(10 * MAX_CHUNK), 10);
+    }
+
+    #[test]
+    fn chunk_ranges_tile_the_message() {
+        let len = 3 * MAX_CHUNK + 17;
+        let n = frames_for(len);
+        assert_eq!(n, 4);
+        let mut covered = 0;
+        for i in 0..n {
+            let (a, b) = chunk_range(len, i);
+            assert_eq!(a, covered);
+            covered = b;
+        }
+        assert_eq!(covered, len);
+    }
+
+    #[test]
+    fn zero_length_message_is_one_empty_frame() {
+        let (a, b) = chunk_range(0, 0);
+        assert_eq!((a, b), (0, 0));
+        let w = EmpWire::Data {
+            msg_id: 1,
+            tag: Tag(0),
+            frame_idx: 0,
+            num_frames: 1,
+            total_len: 0,
+            chunk: Bytes::new(),
+        };
+        assert_eq!(w.wire_len(), DATA_HEADER);
+    }
+
+    #[test]
+    fn wire_lengths() {
+        let w = EmpWire::Data {
+            msg_id: 1,
+            tag: Tag(7),
+            frame_idx: 0,
+            num_frames: 1,
+            total_len: 100,
+            chunk: Bytes::from(vec![0u8; 100]),
+        };
+        assert_eq!(w.wire_len(), 120);
+        let a = EmpWire::Ack { msg_id: 1, frames: 1 };
+        assert_eq!(a.wire_len(), ACK_WIRE);
+        // A max chunk exactly fills the MTU.
+        let w = EmpWire::Data {
+            msg_id: 1,
+            tag: Tag(7),
+            frame_idx: 0,
+            num_frames: 1,
+            total_len: MAX_CHUNK as u32,
+            chunk: Bytes::from(vec![0u8; MAX_CHUNK]),
+        };
+        assert_eq!(w.wire_len(), MTU);
+    }
+}

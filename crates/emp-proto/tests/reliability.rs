@@ -1,0 +1,169 @@
+//! Failure injection: EMP's reliability machinery (cumulative acks,
+//! timeout retransmission with rewind, backoff) under sustained frame
+//! loss on the wire. The paper's fabric is lossless; these tests exist
+//! because a reliable protocol must prove itself on a lossy one.
+
+use bytes::Bytes;
+use emp_proto::{build_cluster, EmpConfig, Tag};
+use hostsim::VirtRange;
+use parking_lot::Mutex;
+use simnet::{Completion, LinkConfig, Sim, SimDuration, SwitchConfig};
+use std::sync::Arc;
+
+fn lossy_switch(drop_every: u64) -> SwitchConfig {
+    SwitchConfig {
+        link: LinkConfig {
+            drop_every: Some(drop_every),
+            ..LinkConfig::default()
+        },
+        ..SwitchConfig::default()
+    }
+}
+
+fn buf(slot: u64, len: usize) -> VirtRange {
+    VirtRange::new(0x5_0000_0000 + slot * 0x100_0000, len.max(1) as u64)
+}
+
+#[test]
+fn small_messages_survive_loss() {
+    let sim = Sim::new();
+    // Every 2nd frame corrupted on every link: brutal, but EMP must win.
+    let cl = build_cluster(2, EmpConfig::default(), lossy_switch(2));
+    let (a, b) = (cl.nodes[0].endpoint(), cl.nodes[1].endpoint());
+    let dst = b.addr();
+    let done = Completion::new();
+    let done2 = done.clone();
+    const COUNT: usize = 20;
+
+    let b2 = b.clone();
+    sim.spawn("receiver", move |ctx| {
+        for i in 0..COUNT {
+            let h = b2.post_recv(ctx, Tag(1), None, 64, buf(1, 64))?;
+            let msg = b2.wait_recv(ctx, &h)?.expect("delivered despite loss");
+            assert_eq!(&msg.data[..], format!("msg-{i:04}").as_bytes());
+        }
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("sender", move |ctx| {
+        ctx.delay(SimDuration::from_micros(10))?;
+        for i in 0..COUNT {
+            let h = a.post_send(
+                ctx,
+                dst,
+                Tag(1),
+                Bytes::from(format!("msg-{i:04}").into_bytes()),
+                buf(0, 8),
+            )?;
+            assert!(a.wait_send(ctx, &h)?, "must eventually be acknowledged");
+        }
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+    assert!(
+        cl.nodes[0].nic.stats().frames_retransmitted > 0,
+        "50% loss must force retransmissions"
+    );
+}
+
+#[test]
+fn large_message_reassembles_exactly_under_loss() {
+    let sim = Sim::new();
+    let cl = build_cluster(2, EmpConfig::default(), lossy_switch(7));
+    let (a, b) = (cl.nodes[0].endpoint(), cl.nodes[1].endpoint());
+    let dst = b.addr();
+    let len = 200_000usize;
+    let payload: Vec<u8> = (0..len).map(|i| (i % 241) as u8).collect();
+    let expect = payload.clone();
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    let b2 = b.clone();
+    sim.spawn("receiver", move |ctx| {
+        let h = b2.post_recv(ctx, Tag(9), None, len, buf(1, len))?;
+        let msg = b2.wait_recv(ctx, &h)?.expect("delivered");
+        assert_eq!(msg.data.len(), expect.len());
+        assert_eq!(&msg.data[..], &expect[..], "no corruption, no reordering");
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("sender", move |ctx| {
+        ctx.delay(SimDuration::from_micros(10))?;
+        let h = a.post_send(ctx, dst, Tag(9), Bytes::from(payload), buf(0, len))?;
+        assert!(a.wait_send(ctx, &h)?);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+    let stats = cl.nodes[0].nic.stats();
+    assert!(stats.frames_retransmitted > 0);
+    assert_eq!(stats.sends_failed, 0);
+}
+
+#[test]
+fn lossy_runs_are_still_deterministic() {
+    fn run_once() -> (u64, u64) {
+        let sim = Sim::new();
+        let cl = build_cluster(2, EmpConfig::default(), lossy_switch(3));
+        let (a, b) = (cl.nodes[0].endpoint(), cl.nodes[1].endpoint());
+        let dst = b.addr();
+        let b2 = b.clone();
+        sim.spawn("receiver", move |ctx| {
+            for i in 0..10u64 {
+                let h = b2.post_recv(ctx, Tag(1), None, 8 * 1024, buf(i % 2, 8 * 1024))?;
+                b2.wait_recv(ctx, &h)?.expect("data");
+            }
+            Ok(())
+        });
+        sim.spawn("sender", move |ctx| {
+            ctx.delay(SimDuration::from_micros(20))?;
+            for i in 0..10usize {
+                let h = a.post_send(
+                    ctx,
+                    dst,
+                    Tag(1),
+                    Bytes::from(vec![i as u8; 700 * (i + 1)]),
+                    buf(5, 8 * 1024),
+                )?;
+                a.wait_send(ctx, &h)?;
+            }
+            Ok(())
+        });
+        sim.run();
+        (
+            sim.events_executed(),
+            cl.nodes[0].nic.stats().frames_retransmitted,
+        )
+    }
+    let first = run_once();
+    assert!(first.1 > 0, "loss model must trigger retransmission");
+    assert_eq!(first, run_once());
+}
+
+#[test]
+fn unrelenting_loss_eventually_fails_the_send() {
+    // Drop EVERY frame on the path: after max_retries the send must
+    // complete unsuccessfully rather than hang.
+    let cfg = EmpConfig {
+        max_retries: 4,
+        retransmit_timeout: SimDuration::from_micros(100),
+        ..EmpConfig::default()
+    };
+    let sim = Sim::new();
+    let cl = build_cluster(2, cfg, lossy_switch(1));
+    let a = cl.nodes[0].endpoint();
+    let dst = cl.nodes[1].addr();
+    let finished = Arc::new(Mutex::new(false));
+    let f2 = Arc::clone(&finished);
+
+    sim.spawn("sender", move |ctx| {
+        let h = a.post_send(ctx, dst, Tag(1), Bytes::from_static(b"void"), buf(0, 4))?;
+        assert!(!a.wait_send(ctx, &h)?, "total loss must fail the send");
+        *f2.lock() = true;
+        Ok(())
+    });
+    sim.run();
+    assert!(*finished.lock());
+    assert_eq!(cl.nodes[0].nic.stats().sends_failed, 1);
+}

@@ -1,0 +1,109 @@
+//! The host cost model.
+//!
+//! One place for every host-side time constant in the simulated testbed —
+//! a Pentium III 700 MHz quad running Linux 2.4.18, per the paper's §7.
+//! Each constant is documented with its calibration rationale; the
+//! end-to-end numbers they must reproduce are listed in `DESIGN.md` §4.
+
+use simnet::SimDuration;
+
+/// Host-side cost constants. All methods return simulated durations.
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    /// Bare system-call entry/exit (trap, register save, return). Linux 2.4
+    /// on a PIII 700 measured ~0.6-1 µs for getpid-class calls.
+    pub syscall: SimDuration,
+    /// Full process context switch (scheduler + MMU switch + cache damage).
+    pub context_switch: SimDuration,
+    /// Hardware interrupt entry + handler dispatch + bottom-half scheduling;
+    /// paid once per NIC interrupt in the kernel baseline.
+    pub interrupt: SimDuration,
+    /// Per-call fixed overhead of a memory copy (function call, cache-line
+    /// alignment preamble).
+    pub memcpy_setup: SimDuration,
+    /// Streaming copy bandwidth of the host (bytes/s). PIII-era copies
+    /// through the cache sustained on the order of 800 MB/s.
+    pub memcpy_bytes_per_sec: u64,
+    /// The EMP combined pin-and-translate system call, paid on a
+    /// translation-cache miss (§2 of the paper: "We do both operations in a
+    /// single system call").
+    pub pin_translate_syscall: SimDuration,
+    /// Translation-cache hit: a user-space hash lookup.
+    pub translation_cache_hit: SimDuration,
+    /// Uncached PCI write posting a doorbell/mailbox to the NIC.
+    pub doorbell_write: SimDuration,
+    /// One user-space poll of a completion flag in host memory.
+    pub poll_completion: SimDuration,
+    /// Synchronization cost between two host threads (the paper measures
+    /// ~20 µs for the polling-threads alternative of §5.2).
+    pub thread_sync: SimDuration,
+    /// Scheduling granularity for a *blocking* thread: Linux 2.4 ran with
+    /// HZ=100, so a blocked thread resumes on a ~10 ms tick boundary
+    /// (paper §5.2: "order of milliseconds").
+    pub scheduler_granularity: SimDuration,
+    /// Waking a process blocked in the kernel (run-queue insertion +
+    /// dispatch latency, excluding the context switch itself).
+    pub process_wakeup: SimDuration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            syscall: SimDuration::from_nanos(700),
+            context_switch: SimDuration::from_micros(5),
+            interrupt: SimDuration::from_micros(8),
+            memcpy_setup: SimDuration::from_nanos(150),
+            memcpy_bytes_per_sec: 800_000_000,
+            pin_translate_syscall: SimDuration::from_micros_f64(2.5),
+            translation_cache_hit: SimDuration::from_nanos(100),
+            doorbell_write: SimDuration::from_nanos(700),
+            poll_completion: SimDuration::from_nanos(300),
+            thread_sync: SimDuration::from_micros(20),
+            scheduler_granularity: SimDuration::from_millis(10),
+            process_wakeup: SimDuration::from_micros(5),
+        }
+    }
+}
+
+impl CostModel {
+    /// Time to copy `bytes` between two host buffers.
+    pub fn memcpy(&self, bytes: usize) -> SimDuration {
+        self.memcpy_setup + SimDuration::for_bytes_at_rate(bytes as u64, self.memcpy_bytes_per_sec)
+    }
+
+    /// Time for a system call that also copies `bytes` across the
+    /// user/kernel boundary (e.g. `read`/`write` on a kernel socket).
+    pub fn syscall_with_copy(&self, bytes: usize) -> SimDuration {
+        self.syscall + self.memcpy(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memcpy_scales_linearly() {
+        let c = CostModel::default();
+        let small = c.memcpy(0);
+        assert_eq!(small, c.memcpy_setup);
+        // 800 MB/s => 1 byte per 1.25 ns; 8000 bytes = 10 us + setup.
+        let big = c.memcpy(8_000);
+        assert_eq!(big, c.memcpy_setup + SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn syscall_with_copy_combines() {
+        let c = CostModel::default();
+        assert_eq!(c.syscall_with_copy(0), c.syscall + c.memcpy_setup);
+        assert!(c.syscall_with_copy(1500) > c.syscall_with_copy(4));
+    }
+
+    #[test]
+    fn defaults_reflect_paper_constants() {
+        let c = CostModel::default();
+        // The two constants quoted directly in the paper:
+        assert_eq!(c.thread_sync, SimDuration::from_micros(20));
+        assert_eq!(c.scheduler_granularity, SimDuration::from_millis(10));
+    }
+}

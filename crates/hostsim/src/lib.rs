@@ -1,0 +1,26 @@
+//! # hostsim — host-side models for the simulated testbed
+//!
+//! The paper's testbed hosts are Pentium III 700 MHz quads running Linux
+//! 2.4.18. This crate models everything about them that the evaluation's
+//! numbers depend on:
+//!
+//! * [`CostModel`] — one named constant per host-side cost (syscalls,
+//!   context switches, interrupts, memcpy bandwidth, doorbell writes,
+//!   thread synchronization, scheduler granularity);
+//! * [`MemoryRegistry`] — page pinning + translation cache, EMP's
+//!   single-syscall registration path (paper §2);
+//! * [`RamDisk`] — the RAM-disk filesystem behind the ftp experiment and
+//!   its "file system overhead" (paper §7.3);
+//! * [`Host`] — one machine bundling the above.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod fs;
+pub mod host;
+pub mod memory;
+
+pub use cost::CostModel;
+pub use fs::{FileHandle, FsConfig, FsError, RamDisk};
+pub use host::Host;
+pub use memory::{MemoryRegistry, PinOutcome, VirtRange, PAGE_SIZE};

@@ -1,0 +1,237 @@
+//! Pinned-memory registry with a translation cache.
+//!
+//! EMP requires every buffer the NIC touches to be pinned and translated to
+//! physical addresses; host and NIC cooperate through *one* system call per
+//! region, and a user-space translation cache makes repeat registrations
+//! free of kernel entries (paper §2). This module models exactly that: the
+//! first registration of a page range costs a pin+translate syscall, later
+//! registrations of covered pages cost a cache hit.
+
+use std::collections::BTreeMap;
+
+use simnet::SimDuration;
+
+use crate::cost::CostModel;
+
+/// Page size of the simulated host (i686 Linux).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A virtual address range in some process's address space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VirtRange {
+    /// Start address (arbitrary but consistent per buffer).
+    pub addr: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl VirtRange {
+    /// The range `[addr, addr+len)`.
+    pub fn new(addr: u64, len: u64) -> Self {
+        VirtRange { addr, len }
+    }
+
+    fn first_page(&self) -> u64 {
+        self.addr / PAGE_SIZE
+    }
+
+    fn last_page(&self) -> u64 {
+        if self.len == 0 {
+            self.first_page()
+        } else {
+            (self.addr + self.len - 1) / PAGE_SIZE
+        }
+    }
+
+    /// Number of pages the range touches.
+    pub fn pages(&self) -> u64 {
+        self.last_page() - self.first_page() + 1
+    }
+}
+
+/// Outcome of a registration, for instrumentation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PinOutcome {
+    /// All pages already pinned; served from the translation cache.
+    CacheHit,
+    /// At least one page needed the pin+translate system call.
+    CacheMiss {
+        /// Pages newly pinned by this call.
+        new_pages: u64,
+    },
+}
+
+/// Per-process registry of pinned pages.
+///
+/// Not thread-safe by itself; wrap in a mutex (or keep per-process, as the
+/// substrate does).
+#[derive(Debug, Default)]
+pub struct MemoryRegistry {
+    /// Pinned page-number intervals, keyed by first page, non-overlapping.
+    pinned: BTreeMap<u64, u64>, // first_page -> last_page (inclusive)
+    hits: u64,
+    misses: u64,
+    pinned_pages: u64,
+}
+
+impl MemoryRegistry {
+    /// An empty registry (no pages pinned).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `range` for NIC access. Returns the time the registration
+    /// costs under `cost` and what happened.
+    pub fn register(&mut self, range: VirtRange, cost: &CostModel) -> (SimDuration, PinOutcome) {
+        let (first, last) = (range.first_page(), range.last_page());
+        let missing = self.missing_pages(first, last);
+        if missing == 0 {
+            self.hits += 1;
+            (cost.translation_cache_hit, PinOutcome::CacheHit)
+        } else {
+            self.misses += 1;
+            self.pin(first, last);
+            self.pinned_pages += missing;
+            // One combined syscall regardless of page count, plus a small
+            // per-page table-walk cost inside the kernel.
+            let per_page = SimDuration::from_nanos(200) * missing;
+            (
+                cost.pin_translate_syscall + per_page,
+                PinOutcome::CacheMiss { new_pages: missing },
+            )
+        }
+    }
+
+    /// True if every page of `range` is currently pinned.
+    pub fn is_pinned(&self, range: VirtRange) -> bool {
+        self.missing_pages(range.first_page(), range.last_page()) == 0
+    }
+
+    /// Translation-cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Translation-cache misses (pin syscalls) so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total pages currently pinned.
+    pub fn pinned_pages(&self) -> u64 {
+        self.pinned_pages
+    }
+
+    /// Unpin everything (process teardown; EMP resets state per
+    /// application, paper §5.3).
+    pub fn unpin_all(&mut self) {
+        self.pinned.clear();
+        self.pinned_pages = 0;
+    }
+
+    fn missing_pages(&self, first: u64, last: u64) -> u64 {
+        let mut missing = last - first + 1;
+        // Intervals that could overlap: start at or before `last`.
+        for (&lo, &hi) in self.pinned.range(..=last) {
+            if hi < first {
+                continue;
+            }
+            let ov_lo = lo.max(first);
+            let ov_hi = hi.min(last);
+            missing -= ov_hi - ov_lo + 1;
+        }
+        missing
+    }
+
+    fn pin(&mut self, first: u64, last: u64) {
+        // Merge with any overlapping or adjacent intervals.
+        let mut lo = first;
+        let mut hi = last;
+        let overlapping: Vec<u64> = self
+            .pinned
+            .range(..=last.saturating_add(1))
+            .filter(|&(_, &h)| h.saturating_add(1) >= first)
+            .map(|(&l, _)| l)
+            .collect();
+        for l in overlapping {
+            let h = self.pinned.remove(&l).expect("key just observed");
+            lo = lo.min(l);
+            hi = hi.max(h);
+        }
+        self.pinned.insert(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm() -> CostModel {
+        CostModel::default()
+    }
+
+    #[test]
+    fn first_registration_misses_then_hits() {
+        let mut reg = MemoryRegistry::new();
+        let range = VirtRange::new(0x10000, 8192);
+        let (cost1, out1) = reg.register(range, &cm());
+        assert_eq!(out1, PinOutcome::CacheMiss { new_pages: 2 });
+        let (cost2, out2) = reg.register(range, &cm());
+        assert_eq!(out2, PinOutcome::CacheHit);
+        assert!(cost1 > cost2, "miss must cost more than hit");
+        assert_eq!(reg.cache_hits(), 1);
+        assert_eq!(reg.cache_misses(), 1);
+        assert_eq!(reg.pinned_pages(), 2);
+    }
+
+    #[test]
+    fn subrange_of_pinned_region_hits() {
+        let mut reg = MemoryRegistry::new();
+        reg.register(VirtRange::new(0, 64 * 1024), &cm());
+        let (_, out) = reg.register(VirtRange::new(4096, 100), &cm());
+        assert_eq!(out, PinOutcome::CacheHit);
+        assert!(reg.is_pinned(VirtRange::new(0, 64 * 1024)));
+    }
+
+    #[test]
+    fn partial_overlap_pins_only_missing_pages() {
+        let mut reg = MemoryRegistry::new();
+        reg.register(VirtRange::new(0, 4096), &cm()); // page 0
+        let (_, out) = reg.register(VirtRange::new(0, 3 * 4096), &cm()); // pages 0-2
+        assert_eq!(out, PinOutcome::CacheMiss { new_pages: 2 });
+        assert_eq!(reg.pinned_pages(), 3);
+    }
+
+    #[test]
+    fn unaligned_range_spans_extra_page() {
+        let r = VirtRange::new(4095, 2);
+        assert_eq!(r.pages(), 2); // straddles pages 0 and 1
+        let r = VirtRange::new(4096, 4096);
+        assert_eq!(r.pages(), 1);
+        let r = VirtRange::new(100, 0);
+        assert_eq!(r.pages(), 1);
+    }
+
+    #[test]
+    fn intervals_merge() {
+        let mut reg = MemoryRegistry::new();
+        reg.register(VirtRange::new(0, 4096), &cm()); // page 0
+        reg.register(VirtRange::new(2 * 4096, 4096), &cm()); // page 2
+        reg.register(VirtRange::new(4096, 4096), &cm()); // page 1 joins them
+        assert_eq!(reg.pinned_pages(), 3);
+        assert!(reg.is_pinned(VirtRange::new(0, 3 * 4096)));
+        // Internally a single interval now.
+        assert_eq!(reg.pinned.len(), 1);
+    }
+
+    #[test]
+    fn unpin_all_resets() {
+        let mut reg = MemoryRegistry::new();
+        reg.register(VirtRange::new(0, 4096), &cm());
+        reg.unpin_all();
+        assert_eq!(reg.pinned_pages(), 0);
+        assert!(!reg.is_pinned(VirtRange::new(0, 1)));
+        let (_, out) = reg.register(VirtRange::new(0, 4096), &cm());
+        assert!(matches!(out, PinOutcome::CacheMiss { .. }));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests of the pinned-memory registry against a naive
+//! page-set model: the interval-merging implementation must agree with a
+//! `HashSet<u64>` of pinned pages on every observable.
+
+use hostsim::{CostModel, MemoryRegistry, PinOutcome, VirtRange, PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn pages_of(addr: u64, len: u64) -> impl Iterator<Item = u64> {
+    let first = addr / PAGE_SIZE;
+    let last = if len == 0 {
+        first
+    } else {
+        (addr + len - 1) / PAGE_SIZE
+    };
+    first..=last
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn registry_agrees_with_naive_page_set(
+        ops in prop::collection::vec((0u64..500_000, 1u64..60_000), 1..60)
+    ) {
+        let cost = CostModel::default();
+        let mut reg = MemoryRegistry::new();
+        let mut model: HashSet<u64> = HashSet::new();
+        for (addr, len) in &ops {
+            let range = VirtRange::new(*addr, *len);
+            let covered = pages_of(*addr, *len).all(|p| model.contains(&p));
+            let (_, outcome) = reg.register(range, &cost);
+            match outcome {
+                PinOutcome::CacheHit => prop_assert!(covered, "hit but model says miss"),
+                PinOutcome::CacheMiss { new_pages } => {
+                    let missing = pages_of(*addr, *len)
+                        .filter(|p| !model.contains(p))
+                        .count() as u64;
+                    prop_assert_eq!(new_pages, missing, "miss page count");
+                    prop_assert!(missing > 0);
+                }
+            }
+            model.extend(pages_of(*addr, *len));
+            prop_assert_eq!(reg.pinned_pages(), model.len() as u64);
+            prop_assert!(reg.is_pinned(range));
+        }
+        // Spot-check random coverage queries.
+        for (addr, len) in ops.iter().take(10) {
+            let probe = VirtRange::new(addr + 7, (*len).min(123));
+            let expect = pages_of(addr + 7, (*len).min(123)).all(|p| model.contains(&p));
+            prop_assert_eq!(reg.is_pinned(probe), expect);
+        }
+    }
+
+    #[test]
+    fn unpin_all_resets_to_empty(
+        ops in prop::collection::vec((0u64..100_000, 1u64..10_000), 1..20)
+    ) {
+        let cost = CostModel::default();
+        let mut reg = MemoryRegistry::new();
+        for (addr, len) in &ops {
+            reg.register(VirtRange::new(*addr, *len), &cost);
+        }
+        reg.unpin_all();
+        prop_assert_eq!(reg.pinned_pages(), 0);
+        for (addr, len) in &ops {
+            prop_assert!(!reg.is_pinned(VirtRange::new(*addr, *len)));
+        }
+    }
+
+    #[test]
+    fn registration_cost_is_monotone_in_new_pages(
+        addr in 0u64..1_000_000,
+        small in 1u64..4_000,
+        big in 100_000u64..400_000,
+    ) {
+        let cost = CostModel::default();
+        let mut reg_small = MemoryRegistry::new();
+        let mut reg_big = MemoryRegistry::new();
+        let (c_small, _) = reg_small.register(VirtRange::new(addr, small), &cost);
+        let (c_big, _) = reg_big.register(VirtRange::new(addr, big), &cost);
+        prop_assert!(c_big > c_small, "more pages cost more to pin");
+    }
+}

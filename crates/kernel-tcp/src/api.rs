@@ -1,0 +1,203 @@
+//! The process-facing sockets API of the kernel stack.
+//!
+//! Handle-based (a `TcpConn` rather than an integer fd): the integer-fd
+//! interposition story belongs to the sockets-over-EMP substrate, which
+//! maintains its own descriptor table (paper §5.4); the kernel baseline
+//! here only needs functional parity for the benchmarked applications.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use simnet::{ProcessCtx, SimResult};
+
+use crate::stack::{ListenerState, TcpStack};
+use crate::tcp::{TcpError, TcpSocket};
+use crate::udp::{self, UdpPort};
+use crate::wire::SockAddr;
+
+/// Entry point for processes on a host: make connections, listen, bind UDP.
+#[derive(Clone)]
+pub struct TcpApi {
+    stack: Arc<TcpStack>,
+}
+
+impl TcpApi {
+    /// API bound to `stack`.
+    pub fn new(stack: Arc<TcpStack>) -> Self {
+        TcpApi { stack }
+    }
+
+    /// The stack behind this API.
+    pub fn stack(&self) -> &Arc<TcpStack> {
+        &self.stack
+    }
+
+    /// This host's address.
+    pub fn local_host(&self) -> simnet::MacAddr {
+        self.stack.host().id()
+    }
+
+    /// Active open to `remote`; blocks for the three-way handshake
+    /// (~200-250 µs on the calibrated testbed, §7.4).
+    pub fn connect(&self, ctx: &ProcessCtx, remote: SockAddr) -> SimResult<Result<TcpConn, TcpError>> {
+        Ok(self.stack.connect(ctx, remote)?.map(|sock| TcpConn {
+            stack: Arc::clone(&self.stack),
+            sock,
+        }))
+    }
+
+    /// Passive open on `port`.
+    pub fn listen(
+        &self,
+        ctx: &ProcessCtx,
+        port: u16,
+        backlog: usize,
+    ) -> SimResult<Result<TcpListener, TcpError>> {
+        Ok(self.stack.listen(ctx, port, backlog)?.map(|l| TcpListener {
+            stack: Arc::clone(&self.stack),
+            l,
+        }))
+    }
+
+    /// Bind a UDP port.
+    pub fn udp_bind(&self, ctx: &ProcessCtx, port: u16) -> SimResult<Result<UdpSock, TcpError>> {
+        Ok(udp::bind(&self.stack, ctx, port)?.map(|p| UdpSock {
+            stack: Arc::clone(&self.stack),
+            p,
+        }))
+    }
+
+    /// `select()` over connections for readability: blocks until at least
+    /// one is readable and returns its index.
+    pub fn select_readable(&self, ctx: &ProcessCtx, conns: &[&TcpConn]) -> SimResult<usize> {
+        ctx.delay(self.stack.host().cost().syscall)?;
+        loop {
+            for (idx, c) in conns.iter().enumerate() {
+                if c.readable() {
+                    return Ok(idx);
+                }
+            }
+            self.stack.activity.wait(ctx)?;
+        }
+    }
+
+    /// Change the socket-buffer size for sockets created from now on.
+    pub fn set_sockbuf(&self, bytes: usize) {
+        self.stack.set_sockbuf(bytes);
+    }
+}
+
+/// An established TCP connection.
+pub struct TcpConn {
+    stack: Arc<TcpStack>,
+    sock: Arc<TcpSocket>,
+}
+
+impl TcpConn {
+    /// Local address.
+    pub fn local_addr(&self) -> SockAddr {
+        self.sock.local
+    }
+
+    /// Peer address.
+    pub fn peer_addr(&self) -> SockAddr {
+        self.sock.remote
+    }
+
+    /// Blocking read of up to `max` bytes; an empty buffer is EOF.
+    pub fn read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, TcpError>> {
+        self.stack.read(ctx, &self.sock, max)
+    }
+
+    /// Read exactly `n` bytes (looping over `read`); `None` on premature
+    /// EOF.
+    pub fn read_exact(&self, ctx: &ProcessCtx, n: usize) -> SimResult<Result<Option<Bytes>, TcpError>> {
+        let mut buf = Vec::with_capacity(n);
+        while buf.len() < n {
+            let chunk = match self.read(ctx, n - buf.len())? {
+                Ok(c) => c,
+                Err(e) => return Ok(Err(e)),
+            };
+            if chunk.is_empty() {
+                return Ok(Ok(None));
+            }
+            buf.extend_from_slice(&chunk);
+        }
+        Ok(Ok(Some(Bytes::from(buf))))
+    }
+
+    /// Blocking write of the whole buffer.
+    pub fn write(&self, ctx: &ProcessCtx, data: &[u8]) -> SimResult<Result<usize, TcpError>> {
+        self.stack.write(ctx, &self.sock, data)
+    }
+
+    /// Orderly close (FIN behind buffered data).
+    pub fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        self.stack.close(ctx, &self.sock)
+    }
+
+    /// Would `read` return without blocking?
+    pub fn readable(&self) -> bool {
+        self.sock.inner.lock().readable()
+    }
+}
+
+/// A listening socket.
+pub struct TcpListener {
+    stack: Arc<TcpStack>,
+    l: Arc<ListenerState>,
+}
+
+impl TcpListener {
+    /// Block for the next established connection.
+    pub fn accept(&self, ctx: &ProcessCtx) -> SimResult<TcpConn> {
+        let sock = self.stack.accept(ctx, &self.l)?;
+        Ok(TcpConn {
+            stack: Arc::clone(&self.stack),
+            sock,
+        })
+    }
+
+    /// Stop listening (the port frees; queued connections stay valid).
+    pub fn unlisten(&self) {
+        self.stack.unlisten(self.port());
+    }
+
+    /// The listening port.
+    pub fn port(&self) -> u16 {
+        // ListenerState is private; expose through its field here.
+        self.l_port()
+    }
+
+    fn l_port(&self) -> u16 {
+        self.l.port
+    }
+}
+
+/// A bound UDP socket.
+pub struct UdpSock {
+    stack: Arc<TcpStack>,
+    p: Arc<UdpPort>,
+}
+
+impl UdpSock {
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.p.port
+    }
+
+    /// Send a datagram to `dst` (fragments beyond the MTU).
+    pub fn send_to(&self, ctx: &ProcessCtx, dst: SockAddr, data: &[u8]) -> SimResult<()> {
+        udp::send_to(&self.stack, ctx, self.p.port, dst, data)
+    }
+
+    /// Block for the next datagram.
+    pub fn recv_from(&self, ctx: &ProcessCtx) -> SimResult<(SockAddr, Bytes)> {
+        udp::recv_from(&self.stack, ctx, &self.p)
+    }
+
+    /// Unbind.
+    pub fn close(&self) {
+        udp::unbind(&self.stack, self.p.port);
+    }
+}

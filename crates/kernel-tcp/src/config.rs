@@ -1,0 +1,118 @@
+//! Kernel TCP/IP cost constants.
+//!
+//! Calibrated against the paper's baseline numbers on Linux 2.4.18 with the
+//! stock Acenic driver (the same Tigon silicon as EMP, running the standard
+//! interrupt-driven firmware):
+//!
+//! * ~120 µs one-way latency for 4-byte messages — dominated by the NIC's
+//!   receive interrupt coalescing timer plus per-segment kernel processing
+//!   and the process wakeup;
+//! * ~340 Mbps with the default 16 KiB socket buffer (window-limited: Linux
+//!   advertises half the buffer) and ~550 Mbps with large buffers
+//!   (CPU-limited by the receive-side kernel path);
+//! * 200-250 µs connection setup (§7.4).
+
+use simnet::SimDuration;
+
+/// Tunables and cost constants of the kernel stack.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// TCP maximum segment size (Ethernet MTU minus 40 bytes of IP+TCP
+    /// headers).
+    pub mss: usize,
+    /// Default socket buffer size, send and receive ("In default, TCP
+    /// allocates 16 Kbytes of kernel space", §7.2).
+    pub default_sockbuf: usize,
+    /// Kernel-CPU cost to build and emit one data segment (TCP + IP +
+    /// driver transmit path, software checksum).
+    pub tcp_tx_cost: SimDuration,
+    /// Kernel-CPU cost to process one received data segment.
+    pub tcp_rx_cost: SimDuration,
+    /// Kernel-CPU cost to emit a pure ack / window update.
+    pub ack_tx_cost: SimDuration,
+    /// Kernel-CPU cost to process a received pure ack.
+    pub ack_rx_cost: SimDuration,
+    /// NIC-side cost per transmitted frame (descriptor + DMA on the dumb
+    /// NIC).
+    pub nic_tx_cost: SimDuration,
+    /// Cost of taking one receive interrupt (entry + Acenic handler +
+    /// softirq dispatch), paid once per coalesced batch.
+    pub interrupt_cost: SimDuration,
+    /// The Acenic receive-interrupt coalescing timer: an interrupt fires
+    /// this long after the first undelivered frame...
+    pub coalesce_timer: SimDuration,
+    /// ...or as soon as this many frames are pending, whichever is first.
+    pub coalesce_frames: usize,
+    /// Delayed-ack timer: a pure ack goes out this long after unacked data
+    /// arrives unless a second segment (or reverse data) triggers it first.
+    pub delack_timeout: SimDuration,
+    /// Acks are sent after this many unacknowledged data segments.
+    pub ack_every_segments: u32,
+    /// Initial congestion window in segments.
+    pub initial_cwnd_segments: u32,
+    /// Nagle's algorithm: hold sub-MSS segments while unacknowledged data
+    /// is outstanding. Off by default — the paper's benchmarks (like most
+    /// latency benchmarks) run with TCP_NODELAY semantics — but modelled
+    /// because its interaction with delayed acks is part of what "kernel
+    /// TCP behaviour" means.
+    pub nagle: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            default_sockbuf: 16 * 1024,
+            tcp_tx_cost: SimDuration::from_micros(15),
+            tcp_rx_cost: SimDuration::from_micros(16),
+            ack_tx_cost: SimDuration::from_micros(4),
+            ack_rx_cost: SimDuration::from_micros(8),
+            nic_tx_cost: SimDuration::from_micros(3),
+            interrupt_cost: SimDuration::from_micros(13),
+            coalesce_timer: SimDuration::from_micros(60),
+            coalesce_frames: 4,
+            delack_timeout: SimDuration::from_micros(500),
+            ack_every_segments: 2,
+            initial_cwnd_segments: 2,
+            nagle: false,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// The advertised receive window for a buffer with `unread` bytes
+    /// queued: Linux reserves a quarter of the buffer for metadata
+    /// overhead (`tcp_adv_win_scale = 2`, the 2.4 default), so a 16 KiB
+    /// socket buffer yields a 12 KiB usable window.
+    pub fn advertised_window(&self, sockbuf: usize, unread: usize) -> usize {
+        (sockbuf - sockbuf / 4).saturating_sub(unread)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advertised_window_is_three_quarters_of_buffer() {
+        let c = TcpConfig::default();
+        assert_eq!(c.advertised_window(16 * 1024, 0), 12 * 1024);
+        assert_eq!(c.advertised_window(16 * 1024, 12 * 1024), 0);
+        assert_eq!(c.advertised_window(16 * 1024, 14 * 1024), 0);
+    }
+
+    #[test]
+    fn receive_path_supports_550mbps_ceiling() {
+        // Calibration invariant: per-segment receive cost (rx processing +
+        // amortized interrupt + amortized ack tx) ≈ 21 us => ~550 Mbps.
+        let c = TcpConfig::default();
+        let per_seg = c.tcp_rx_cost
+            + c.interrupt_cost / c.coalesce_frames as u64
+            + c.ack_tx_cost / u64::from(c.ack_every_segments);
+        let mbps = c.mss as f64 * 8.0 / per_seg.as_secs_f64() / 1e6;
+        assert!(
+            (500.0..600.0).contains(&mbps),
+            "kernel rx ceiling {mbps:.0} Mbps out of calibration range"
+        );
+    }
+}

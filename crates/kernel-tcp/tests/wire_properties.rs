@@ -1,0 +1,49 @@
+//! Property tests of the wire formats: fragmentation must tile exactly
+//! and every fragment must fit an Ethernet frame.
+
+use kernel_tcp::wire::{udp_fragments, IpPacket, IpProto, UdpDatagram, IP_MTU_PAYLOAD};
+use proptest::prelude::*;
+use simnet::MTU;
+
+proptest! {
+    #[test]
+    fn udp_fragments_tile_any_length(len in 0usize..1_000_000) {
+        let frags = udp_fragments(len);
+        prop_assert_eq!(frags.iter().sum::<usize>(), len);
+        prop_assert!(!frags.is_empty());
+        for (i, f) in frags.iter().enumerate() {
+            // Every fragment (plus the first one's UDP header) fits IP's
+            // per-frame payload.
+            let overhead = if i == 0 { 8 } else { 0 };
+            prop_assert!(f + overhead <= IP_MTU_PAYLOAD, "fragment {i} too big");
+            // Only the last fragment may be short.
+            if i + 1 < frags.len() && i > 0 {
+                prop_assert_eq!(*f, IP_MTU_PAYLOAD);
+            }
+        }
+    }
+
+    #[test]
+    fn every_udp_fragment_packet_fits_the_mtu(len in 0usize..200_000) {
+        let frags = udp_fragments(len);
+        let count = frags.len() as u32;
+        for (idx, frag_len) in frags.into_iter().enumerate() {
+            let pkt = IpPacket {
+                src: simnet::MacAddr(0),
+                dst: simnet::MacAddr(1),
+                proto: IpProto::UdpFrag {
+                    id: 42,
+                    idx: idx as u32,
+                    count,
+                    dgram: UdpDatagram {
+                        src_port: 1,
+                        dst_port: 2,
+                        data: bytes::Bytes::new(),
+                    },
+                    frag_len,
+                },
+            };
+            prop_assert!(pkt.wire_len() <= MTU);
+        }
+    }
+}

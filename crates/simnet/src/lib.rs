@@ -1,0 +1,49 @@
+//! # simnet — deterministic discrete-event simulation + Gigabit Ethernet
+//!
+//! The substrate every other crate in this workspace stands on:
+//!
+//! * a **discrete-event engine** ([`Sim`]) with nanosecond time, strict
+//!   `(time, sequence)` event ordering and bit-for-bit reproducible runs;
+//! * **simulated processes** ([`ProcessCtx`]) — OS threads in strict
+//!   alternation with the event loop, so protocol and application code is
+//!   written in natural blocking style;
+//! * **synchronization primitives** ([`Completion`], [`SimCondvar`],
+//!   [`SimQueue`], [`SimSemaphore`]) that preserve the engine's park/wake
+//!   discipline;
+//! * a **Gigabit Ethernet physical layer**: exact frame wire-size
+//!   accounting ([`Frame`]), full-duplex links ([`LinkTx`]) and a
+//!   store-and-forward switch ([`Switch`]).
+//!
+//! Everything above this crate — the Tigon2 NIC model, the EMP protocol,
+//! the kernel TCP baseline and the sockets-over-EMP substrate — plugs into
+//! the [`FrameSink`]/[`LinkTx`] pair and the process/event machinery here.
+//!
+//! ## Ownership discipline
+//!
+//! Components never store a [`Sim`] handle; every component method takes a
+//! `&dyn SimAccess` (events get `&Sim`, processes use their
+//! [`ProcessCtx`]). Cross-component references through links are weak.
+//! Consequently `Sim` is the unique owner of the world: dropping it
+//! terminates and joins every simulated-process thread deterministically.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod frame;
+pub mod link;
+pub mod process;
+pub mod stats;
+pub mod switch;
+pub mod sync;
+pub mod time;
+
+pub use engine::{EventFn, Sim, SimAccess, SimAccessExt};
+pub use error::{SimError, SimResult};
+pub use frame::{EtherType, Frame, MacAddr, Payload, MTU};
+pub use link::{FrameSink, LinkConfig, LinkTx};
+pub use process::{ProcId, ProcessCtx};
+pub use stats::{Histogram, RunningStats, Throughput};
+pub use switch::{Switch, SwitchConfig, BROADCAST};
+pub use sync::{wait_any, Completion, SimCondvar, SimQueue, SimSemaphore};
+pub use time::{SimDuration, SimTime};

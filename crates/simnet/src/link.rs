@@ -1,0 +1,286 @@
+//! Full-duplex point-to-point links.
+//!
+//! A [`LinkTx`] models one direction of a link: frames serialize at the
+//! configured line rate (back-to-back frames queue behind `busy_until`, i.e.
+//! an infinite output FIFO whose depth is tracked in the stats), then arrive
+//! at the peer [`FrameSink`] after the propagation delay.
+
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::engine::{SimAccess, SimAccessExt};
+use crate::frame::Frame;
+use crate::stats::Throughput;
+use crate::time::{SimDuration, SimTime};
+
+/// Anything that can receive Ethernet frames: a NIC's MAC, a switch port.
+pub trait FrameSink: Send + Sync {
+    /// Called when the last bit of `frame` has arrived.
+    fn deliver(&self, s: &dyn SimAccess, frame: Frame);
+}
+
+/// Physical-layer parameters of a link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkConfig {
+    /// Line rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay (cable length + PHY latency).
+    pub propagation: SimDuration,
+    /// Failure injection: drop every `n`-th frame (deterministic, so
+    /// lossy runs stay reproducible). `None` = lossless, the testbed
+    /// default (a machine-room Gigabit switch corrupts essentially
+    /// nothing; loss is injected only to exercise reliability paths).
+    pub drop_every: Option<u64>,
+}
+
+impl Default for LinkConfig {
+    /// Gigabit Ethernet over a short machine-room cable.
+    fn default() -> Self {
+        LinkConfig {
+            bandwidth_bps: 1_000_000_000,
+            propagation: SimDuration::from_nanos(500),
+            drop_every: None,
+        }
+    }
+}
+
+struct TxState {
+    busy_until: SimTime,
+    throughput: Throughput,
+    frames_sent: u64,
+    frames_dropped: u64,
+    max_backlog: SimDuration,
+}
+
+/// The transmitting end of one direction of a link.
+///
+/// Holds only a weak reference to the peer sink, so component graphs built
+/// through a switch contain no `Arc` cycles and are reclaimed when the
+/// testbed drops.
+#[derive(Clone)]
+pub struct LinkTx {
+    cfg: LinkConfig,
+    peer: Weak<dyn FrameSink>,
+    state: Arc<Mutex<TxState>>,
+}
+
+impl LinkTx {
+    /// Create a transmitter delivering to `peer`.
+    pub fn new(cfg: LinkConfig, peer: &Arc<dyn FrameSink>) -> Self {
+        LinkTx {
+            cfg,
+            peer: Arc::downgrade(peer),
+            state: Arc::new(Mutex::new(TxState {
+                busy_until: SimTime::ZERO,
+                throughput: Throughput::new(),
+                frames_sent: 0,
+                frames_dropped: 0,
+                max_backlog: SimDuration::ZERO,
+            })),
+        }
+    }
+
+    /// Queue `frame` for transmission. Serialization begins when the wire
+    /// frees up; delivery fires at `start + serialization + propagation`.
+    pub fn send(&self, s: &dyn SimAccess, frame: Frame) {
+        let Some(peer) = self.peer.upgrade() else {
+            return; // peer torn down; drop the frame silently
+        };
+        let now = s.now();
+        let tx_time = SimDuration::for_bits_at_rate(frame.wire_bits(), self.cfg.bandwidth_bps);
+        let (deliver_at, dropped) = {
+            let mut st = self.state.lock();
+            let start = now.max(st.busy_until);
+            let backlog = start.since(now);
+            st.max_backlog = st.max_backlog.max(backlog);
+            st.busy_until = start + tx_time;
+            st.frames_sent += 1;
+            st.throughput.record(s.now(), frame.payload.wire_len() as u64);
+            // Failure injection: the frame still occupies the wire (it is
+            // corrupted in flight, FCS fails at the receiver) but is
+            // never delivered.
+            let dropped = self
+                .cfg
+                .drop_every
+                .is_some_and(|n| st.frames_sent.is_multiple_of(n));
+            if dropped {
+                st.frames_dropped += 1;
+            }
+            (st.busy_until + self.cfg.propagation, dropped)
+        };
+        if !dropped {
+            s.schedule_at(deliver_at, move |sim| peer.deliver(sim, frame));
+        }
+    }
+
+    /// Instant at which the wire becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.state.lock().busy_until
+    }
+
+    /// Total frames handed to this transmitter.
+    pub fn frames_sent(&self) -> u64 {
+        self.state.lock().frames_sent
+    }
+
+    /// Frames corrupted by the injected loss model.
+    pub fn frames_dropped(&self) -> u64 {
+        self.state.lock().frames_dropped
+    }
+
+    /// Longest time a frame waited behind earlier traffic.
+    pub fn max_backlog(&self) -> SimDuration {
+        self.state.lock().max_backlog
+    }
+
+    /// Payload throughput observed so far (Mbps), if any traffic flowed.
+    pub fn payload_mbps(&self) -> Option<f64> {
+        self.state.lock().throughput.mbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sim;
+    use crate::frame::{EtherType, MacAddr, Payload};
+
+    struct Recorder {
+        arrivals: Mutex<Vec<(u64, usize)>>,
+    }
+
+    impl FrameSink for Recorder {
+        fn deliver(&self, s: &dyn SimAccess, frame: Frame) {
+            self.arrivals
+                .lock()
+                .push((s.now().nanos(), frame.payload.wire_len()));
+        }
+    }
+
+    fn frame(len: usize) -> Frame {
+        Frame {
+            src: MacAddr(0),
+            dst: MacAddr(1),
+            ethertype: EtherType::EMP,
+            payload: Payload::new((), len),
+        }
+    }
+
+    #[test]
+    fn single_frame_timing() {
+        let sim = Sim::new();
+        let rec = Arc::new(Recorder {
+            arrivals: Mutex::new(Vec::new()),
+        });
+        let sink: Arc<dyn FrameSink> = rec.clone();
+        let tx = LinkTx::new(
+            LinkConfig {
+                bandwidth_bps: 1_000_000_000,
+                propagation: SimDuration::from_nanos(100),
+                drop_every: None,
+            },
+            &sink,
+        );
+        let tx2 = tx.clone();
+        sim.schedule_at(SimTime::ZERO, move |s| tx2.send(s, frame(4)));
+        sim.run();
+        // 84 bytes on wire = 672 ns serialization + 100 ns propagation.
+        assert_eq!(*rec.arrivals.lock(), vec![(772, 4)]);
+    }
+
+    #[test]
+    fn back_to_back_frames_queue_on_the_wire() {
+        let sim = Sim::new();
+        let rec = Arc::new(Recorder {
+            arrivals: Mutex::new(Vec::new()),
+        });
+        let sink: Arc<dyn FrameSink> = rec.clone();
+        let tx = LinkTx::new(
+            LinkConfig {
+                bandwidth_bps: 1_000_000_000,
+                propagation: SimDuration::ZERO,
+                drop_every: None,
+            },
+            &sink,
+        );
+        let tx2 = tx.clone();
+        sim.schedule_at(SimTime::ZERO, move |s| {
+            // Two MTU frames sent in the same instant: the second must wait
+            // a full serialization time (12304 ns) behind the first.
+            tx2.send(s, frame(1500));
+            tx2.send(s, frame(1500));
+        });
+        sim.run();
+        assert_eq!(*rec.arrivals.lock(), vec![(12_304, 1500), (24_608, 1500)]);
+        assert_eq!(tx.frames_sent(), 2);
+        assert_eq!(tx.max_backlog(), SimDuration::from_nanos(12_304));
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let sim = Sim::new();
+        let rec = Arc::new(Recorder {
+            arrivals: Mutex::new(Vec::new()),
+        });
+        let sink: Arc<dyn FrameSink> = rec.clone();
+        let tx = LinkTx::new(
+            LinkConfig {
+                bandwidth_bps: 1_000_000_000,
+                propagation: SimDuration::ZERO,
+                drop_every: None,
+            },
+            &sink,
+        );
+        let tx2 = tx.clone();
+        sim.schedule_at(SimTime::ZERO, move |s| tx2.send(s, frame(4)));
+        let tx3 = tx.clone();
+        sim.schedule_at(SimTime::from_nanos(100_000), move |s| tx3.send(s, frame(4)));
+        sim.run();
+        assert_eq!(*rec.arrivals.lock(), vec![(672, 4), (100_672, 4)]);
+        assert_eq!(tx.max_backlog(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn loss_injection_drops_every_nth_frame() {
+        let sim = Sim::new();
+        let rec = Arc::new(Recorder {
+            arrivals: Mutex::new(Vec::new()),
+        });
+        let sink: Arc<dyn FrameSink> = rec.clone();
+        let tx = LinkTx::new(
+            LinkConfig {
+                bandwidth_bps: 1_000_000_000,
+                propagation: SimDuration::ZERO,
+                drop_every: Some(3),
+            },
+            &sink,
+        );
+        let tx2 = tx.clone();
+        sim.schedule_at(SimTime::ZERO, move |s| {
+            for _ in 0..9 {
+                tx2.send(s, frame(4));
+            }
+        });
+        sim.run();
+        assert_eq!(rec.arrivals.lock().len(), 6, "frames 3, 6, 9 dropped");
+        assert_eq!(tx.frames_dropped(), 3);
+        assert_eq!(tx.frames_sent(), 9);
+    }
+
+    #[test]
+    fn dropped_peer_discards_frames() {
+        let sim = Sim::new();
+        let rec = Arc::new(Recorder {
+            arrivals: Mutex::new(Vec::new()),
+        });
+        let sink: Arc<dyn FrameSink> = rec.clone();
+        let tx = LinkTx::new(LinkConfig::default(), &sink);
+        drop(sink);
+        drop(rec); // peer fully gone
+        let tx2 = tx.clone();
+        sim.schedule_at(SimTime::ZERO, move |s| tx2.send(s, frame(4)));
+        sim.run(); // must not panic
+        assert_eq!(tx.frames_sent(), 0);
+    }
+}

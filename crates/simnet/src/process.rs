@@ -1,0 +1,417 @@
+//! Thread-backed simulated processes with blocking semantics.
+//!
+//! Each simulated process runs on a dedicated OS thread, but in **strict
+//! alternation** with the event loop: a rendezvous-channel token travels
+//! between the scheduler and the process, so exactly one of them executes at
+//! any instant. This gives application code (ftp clients, web servers, ...)
+//! natural blocking `read()`/`write()` style without an async runtime, while
+//! keeping the whole simulation deterministic.
+//!
+//! The 1:1 park/wake discipline: a parked process has *exactly one* pending
+//! wake-up — scheduled either by [`ProcessCtx::delay`] or by the sync
+//! primitive it blocked on. Blocking primitives outside this crate must be
+//! built from [`crate::sync`] types (or `delay`), never by scheduling raw
+//! wakes, which is why `SimShared::schedule_wake` is crate-private.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::engine::{SimAccess, SimShared};
+use crate::error::{SimError, SimResult};
+use crate::time::SimDuration;
+
+/// Identifier of a simulated process (index into the process table).
+pub type ProcId = usize;
+
+enum Resume {
+    Run,
+    Terminate,
+}
+
+enum YieldMsg {
+    /// The process blocked; a wake-up event is already scheduled or will be
+    /// scheduled by whichever primitive it blocked on.
+    Parked,
+    /// The process function returned.
+    Finished(SimResult<()>),
+    /// The process function panicked; the payload is the panic message.
+    Panicked(String),
+}
+
+struct ProcSlot {
+    name: String,
+    resume_tx: Sender<Resume>,
+    yield_rx: Receiver<YieldMsg>,
+    join: Option<JoinHandle<()>>,
+    finished: bool,
+}
+
+/// Handle given to a process closure; provides time, scheduling and the
+/// blocking primitives.
+pub struct ProcessCtx {
+    shared: Weak<SimShared>,
+    pid: ProcId,
+    name: String,
+    resume_rx: Receiver<Resume>,
+    yield_tx: Sender<YieldMsg>,
+}
+
+impl SimAccess for ProcessCtx {
+    fn shared(&self) -> Arc<SimShared> {
+        self.shared
+            .upgrade()
+            .expect("simulation dropped while process was running")
+    }
+}
+
+impl ProcessCtx {
+    /// This process's id.
+    pub fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    /// The name given at spawn time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Consume `d` of simulated time (models CPU work or an explicit sleep).
+    pub fn delay(&self, d: SimDuration) -> SimResult<()> {
+        let shared = self.shared();
+        let at = shared.now() + d;
+        shared.schedule_wake(self.pid, at);
+        self.park()
+    }
+
+    /// Yield the CPU: re-run this process after all events already queued
+    /// for the current instant.
+    pub fn yield_now(&self) -> SimResult<()> {
+        let shared = self.shared();
+        let now = shared.now();
+        shared.schedule_wake(self.pid, now);
+        self.park()
+    }
+
+    /// Spawn a sibling process starting at the current simulated time.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ProcId
+    where
+        F: FnOnce(&mut ProcessCtx) -> SimResult<()> + Send + 'static,
+    {
+        let shared = self.shared();
+        let pid = ProcTable::spawn(&shared, name.into(), f);
+        shared.schedule_wake(pid, shared.now());
+        pid
+    }
+
+    /// Park this process. A wake-up must already be arranged (crate-internal;
+    /// see module docs for the discipline).
+    pub(crate) fn park(&self) -> SimResult<()> {
+        self.yield_tx
+            .send(YieldMsg::Parked)
+            .map_err(|_| SimError::Terminated)?;
+        match self.resume_rx.recv() {
+            Ok(Resume::Run) => Ok(()),
+            _ => Err(SimError::Terminated),
+        }
+    }
+}
+
+/// What happened when a process was stepped.
+pub(crate) enum StepOutcome {
+    Parked,
+    Finished,
+    Failed(String),
+}
+
+/// A single scheduler→process handoff, detached from the process-table lock.
+pub(crate) struct Step {
+    resume_tx: Sender<Resume>,
+    yield_rx: Receiver<YieldMsg>,
+    name: String,
+}
+
+/// Real-time watchdog for the scheduler/process rendezvous: a handoff
+/// that takes this long means the strict-alternation protocol broke
+/// (e.g. a process blocked outside the engine's primitives). Turning the
+/// freeze into a panic with the process name makes such bugs debuggable.
+const HANDOFF_WATCHDOG: std::time::Duration = std::time::Duration::from_secs(30);
+
+impl Step {
+    pub(crate) fn run(self) -> StepOutcome {
+        match self.resume_tx.send_timeout(Resume::Run, HANDOFF_WATCHDOG) {
+            Ok(()) => {}
+            Err(crossbeam::channel::SendTimeoutError::Timeout(_)) => {
+                panic!(
+                    "engine handoff stuck: process '{}' did not accept its wake-up                      within {HANDOFF_WATCHDOG:?} — it is blocked outside the                      simulation's blocking primitives",
+                    self.name
+                );
+            }
+            Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => {
+                // Thread gone (should not happen for a non-finished slot).
+                return StepOutcome::Finished;
+            }
+        }
+        let received = match self.yield_rx.recv_timeout(HANDOFF_WATCHDOG) {
+            Ok(msg) => Ok(msg),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                panic!(
+                    "engine handoff stuck: process '{}' was resumed but did not                      yield within {HANDOFF_WATCHDOG:?} — it is blocked outside                      the simulation's blocking primitives",
+                    self.name
+                );
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => Err(()),
+        };
+        match received {
+            Ok(YieldMsg::Parked) => StepOutcome::Parked,
+            Ok(YieldMsg::Finished(Ok(()))) | Ok(YieldMsg::Finished(Err(SimError::Terminated))) => {
+                StepOutcome::Finished
+            }
+            Ok(YieldMsg::Finished(Err(e))) => {
+                StepOutcome::Failed(format!("process '{}': {e}", self.name))
+            }
+            Ok(YieldMsg::Panicked(msg)) => {
+                StepOutcome::Failed(format!("process '{}' panicked: {msg}", self.name))
+            }
+            Err(()) => StepOutcome::Finished,
+        }
+    }
+}
+
+/// Registry of all processes in a simulation.
+pub(crate) struct ProcTable {
+    slots: Vec<ProcSlot>,
+}
+
+impl ProcTable {
+    pub(crate) fn new() -> Self {
+        ProcTable { slots: Vec::new() }
+    }
+
+    /// Spawn the backing thread and register the slot. The new process does
+    /// not run until its first wake event fires.
+    pub(crate) fn spawn<F>(shared: &Arc<SimShared>, name: String, f: F) -> ProcId
+    where
+        F: FnOnce(&mut ProcessCtx) -> SimResult<()> + Send + 'static,
+    {
+        let (resume_tx, resume_rx) = bounded::<Resume>(0);
+        let (yield_tx, yield_rx) = bounded::<YieldMsg>(0);
+        let mut table = shared.procs.lock();
+        let pid = table.slots.len();
+        let mut ctx = ProcessCtx {
+            shared: Arc::downgrade(shared),
+            pid,
+            name: name.clone(),
+            resume_rx,
+            yield_tx,
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("sim-proc-{pid}-{name}"))
+            .spawn(move || {
+                // Wait for the first wake; Terminate here means the sim was
+                // dropped before this process ever ran.
+                match ctx.resume_rx.recv() {
+                    Ok(Resume::Run) => {}
+                    _ => return,
+                }
+                let result = catch_unwind(AssertUnwindSafe(|| (f)(&mut ctx)));
+                let msg = match result {
+                    Ok(res) => YieldMsg::Finished(res),
+                    // `&*payload`: deref the Box explicitly, otherwise the
+                    // Box itself coerces to `dyn Any` and downcasts fail.
+                    Err(payload) => YieldMsg::Panicked(panic_message(&*payload)),
+                };
+                // Ignore failure: during teardown the receiver is dropped.
+                let _ = ctx.yield_tx.send(msg);
+            })
+            .expect("failed to spawn simulated-process thread");
+        table.slots.push(ProcSlot {
+            name,
+            resume_tx,
+            yield_rx,
+            join: Some(join),
+            finished: false,
+        });
+        pid
+    }
+
+    /// Prepare to step `pid`; returns `None` if it already finished.
+    pub(crate) fn begin_step(&self, pid: ProcId) -> Option<Step> {
+        let slot = &self.slots[pid];
+        if slot.finished {
+            return None;
+        }
+        Some(Step {
+            resume_tx: slot.resume_tx.clone(),
+            yield_rx: slot.yield_rx.clone(),
+            name: slot.name.clone(),
+        })
+    }
+
+    pub(crate) fn mark_finished(&mut self, pid: ProcId) {
+        let slot = &mut self.slots[pid];
+        slot.finished = true;
+        if let Some(join) = slot.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// Terminate every live process and join its thread. Called from
+    /// `Sim::drop`; afterwards the table is empty.
+    pub(crate) fn terminate_all(&mut self) {
+        for slot in self.slots.drain(..) {
+            if !slot.finished {
+                // The thread is parked in a recv; the rendezvous send hands
+                // it the Terminate token.
+                let _ = slot.resume_tx.send(Resume::Terminate);
+            }
+            // Drop our end of the yield channel so a final Finished send
+            // errors out instead of blocking forever.
+            drop(slot.yield_rx);
+            if let Some(join) = slot.join {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Sim, SimAccessExt};
+    use crate::time::SimTime;
+    use parking_lot::Mutex;
+
+    #[test]
+    fn delay_advances_process_time() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log2 = Arc::clone(&log);
+        sim.spawn("delayer", move |ctx| {
+            for _ in 0..3 {
+                ctx.delay(SimDuration::from_micros(10))?;
+                log2.lock().push(ctx.now().nanos());
+            }
+            Ok(())
+        });
+        sim.run();
+        assert_eq!(*log.lock(), vec![10_000, 20_000, 30_000]);
+    }
+
+    #[test]
+    fn processes_interleave_deterministically() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for (name, step) in [("a", 3u64), ("b", 5u64)] {
+            let log = Arc::clone(&log);
+            sim.spawn(name, move |ctx| {
+                for _ in 0..4 {
+                    ctx.delay(SimDuration::from_nanos(step))?;
+                    log.lock().push((ctx.name().to_string(), ctx.now().nanos()));
+                }
+                Ok(())
+            });
+        }
+        sim.run();
+        let got: Vec<(String, u64)> = log.lock().clone();
+        let expect: Vec<(String, u64)> = vec![
+            ("a".into(), 3),
+            ("b".into(), 5),
+            ("a".into(), 6),
+            ("a".into(), 9),
+            ("b".into(), 10),
+            ("a".into(), 12),
+            ("b".into(), 15),
+            ("b".into(), 20),
+        ];
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn spawn_from_process_starts_at_current_time() {
+        let sim = Sim::new();
+        let seen = Arc::new(Mutex::new(None));
+        let seen2 = Arc::clone(&seen);
+        sim.spawn("parent", move |ctx| {
+            ctx.delay(SimDuration::from_micros(7))?;
+            let seen3 = Arc::clone(&seen2);
+            ctx.spawn("child", move |ctx| {
+                *seen3.lock() = Some(ctx.now().nanos());
+                Ok(())
+            });
+            Ok(())
+        });
+        sim.run();
+        assert_eq!(*seen.lock(), Some(7_000));
+    }
+
+    #[test]
+    fn yield_now_runs_after_queued_events() {
+        let sim = Sim::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let log_p = Arc::clone(&log);
+        let log_e = Arc::clone(&log);
+        sim.spawn("yielder", move |ctx| {
+            log_p.lock().push("proc-before");
+            ctx.yield_now()?;
+            log_p.lock().push("proc-after");
+            Ok(())
+        });
+        sim.schedule_at(SimTime::ZERO, move |_| log_e.lock().push("event"));
+        sim.run();
+        assert_eq!(*log.lock(), vec!["proc-before", "event", "proc-after"]);
+    }
+
+    #[test]
+    fn dropping_sim_terminates_parked_processes() {
+        let sim = Sim::new();
+        let cleanly_terminated = Arc::new(Mutex::new(false));
+        let flag = Arc::clone(&cleanly_terminated);
+        sim.spawn("sleeper", move |ctx| {
+            // Park forever: the sim is dropped before this wake fires.
+            let res = ctx.delay(SimDuration::from_secs(10_000));
+            if res == Err(SimError::Terminated) {
+                *flag.lock() = true;
+            }
+            res
+        });
+        sim.run_until(SimTime::from_nanos(1));
+        drop(sim); // must not hang, must join the thread
+        assert!(*cleanly_terminated.lock());
+    }
+
+    #[test]
+    fn never_started_process_is_reclaimed() {
+        let sim = Sim::new();
+        sim.spawn("never-runs", |_ctx| Ok(()));
+        drop(sim); // process never stepped; drop must still join it
+    }
+
+    #[test]
+    #[should_panic(expected = "process 'bomber' panicked: boom")]
+    fn process_panic_propagates_to_run() {
+        let sim = Sim::new();
+        sim.spawn("bomber", |_ctx| panic!("boom"));
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "process 'failer': application error: gave up")]
+    fn process_app_error_propagates_to_run() {
+        let sim = Sim::new();
+        sim.spawn("failer", |_ctx| Err(SimError::app("gave up")));
+        sim.run();
+    }
+}

@@ -1,0 +1,294 @@
+//! A store-and-forward Ethernet switch (the testbed's "Packet Engines"
+//! switch).
+//!
+//! Frames fully arrive on an input port (the input link models that), pass
+//! through the switching fabric after a fixed forwarding latency, then
+//! serialize onto the output port's link — which is busy while earlier
+//! frames drain, giving per-output-port queueing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::engine::{SimAccess, SimAccessExt};
+use crate::frame::{Frame, MacAddr};
+use crate::link::{FrameSink, LinkConfig, LinkTx};
+use crate::time::SimDuration;
+
+/// Destination address that floods to every port.
+pub const BROADCAST: MacAddr = MacAddr(0xFFFF);
+
+/// Switch parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchConfig {
+    /// Fabric latency between full frame reception and the start of
+    /// transmission on the output port.
+    pub forwarding_latency: SimDuration,
+    /// Physical parameters of every attached link.
+    pub link: LinkConfig,
+}
+
+impl Default for SwitchConfig {
+    /// A late-1990s store-and-forward Gigabit switch: a couple of
+    /// microseconds of fabric latency on top of store-and-forward.
+    fn default() -> Self {
+        SwitchConfig {
+            forwarding_latency: SimDuration::from_micros(2),
+            link: LinkConfig::default(),
+        }
+    }
+}
+
+struct PortState {
+    tx: LinkTx,
+    // Keeps the ingress sink alive for the lifetime of the switch; the
+    // node-side LinkTx only holds a Weak to it.
+    _ingress: Arc<PortIngress>,
+}
+
+struct SwitchState {
+    ports: Vec<PortState>,
+    fdb: HashMap<MacAddr, usize>,
+    forwarded: u64,
+    flooded: u64,
+}
+
+struct SwitchInner {
+    cfg: SwitchConfig,
+    state: Mutex<SwitchState>,
+}
+
+/// The switch itself. Attach stations with [`Switch::attach`].
+pub struct Switch {
+    inner: Arc<SwitchInner>,
+}
+
+impl Switch {
+    /// An empty switch.
+    pub fn new(cfg: SwitchConfig) -> Self {
+        Switch {
+            inner: Arc::new(SwitchInner {
+                cfg,
+                state: Mutex::new(SwitchState {
+                    ports: Vec::new(),
+                    fdb: HashMap::new(),
+                    forwarded: 0,
+                    flooded: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Attach a station. `peer` receives frames the switch forwards to this
+    /// port; the returned [`LinkTx`] is the station's transmitter *towards*
+    /// the switch.
+    pub fn attach(&self, peer: &Arc<dyn FrameSink>) -> LinkTx {
+        let mut st = self.inner.state.lock();
+        let port = st.ports.len();
+        let egress = LinkTx::new(self.inner.cfg.link, peer);
+        let ingress = Arc::new(PortIngress {
+            switch: Arc::downgrade(&self.inner),
+            port,
+        });
+        st.ports.push(PortState {
+            tx: egress,
+            _ingress: Arc::clone(&ingress),
+        });
+        let sink: Arc<dyn FrameSink> = ingress;
+        LinkTx::new(self.inner.cfg.link, &sink)
+    }
+
+    /// Statically map `mac` to the given port (stations register at boot;
+    /// dynamic learning also runs on every received frame).
+    pub fn register_mac(&self, mac: MacAddr, port: usize) {
+        self.inner.state.lock().fdb.insert(mac, port);
+    }
+
+    /// Frames forwarded to a known unicast destination.
+    pub fn frames_forwarded(&self) -> u64 {
+        self.inner.state.lock().forwarded
+    }
+
+    /// Frames flooded (unknown destination or broadcast).
+    pub fn frames_flooded(&self) -> u64 {
+        self.inner.state.lock().flooded
+    }
+}
+
+struct PortIngress {
+    switch: Weak<SwitchInner>,
+    port: usize,
+}
+
+impl FrameSink for PortIngress {
+    fn deliver(&self, s: &dyn SimAccess, frame: Frame) {
+        let Some(switch) = self.switch.upgrade() else {
+            return;
+        };
+        let in_port = self.port;
+        {
+            let mut st = switch.state.lock();
+            st.fdb.insert(frame.src, in_port);
+        }
+        let latency = switch.cfg.forwarding_latency;
+        s.schedule_after(latency, move |sim| {
+            let (txs, counted_flood) = {
+                let mut st = switch.state.lock();
+                match (frame.dst != BROADCAST)
+                    .then(|| st.fdb.get(&frame.dst).copied())
+                    .flatten()
+                {
+                    Some(out_port) => {
+                        st.forwarded += 1;
+                        (vec![st.ports[out_port].tx.clone()], false)
+                    }
+                    None => {
+                        st.flooded += 1;
+                        let txs = st
+                            .ports
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| *i != in_port)
+                            .map(|(_, p)| p.tx.clone())
+                            .collect();
+                        (txs, true)
+                    }
+                }
+            };
+            let _ = counted_flood;
+            for tx in txs {
+                tx.send(sim, frame.clone());
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sim;
+    use crate::frame::{EtherType, Payload};
+    use crate::time::SimTime;
+
+    struct Station {
+        mac: MacAddr,
+        arrivals: Mutex<Vec<(u64, MacAddr)>>,
+    }
+
+    impl FrameSink for Station {
+        fn deliver(&self, s: &dyn SimAccess, frame: Frame) {
+            // Flooded frames may carry a foreign unicast destination; a real
+            // NIC in non-promiscuous mode would filter them, which upper
+            // layers in this workspace do. Record everything here.
+            let _ = self.mac;
+            self.arrivals.lock().push((s.now().nanos(), frame.src));
+        }
+    }
+
+    fn testbed(n: usize) -> (Sim, Switch, Vec<Arc<Station>>, Vec<LinkTx>) {
+        let sim = Sim::new();
+        let switch = Switch::new(SwitchConfig {
+            forwarding_latency: SimDuration::from_micros(2),
+            link: LinkConfig {
+                bandwidth_bps: 1_000_000_000,
+                propagation: SimDuration::from_nanos(100),
+                drop_every: None,
+            },
+        });
+        let mut stations = Vec::new();
+        let mut txs = Vec::new();
+        for i in 0..n {
+            let st = Arc::new(Station {
+                mac: MacAddr(i as u16),
+                arrivals: Mutex::new(Vec::new()),
+            });
+            let sink: Arc<dyn FrameSink> = st.clone();
+            let tx = switch.attach(&sink);
+            switch.register_mac(st.mac, i);
+            stations.push(st);
+            txs.push(tx);
+        }
+        (sim, switch, stations, txs)
+    }
+
+    fn frame(src: u16, dst: u16, len: usize) -> Frame {
+        Frame {
+            src: MacAddr(src),
+            dst: MacAddr(dst),
+            ethertype: EtherType::EMP,
+            payload: Payload::new((), len),
+        }
+    }
+
+    #[test]
+    fn unicast_end_to_end_timing() {
+        let (sim, switch, stations, txs) = testbed(3);
+        let tx = txs[0].clone();
+        sim.schedule_at(SimTime::ZERO, move |s| tx.send(s, frame(0, 1, 4)));
+        sim.run();
+        // 84B min frame: 672 ns serialize + 100 ns prop (ingress link)
+        // + 2000 ns fabric + 672 ns serialize + 100 ns prop (egress link).
+        assert_eq!(*stations[1].arrivals.lock(), vec![(3_544, MacAddr(0))]);
+        assert!(stations[2].arrivals.lock().is_empty());
+        assert_eq!(switch.frames_forwarded(), 1);
+        assert_eq!(switch.frames_flooded(), 0);
+    }
+
+    #[test]
+    fn unknown_destination_floods_all_but_ingress() {
+        let (sim, switch, stations, txs) = testbed(3);
+        let tx = txs[0].clone();
+        sim.schedule_at(SimTime::ZERO, move |s| tx.send(s, frame(0, 99, 4)));
+        sim.run();
+        assert!(stations[0].arrivals.lock().is_empty());
+        assert_eq!(stations[1].arrivals.lock().len(), 1);
+        assert_eq!(stations[2].arrivals.lock().len(), 1);
+        assert_eq!(switch.frames_flooded(), 1);
+    }
+
+    #[test]
+    fn broadcast_floods() {
+        let (sim, _switch, stations, txs) = testbed(4);
+        let tx = txs[2].clone();
+        sim.schedule_at(SimTime::ZERO, move |s| tx.send(s, frame(2, BROADCAST.0, 4)));
+        sim.run();
+        for (i, st) in stations.iter().enumerate() {
+            let n = st.arrivals.lock().len();
+            assert_eq!(n, usize::from(i != 2), "station {i}");
+        }
+    }
+
+    #[test]
+    fn switch_learns_source_ports() {
+        let (sim, switch, stations, txs) = testbed(2);
+        // Forget static registrations, force learning.
+        {
+            let mut st = switch.inner.state.lock();
+            st.fdb.clear();
+        }
+        let tx0 = txs[0].clone();
+        sim.schedule_at(SimTime::ZERO, move |s| tx0.send(s, frame(0, 1, 4))); // floods, learns 0
+        let tx1 = txs[1].clone();
+        sim.schedule_at(SimTime::from_micros(50), move |s| tx1.send(s, frame(1, 0, 4))); // forwarded
+        sim.run();
+        assert_eq!(switch.frames_flooded(), 1);
+        assert_eq!(switch.frames_forwarded(), 1);
+        assert_eq!(stations[0].arrivals.lock().len(), 1);
+    }
+
+    #[test]
+    fn congested_output_port_queues() {
+        let (sim, _switch, stations, txs) = testbed(3);
+        // Stations 0 and 2 both blast an MTU frame at station 1 at t=0.
+        let tx0 = txs[0].clone();
+        let tx2 = txs[2].clone();
+        sim.schedule_at(SimTime::ZERO, move |s| tx0.send(s, frame(0, 1, 1500)));
+        sim.schedule_at(SimTime::ZERO, move |s| tx2.send(s, frame(2, 1, 1500)));
+        sim.run();
+        let arr = stations[1].arrivals.lock();
+        assert_eq!(arr.len(), 2);
+        // Second frame serializes behind the first on the egress link.
+        assert_eq!(arr[1].0 - arr[0].0, 12_304);
+    }
+}

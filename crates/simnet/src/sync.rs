@@ -1,0 +1,576 @@
+//! Synchronization primitives for simulated processes.
+//!
+//! These are the only legal ways (besides [`ProcessCtx::delay`]) for a
+//! process to block, preserving the engine's 1:1 park/wake discipline:
+//!
+//! * [`Completion`] — one-shot broadcast ("this operation finished").
+//! * [`SimCondvar`] — multi-shot condition variable; pair it with shared
+//!   state and a re-check loop, exactly like a real condvar.
+//! * [`SimQueue`] — FIFO queue with blocking pop (accept queues, mailboxes).
+//! * [`SimSemaphore`] — counting semaphore (credit pools).
+//!
+//! All of them may be signalled from event context (`&Sim`) or from another
+//! process (`&ProcessCtx`) via the common [`SimAccess`] bound.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::SimAccess;
+use crate::error::SimResult;
+use crate::process::{ProcId, ProcessCtx};
+
+/// Guard ensuring a parked process receives at most one wake-up even when
+/// registered with several completions (`wait_any`). The first completion
+/// to fire claims the guard; the rest see it spent and skip the wake.
+struct WaitGuard {
+    pid: ProcId,
+    woken: std::sync::atomic::AtomicBool,
+}
+
+impl WaitGuard {
+    fn new(pid: ProcId) -> Arc<Self> {
+        Arc::new(WaitGuard {
+            pid,
+            woken: std::sync::atomic::AtomicBool::new(false),
+        })
+    }
+
+    /// Claim the guard; true exactly once.
+    fn claim(&self) -> bool {
+        !self.woken.swap(true, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn spent(&self) -> bool {
+        self.woken.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// A one-shot event: processes wait, anyone completes it exactly once.
+#[derive(Clone, Default)]
+pub struct Completion {
+    inner: Arc<Mutex<CompletionState>>,
+}
+
+#[derive(Default)]
+struct CompletionState {
+    done: bool,
+    waiters: Vec<Arc<WaitGuard>>,
+}
+
+impl Completion {
+    /// A fresh, incomplete completion.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A completion born already complete (waiters return immediately).
+    pub fn new_done() -> Self {
+        let c = Completion::new();
+        c.inner.lock().done = true;
+        c
+    }
+
+    /// True once [`Completion::complete`] has been called.
+    pub fn is_done(&self) -> bool {
+        self.inner.lock().done
+    }
+
+    /// Mark complete and wake all waiters. Subsequent calls are no-ops.
+    pub fn complete(&self, s: &dyn SimAccess) {
+        let waiters = {
+            let mut st = self.inner.lock();
+            if st.done {
+                return;
+            }
+            st.done = true;
+            std::mem::take(&mut st.waiters)
+        };
+        let shared = s.shared();
+        let now = shared.now();
+        for guard in waiters {
+            if guard.claim() {
+                shared.schedule_wake(guard.pid, now);
+            }
+        }
+    }
+
+    fn register(&self, guard: &Arc<WaitGuard>) -> bool {
+        let mut st = self.inner.lock();
+        if st.done {
+            return false;
+        }
+        // Prune guards spent by other completions so long-lived completions
+        // (e.g. a control channel polled by every read) stay small.
+        st.waiters.retain(|w| !w.spent());
+        st.waiters.push(Arc::clone(guard));
+        true
+    }
+
+    /// Block the calling process until complete. Returns immediately if
+    /// already complete; consumes no simulated time.
+    pub fn wait(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        let guard = WaitGuard::new(ctx.pid());
+        if self.register(&guard) {
+            ctx.park()?;
+            debug_assert!(self.is_done(), "completion waiter woken before completion");
+        }
+        Ok(())
+    }
+}
+
+/// Block until any of `completions` is done; returns the index of the
+/// first done one (ties broken by position). Completions the process
+/// remains registered with after waking cannot re-wake it: wake-up rights
+/// are mediated by a one-shot guard.
+pub fn wait_any(ctx: &ProcessCtx, completions: &[&Completion]) -> SimResult<usize> {
+    assert!(!completions.is_empty(), "wait_any on an empty set");
+    loop {
+        if let Some(idx) = completions.iter().position(|c| c.is_done()) {
+            return Ok(idx);
+        }
+        let guard = WaitGuard::new(ctx.pid());
+        let mut registered_any = false;
+        let mut fired = false;
+        for c in completions {
+            if !c.register(&guard) {
+                // Completed during registration — impossible under strict
+                // alternation, but handle it defensively: claim our own
+                // guard so a racing complete() cannot double-wake.
+                fired = true;
+                break;
+            }
+            registered_any = true;
+        }
+        if fired {
+            if guard.claim() {
+                // Nobody woke us; loop to pick the completed index.
+                continue;
+            }
+            // A completion claimed the guard: a wake event is scheduled
+            // for us, so we must park to consume it.
+            ctx.park()?;
+            continue;
+        }
+        debug_assert!(registered_any);
+        ctx.park()?;
+    }
+}
+
+/// A condition variable for simulated processes.
+///
+/// Usage mirrors a classic condvar: guard shared state with a
+/// [`parking_lot::Mutex`], and in the waiter loop re-check the predicate
+/// after every wake (wakes can be spurious when several processes contend):
+///
+/// ```
+/// use simnet::{Sim, SimCondvar, SimAccess};
+/// use parking_lot::Mutex;
+/// use std::sync::Arc;
+///
+/// let sim = Sim::new();
+/// let ready = Arc::new(Mutex::new(false));
+/// let cv = SimCondvar::new();
+///
+/// let (r2, cv2) = (Arc::clone(&ready), cv.clone());
+/// sim.spawn("consumer", move |ctx| {
+///     while !*r2.lock() {
+///         cv2.wait(ctx)?;
+///     }
+///     Ok(())
+/// });
+/// let (r3, cv3) = (ready, cv);
+/// sim.spawn("producer", move |ctx| {
+///     ctx.delay(simnet::SimDuration::from_micros(1))?;
+///     *r3.lock() = true;
+///     cv3.notify_all(ctx);
+///     Ok(())
+/// });
+/// sim.run();
+/// ```
+///
+/// Never hold the state mutex across `wait` — check, drop the guard, wait,
+/// re-check (the strict-alternation engine makes the unlocked window safe:
+/// nothing runs between the predicate check and the park).
+#[derive(Clone, Default)]
+pub struct SimCondvar {
+    waiters: Arc<Mutex<Vec<ProcId>>>,
+}
+
+impl SimCondvar {
+    /// A condvar with no waiters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wake every currently waiting process.
+    pub fn notify_all(&self, s: &dyn SimAccess) {
+        let waiters = std::mem::take(&mut *self.waiters.lock());
+        let shared = s.shared();
+        let now = shared.now();
+        for pid in waiters {
+            shared.schedule_wake(pid, now);
+        }
+    }
+
+    /// Block until the next `notify_all`. Always re-check the guarded
+    /// predicate in a loop around this call.
+    pub fn wait(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        self.waiters.lock().push(ctx.pid());
+        ctx.park()
+    }
+}
+
+/// An unbounded FIFO queue with blocking pop.
+#[derive(Clone)]
+pub struct SimQueue<T> {
+    inner: Arc<Mutex<QueueState<T>>>,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    waiters: VecDeque<ProcId>,
+}
+
+impl<T> Default for SimQueue<T> {
+    fn default() -> Self {
+        SimQueue {
+            inner: Arc::new(Mutex::new(QueueState {
+                items: VecDeque::new(),
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+}
+
+impl<T: Send> SimQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an item and wake the longest-waiting popper, if any.
+    pub fn push(&self, s: &dyn SimAccess, item: T) {
+        let waiter = {
+            let mut st = self.inner.lock();
+            st.items.push_back(item);
+            st.waiters.pop_front()
+        };
+        if let Some(pid) = waiter {
+            let shared = s.shared();
+            let now = shared.now();
+            shared.schedule_wake(pid, now);
+        }
+    }
+
+    /// Remove the head item, blocking while the queue is empty.
+    pub fn pop(&self, ctx: &ProcessCtx) -> SimResult<T> {
+        loop {
+            {
+                let mut st = self.inner.lock();
+                if let Some(item) = st.items.pop_front() {
+                    return Ok(item);
+                }
+                st.waiters.push_back(ctx.pid());
+            }
+            ctx.park()?;
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner.lock().items.pop_front()
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// True if no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A counting semaphore; the substrate uses one per connection as the
+/// sender-side credit pool.
+#[derive(Clone)]
+pub struct SimSemaphore {
+    inner: Arc<Mutex<SemState>>,
+}
+
+struct SemState {
+    permits: u64,
+    waiters: VecDeque<ProcId>,
+}
+
+impl SimSemaphore {
+    /// A semaphore holding `permits` initial permits.
+    pub fn new(permits: u64) -> Self {
+        SimSemaphore {
+            inner: Arc::new(Mutex::new(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Current number of available permits.
+    pub fn available(&self) -> u64 {
+        self.inner.lock().permits
+    }
+
+    /// Take `n` permits, blocking until they are available.
+    pub fn acquire(&self, ctx: &ProcessCtx, n: u64) -> SimResult<()> {
+        loop {
+            {
+                let mut st = self.inner.lock();
+                if st.permits >= n {
+                    st.permits -= n;
+                    return Ok(());
+                }
+                st.waiters.push_back(ctx.pid());
+            }
+            ctx.park()?;
+        }
+    }
+
+    /// Try to take `n` permits without blocking.
+    pub fn try_acquire(&self, n: u64) -> bool {
+        let mut st = self.inner.lock();
+        if st.permits >= n {
+            st.permits -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return `n` permits and wake all waiters to re-contend (wakes may be
+    /// spurious; `acquire` re-checks).
+    pub fn release(&self, s: &dyn SimAccess, n: u64) {
+        let waiters = {
+            let mut st = self.inner.lock();
+            st.permits += n;
+            std::mem::take(&mut st.waiters)
+        };
+        let shared = s.shared();
+        let now = shared.now();
+        for pid in waiters {
+            shared.schedule_wake(pid, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Sim, SimAccessExt};
+    use crate::time::{SimDuration, SimTime};
+
+    #[test]
+    fn completion_wakes_waiter_at_completion_time() {
+        let sim = Sim::new();
+        let done = Completion::new();
+        let woke_at = Arc::new(Mutex::new(None));
+        let (d2, w2) = (done.clone(), Arc::clone(&woke_at));
+        sim.spawn("waiter", move |ctx| {
+            d2.wait(ctx)?;
+            *w2.lock() = Some(ctx.now().nanos());
+            Ok(())
+        });
+        let d3 = done.clone();
+        sim.schedule_at(SimTime::from_nanos(42), move |sim| d3.complete(sim));
+        sim.run();
+        assert_eq!(*woke_at.lock(), Some(42));
+        assert!(done.is_done());
+    }
+
+    #[test]
+    fn wait_on_done_completion_returns_immediately() {
+        let sim = Sim::new();
+        let done = Completion::new();
+        let d2 = done.clone();
+        sim.spawn("completer-then-waiter", move |ctx| {
+            d2.complete(ctx);
+            d2.wait(ctx)?; // must not block
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            Ok(())
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn completion_wakes_all_waiters() {
+        let sim = Sim::new();
+        let done = Completion::new();
+        let count = Arc::new(Mutex::new(0u32));
+        for i in 0..5 {
+            let (d, c) = (done.clone(), Arc::clone(&count));
+            sim.spawn(format!("w{i}"), move |ctx| {
+                d.wait(ctx)?;
+                *c.lock() += 1;
+                Ok(())
+            });
+        }
+        let d = done.clone();
+        sim.schedule_at(SimTime::from_nanos(10), move |sim| d.complete(sim));
+        sim.run();
+        assert_eq!(*count.lock(), 5);
+    }
+
+    #[test]
+    fn queue_delivers_in_fifo_order_and_blocks() {
+        let sim = Sim::new();
+        let q: SimQueue<u32> = SimQueue::new();
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let (q2, g2) = (q.clone(), Arc::clone(&got));
+        sim.spawn("popper", move |ctx| {
+            for _ in 0..3 {
+                let v = q2.pop(ctx)?;
+                g2.lock().push((v, ctx.now().nanos()));
+            }
+            Ok(())
+        });
+        let q3 = q.clone();
+        sim.spawn("pusher", move |ctx| {
+            for v in 1..=3u32 {
+                ctx.delay(SimDuration::from_nanos(100))?;
+                q3.push(ctx, v);
+            }
+            Ok(())
+        });
+        sim.run();
+        assert_eq!(*got.lock(), vec![(1, 100), (2, 200), (3, 300)]);
+    }
+
+    #[test]
+    fn queue_try_pop_and_len() {
+        let sim = Sim::new();
+        let q: SimQueue<&'static str> = SimQueue::new();
+        let q2 = q.clone();
+        sim.spawn("p", move |ctx| {
+            q2.push(ctx, "a");
+            q2.push(ctx, "b");
+            assert_eq!(q2.len(), 2);
+            assert_eq!(q2.try_pop(), Some("a"));
+            assert_eq!(q2.try_pop(), Some("b"));
+            assert_eq!(q2.try_pop(), None);
+            assert!(q2.is_empty());
+            Ok(())
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn semaphore_blocks_until_released() {
+        let sim = Sim::new();
+        let sem = SimSemaphore::new(2);
+        let acquired_at = Arc::new(Mutex::new(Vec::new()));
+        let (s2, a2) = (sem.clone(), Arc::clone(&acquired_at));
+        sim.spawn("taker", move |ctx| {
+            for _ in 0..4 {
+                s2.acquire(ctx, 1)?;
+                a2.lock().push(ctx.now().nanos());
+            }
+            Ok(())
+        });
+        let s3 = sem.clone();
+        sim.spawn("giver", move |ctx| {
+            ctx.delay(SimDuration::from_nanos(500))?;
+            s3.release(ctx, 1);
+            ctx.delay(SimDuration::from_nanos(500))?;
+            s3.release(ctx, 1);
+            Ok(())
+        });
+        sim.run();
+        // Two immediate (permits=2), then one per release.
+        assert_eq!(*acquired_at.lock(), vec![0, 0, 500, 1000]);
+        assert_eq!(sem.available(), 0);
+    }
+
+    #[test]
+    fn semaphore_try_acquire() {
+        let sem = SimSemaphore::new(3);
+        assert!(sem.try_acquire(2));
+        assert!(!sem.try_acquire(2));
+        assert!(sem.try_acquire(1));
+        assert_eq!(sem.available(), 0);
+    }
+
+    #[test]
+    fn wait_any_returns_first_completed() {
+        let sim = Sim::new();
+        let (a, b, c) = (Completion::new(), Completion::new(), Completion::new());
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let (a2, b2, c2, g2) = (a.clone(), b.clone(), c.clone(), Arc::clone(&got));
+        sim.spawn("waiter", move |ctx| {
+            let idx = crate::sync::wait_any(ctx, &[&a2, &b2, &c2])?;
+            g2.lock().push((idx, ctx.now().nanos()));
+            // b fired; now also wait for c — the stale registration with a
+            // must not produce a spurious wake.
+            c2.wait(ctx)?;
+            g2.lock().push((99, ctx.now().nanos()));
+            // Park once more via a delay; a's later completion must not
+            // break this sleep.
+            ctx.delay(SimDuration::from_nanos(500))?;
+            g2.lock().push((100, ctx.now().nanos()));
+            Ok(())
+        });
+        let b3 = b.clone();
+        sim.schedule_at(SimTime::from_nanos(10), move |s| b3.complete(s));
+        let c3 = c.clone();
+        sim.schedule_at(SimTime::from_nanos(20), move |s| c3.complete(s));
+        let a3 = a.clone();
+        sim.schedule_at(SimTime::from_nanos(25), move |s| a3.complete(s));
+        sim.run();
+        assert_eq!(*got.lock(), vec![(1, 10), (99, 20), (100, 520)]);
+    }
+
+    #[test]
+    fn wait_any_with_already_done_completion_is_immediate() {
+        let sim = Sim::new();
+        let (a, b) = (Completion::new(), Completion::new());
+        let b2 = b.clone();
+        sim.spawn("p", move |ctx| {
+            b2.complete(ctx);
+            let idx = crate::sync::wait_any(ctx, &[&a, &b2])?;
+            assert_eq!(idx, 1);
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            Ok(())
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn condvar_wakes_all_and_recheck_loops_work() {
+        let sim = Sim::new();
+        let state = Arc::new(Mutex::new(0u32));
+        let cv = SimCondvar::new();
+        let finished = Arc::new(Mutex::new(Vec::new()));
+        // Two waiters with different thresholds; both must eventually pass.
+        for threshold in [1u32, 2u32] {
+            let (st, cv2, fin) = (Arc::clone(&state), cv.clone(), Arc::clone(&finished));
+            sim.spawn(format!("waiter-{threshold}"), move |ctx| {
+                while *st.lock() < threshold {
+                    cv2.wait(ctx)?;
+                }
+                fin.lock().push((threshold, ctx.now().nanos()));
+                Ok(())
+            });
+        }
+        let (st, cv3) = (Arc::clone(&state), cv.clone());
+        sim.spawn("setter", move |ctx| {
+            for _ in 0..2 {
+                ctx.delay(SimDuration::from_nanos(10))?;
+                *st.lock() += 1;
+                cv3.notify_all(ctx);
+            }
+            Ok(())
+        });
+        sim.run();
+        assert_eq!(*finished.lock(), vec![(1, 10), (2, 20)]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Simulated time: nanosecond-resolution instants and durations.
+//!
+//! All timing in the simulator is expressed in integer nanoseconds so that
+//! event ordering is exact and runs are bit-for-bit reproducible. One
+//! nanosecond of resolution is fine enough for every cost in the modelled
+//! testbed (the smallest is the ~550 ns per-descriptor tag-match walk on the
+//! NIC; a single bit time on Gigabit Ethernet is exactly 1 ns).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the simulated clock, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "infinite" deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds since simulation start.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds since simulation start.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds since simulation start.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds since simulation start.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in microseconds (lossy).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant expressed in seconds (lossy).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// The elapsed duration since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional microseconds (rounded to the nearest ns).
+    pub fn from_micros_f64(us: f64) -> Self {
+        assert!(us >= 0.0, "durations cannot be negative");
+        SimDuration((us * 1_000.0).round() as u64)
+    }
+
+    /// The time it takes to move `bits` over a serial medium running at
+    /// `bits_per_sec`, rounded up to the next nanosecond.
+    ///
+    /// On Gigabit Ethernet (10^9 bps) this is exactly one nanosecond per bit.
+    pub fn for_bits_at_rate(bits: u64, bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "rate must be positive");
+        let ns = (bits as u128 * 1_000_000_000u128).div_ceil(bits_per_sec as u128);
+        SimDuration(u64::try_from(ns).expect("transfer time overflows u64 nanoseconds"))
+    }
+
+    /// The time it takes to move `bytes` at a memory-style rate expressed in
+    /// bytes per second (e.g. a memcpy or DMA bandwidth), rounded up.
+    pub fn for_bytes_at_rate(bytes: u64, bytes_per_sec: u64) -> Self {
+        assert!(bytes_per_sec > 0, "rate must be positive");
+        let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
+        SimDuration(u64::try_from(ns).expect("transfer time overflows u64 nanoseconds"))
+    }
+
+    /// Raw nanoseconds.
+    pub const fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This duration in microseconds (lossy).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This duration in milliseconds (lossy).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This duration in seconds (lossy).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracting a later SimTime from an earlier one"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("simulated duration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracting a longer SimDuration from a shorter one"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("simulated duration overflow"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+fn fmt_nanos(ns: u64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if ns >= 1_000_000_000 {
+        write!(f, "{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        write!(f, "{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        write!(f, "{:.3}us", ns as f64 / 1e3)
+    } else {
+        write!(f, "{ns}ns")
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t=")?;
+        fmt_nanos(self.0, f)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_nanos(self.0, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_nanos(self.0, f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_nanos(self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_nanos(1_000);
+        let d = SimDuration::from_micros(2);
+        assert_eq!((t + d).nanos(), 3_000);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d * 3, SimDuration::from_micros(6));
+        assert_eq!(d / 2, SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(20);
+        assert_eq!(b.since(a).nanos(), 10);
+        assert_eq!(a.since(b).nanos(), 0);
+    }
+
+    #[test]
+    fn gigabit_bit_time_is_one_nanosecond() {
+        // 1 Gbps = 1 ns per bit: the serialization time of a 1538-byte
+        // on-wire frame must be exactly 12304 ns.
+        let d = SimDuration::for_bits_at_rate(1538 * 8, 1_000_000_000);
+        assert_eq!(d.nanos(), 12_304);
+    }
+
+    #[test]
+    fn byte_rate_rounds_up() {
+        // 3 bytes at 2 bytes/sec is 1.5 s, which must round up to keep
+        // transfers from completing early.
+        let d = SimDuration::for_bytes_at_rate(3, 2);
+        assert_eq!(d.nanos(), 1_500_000_000);
+        let d = SimDuration::for_bytes_at_rate(1, 3);
+        assert_eq!(d.nanos(), 333_333_334);
+    }
+
+    #[test]
+    fn unit_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+        assert_eq!(SimDuration::from_micros_f64(1.5), SimDuration::from_nanos(1_500));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_micros(28).to_string(), "28.000us");
+        assert_eq!(SimDuration::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+}

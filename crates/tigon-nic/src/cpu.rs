@@ -1,0 +1,172 @@
+//! A firmware CPU: a serial task executor with cost accounting.
+//!
+//! The Tigon2 carries two general-purpose embedded CPUs (~88 MHz MIPS
+//! cores). EMP dedicates one to the transmit path and one to the receive
+//! path. Each CPU executes firmware tasks strictly serially; per-task costs
+//! are what ultimately bound EMP's small-message latency and large-message
+//! bandwidth, so the model tracks busy time precisely: a task posted while
+//! the CPU is busy starts when the CPU frees up.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use simnet::{Sim, SimAccess, SimAccessExt, SimDuration, SimTime};
+
+struct CpuState {
+    busy_until: SimTime,
+    busy_total: SimDuration,
+    tasks_run: u64,
+    last_seen: SimTime,
+}
+
+/// One embedded firmware CPU.
+#[derive(Clone)]
+pub struct FirmwareCpu {
+    name: &'static str,
+    state: Arc<Mutex<CpuState>>,
+}
+
+impl FirmwareCpu {
+    /// A fresh, idle CPU. `name` labels it in diagnostics ("tx", "rx").
+    pub fn new(name: &'static str) -> Self {
+        FirmwareCpu {
+            name,
+            state: Arc::new(Mutex::new(CpuState {
+                busy_until: SimTime::ZERO,
+                busy_total: SimDuration::ZERO,
+                tasks_run: 0,
+                last_seen: SimTime::ZERO,
+            })),
+        }
+    }
+
+    /// Label given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Run a task costing `cost` CPU time, no earlier than `earliest`
+    /// (models e.g. PCI posting latency before a command is visible).
+    /// `f` executes when the task *completes*; the returned instant is that
+    /// completion time.
+    pub fn exec_at<F>(
+        &self,
+        s: &dyn SimAccess,
+        earliest: SimTime,
+        cost: SimDuration,
+        f: F,
+    ) -> SimTime
+    where
+        F: FnOnce(&Sim) + Send + 'static,
+    {
+        let done = {
+            let mut st = self.state.lock();
+            let start = earliest.max(st.busy_until).max(s.now());
+            let done = start + cost;
+            st.busy_until = done;
+            st.busy_total += cost;
+            st.tasks_run += 1;
+            st.last_seen = st.last_seen.max(done);
+            done
+        };
+        s.schedule_at(done, f);
+        done
+    }
+
+    /// Run a task starting as soon as the CPU is free.
+    pub fn exec<F>(&self, s: &dyn SimAccess, cost: SimDuration, f: F) -> SimTime
+    where
+        F: FnOnce(&Sim) + Send + 'static,
+    {
+        self.exec_at(s, s.now(), cost, f)
+    }
+
+    /// Instant at which the CPU becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.state.lock().busy_until
+    }
+
+    /// Total CPU time consumed by tasks so far.
+    pub fn busy_total(&self) -> SimDuration {
+        self.state.lock().busy_total
+    }
+
+    /// Number of tasks executed (scheduled) so far.
+    pub fn tasks_run(&self) -> u64 {
+        self.state.lock().tasks_run
+    }
+
+    /// Fraction of time busy between t=0 and the last task completion.
+    pub fn utilization(&self) -> f64 {
+        let st = self.state.lock();
+        if st.last_seen == SimTime::ZERO {
+            return 0.0;
+        }
+        st.busy_total.as_secs_f64() / st.last_seen.since(SimTime::ZERO).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimTime;
+
+    #[test]
+    fn tasks_serialize_on_the_cpu() {
+        let sim = Sim::new();
+        let cpu = FirmwareCpu::new("tx");
+        let done = Arc::new(Mutex::new(Vec::new()));
+        let (cpu2, done2) = (cpu.clone(), Arc::clone(&done));
+        sim.schedule_at(SimTime::ZERO, move |s| {
+            for i in 0..3u32 {
+                let d = Arc::clone(&done2);
+                cpu2.exec(s, SimDuration::from_micros(5), move |sim| {
+                    d.lock().push((i, sim.now().nanos()));
+                });
+            }
+        });
+        sim.run();
+        assert_eq!(*done.lock(), vec![(0, 5_000), (1, 10_000), (2, 15_000)]);
+        assert_eq!(cpu.tasks_run(), 3);
+        assert_eq!(cpu.busy_total(), SimDuration::from_micros(15));
+    }
+
+    #[test]
+    fn earliest_bound_is_respected() {
+        let sim = Sim::new();
+        let cpu = FirmwareCpu::new("rx");
+        let at = Arc::new(Mutex::new(0u64));
+        let (cpu2, at2) = (cpu.clone(), Arc::clone(&at));
+        sim.schedule_at(SimTime::ZERO, move |s| {
+            cpu2.exec_at(
+                s,
+                SimTime::from_nanos(1_000),
+                SimDuration::from_nanos(500),
+                move |sim| {
+                    *at2.lock() = sim.now().nanos();
+                },
+            );
+        });
+        sim.run();
+        assert_eq!(*at.lock(), 1_500);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_count_as_busy() {
+        let sim = Sim::new();
+        let cpu = FirmwareCpu::new("tx");
+        let cpu2 = cpu.clone();
+        sim.schedule_at(SimTime::ZERO, move |s| {
+            cpu2.exec(s, SimDuration::from_micros(2), |_| {});
+        });
+        let cpu3 = cpu.clone();
+        sim.schedule_at(SimTime::from_micros(10), move |s| {
+            cpu3.exec(s, SimDuration::from_micros(2), |_| {});
+        });
+        sim.run();
+        assert_eq!(cpu.busy_total(), SimDuration::from_micros(4));
+        assert_eq!(cpu.busy_until(), SimTime::from_nanos(12_000));
+        let u = cpu.utilization();
+        assert!((u - 4.0 / 12.0).abs() < 1e-9, "utilization {u}");
+    }
+}

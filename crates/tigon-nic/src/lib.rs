@@ -1,0 +1,26 @@
+//! # tigon-nic — an Alteon Tigon2-style programmable NIC
+//!
+//! EMP is "a complete NIC based implementation": the entire protocol runs
+//! as firmware on the NIC's two embedded CPUs, with DMA engines moving data
+//! between host memory and the wire. This crate models that hardware:
+//!
+//! * [`FirmwareCpu`] — a serial task executor with precise busy-time
+//!   accounting (two per NIC, one for each protocol direction);
+//! * [`NicConfig`] — the cost constants (DMA setup/bandwidth, per-frame
+//!   firmware costs, the 550 ns/descriptor tag-match walk from the paper);
+//! * [`Tigon`] — the chassis binding CPUs, config and the link to the
+//!   switch.
+//!
+//! The firmware *logic* — descriptor matching, reliability, the unexpected
+//! queue — is the `emp-proto` crate; it runs "on" these CPUs by charging
+//! its work to them.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cpu;
+pub mod nic;
+
+pub use config::NicConfig;
+pub use cpu::FirmwareCpu;
+pub use nic::Tigon;

@@ -1,0 +1,80 @@
+//! File transfer through the §5.4 fd-interposition layer: the same
+//! integer-descriptor `read()`/`write()` interface serves RAM-disk files
+//! and substrate sockets, which is exactly what lets unmodified
+//! fd-oriented applications (like ftp) run over EMP.
+//!
+//! ```text
+//! cargo run --release --example file_transfer
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex as PlMutex;
+use sockets_over_emp::emp_proto;
+use sockets_over_emp::prelude::*;
+
+const FILE_SIZE: usize = 4 << 20;
+const CHUNK: usize = 64 * 1024;
+
+fn main() {
+    let sim = Sim::new();
+    let cluster = emp_proto::build_cluster(2, EmpConfig::default(), SwitchConfig::default());
+    let server = EmpSockets::new(cluster.nodes[1].endpoint(), SubstrateConfig::ds_da_uq());
+    let client = EmpSockets::new(cluster.nodes[0].endpoint(), SubstrateConfig::ds_da_uq());
+    let addr = SockAddr::new(cluster.nodes[1].addr(), 21);
+
+    // The server's RAM disk holds the payload (as §7.3: RAM disks remove
+    // disk effects; what remains is file-system overhead).
+    cluster.nodes[1].host.fs().put_synthetic("kernel.tar", FILE_SIZE);
+    let server_fs = cluster.nodes[1].host.fs().clone();
+    let client_fs = cluster.nodes[0].host.fs().clone();
+    let stats = Arc::new(PlMutex::new((0usize, 0.0f64)));
+    let stats2 = Arc::clone(&stats);
+
+    sim.spawn("ftp-server", move |ctx| {
+        let fds = FdTable::new(server, server_fs);
+        let listen_fd = fds.socket_listen(ctx, 21, 4)?.expect("port free");
+        let conn_fd = fds.accept(ctx, listen_fd)?.expect("client");
+        // Everything below is generic fd I/O: one descriptor names a
+        // file, the other a socket; the table routes each call.
+        let file_fd = fds.open(ctx, "kernel.tar")?.expect("file exists");
+        loop {
+            let chunk = fds.read(ctx, file_fd, CHUNK)?.expect("file read");
+            if chunk.is_empty() {
+                break;
+            }
+            fds.write(ctx, conn_fd, &chunk)?.expect("socket write");
+        }
+        fds.close(ctx, file_fd)?.expect("close file");
+        fds.close(ctx, conn_fd)?.expect("close socket");
+        fds.close(ctx, listen_fd)?.expect("close listener");
+        Ok(())
+    });
+
+    sim.spawn("ftp-client", move |ctx| {
+        let fds = FdTable::new(client, client_fs);
+        let t0 = ctx.now();
+        let sock_fd = fds.socket_connect(ctx, addr)?.expect("connect");
+        let out_fd = fds.create(ctx, "kernel.tar")?.expect("create");
+        let mut got = 0usize;
+        loop {
+            let chunk = fds.read(ctx, sock_fd, CHUNK)?.expect("socket read");
+            if chunk.is_empty() {
+                break;
+            }
+            got += chunk.len();
+            fds.write(ctx, out_fd, &chunk)?.expect("file write");
+        }
+        fds.close(ctx, out_fd)?.expect("close file");
+        fds.close(ctx, sock_fd)?.expect("close socket");
+        let secs = (ctx.now() - t0).as_secs_f64();
+        *stats2.lock() = (got, got as f64 * 8.0 / secs / 1e6);
+        Ok(())
+    });
+
+    sim.run();
+    let (bytes, mbps) = *stats.lock();
+    println!("transferred {bytes} bytes at {mbps:.0} Mbps (simulated)");
+    println!("paper: ftp lands well below the 840 Mbps socket peak due to file-system overhead,");
+    println!("and roughly 2x what the same application achieves over kernel TCP.");
+}

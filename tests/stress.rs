@@ -1,0 +1,157 @@
+//! Randomized (seeded, deterministic) stress tests: many concurrent
+//! connections with mixed traffic shapes across a 4-node cluster, with
+//! per-connection end-to-end integrity checks. This is where protocol
+//! races that survive the targeted tests go to die.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::{Sim, SimDuration, SimTime};
+use sockets_over_emp::emp_apps::Testbed;
+use std::sync::Arc;
+
+/// Deterministic byte for (connection, stream offset).
+fn expected_byte(conn_id: usize, offset: usize) -> u8 {
+    ((conn_id * 37 + offset * 13 + 5) % 251) as u8
+}
+
+/// Drive `n_conns` concurrent connections between random node pairs; each
+/// carries a random number of random-sized writes. Returns total bytes
+/// moved. Panics on any integrity violation.
+fn stress(tb: &Testbed, seed: u64, n_conns: usize) -> usize {
+    let sim = Sim::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_nodes = tb.nodes.len();
+    let total_moved = Arc::new(Mutex::new(0usize));
+
+    // One listener per node; servers spawn a worker per accepted
+    // connection that echoes a 4-byte ack per message batch received.
+    let mut accepts_per_node = vec![0u32; n_nodes];
+    let mut plans = Vec::new();
+    for conn_id in 0..n_conns {
+        let client = rng.gen_range(0..n_nodes);
+        let server = (client + rng.gen_range(1..n_nodes)) % n_nodes;
+        let writes: Vec<usize> = (0..rng.gen_range(1..6))
+            .map(|_| rng.gen_range(1..40_000))
+            .collect();
+        let start_us = rng.gen_range(0..500u64);
+        accepts_per_node[server] += 1;
+        plans.push((conn_id, client, server, writes, start_us));
+    }
+
+    for (node, &count) in accepts_per_node.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let api = Arc::clone(&tb.nodes[node].api);
+        let total = Arc::clone(&total_moved);
+        sim.spawn(format!("stress-server-{node}"), move |ctx| {
+            let l = api.listen(ctx, 500, 32)?.expect("port free");
+            for _ in 0..count {
+                let conn = l.accept(ctx)?.expect("connection");
+                let total = Arc::clone(&total);
+                ctx.spawn("stress-worker", move |ctx| {
+                    // Header: 8 bytes = conn_id u32 + total_len u32.
+                    let hdr = conn.read_exact(ctx, 8)?.expect("hdr").expect("open");
+                    let conn_id =
+                        u32::from_le_bytes(hdr[0..4].try_into().expect("4")) as usize;
+                    let len =
+                        u32::from_le_bytes(hdr[4..8].try_into().expect("4")) as usize;
+                    let mut got = 0usize;
+                    while got < len {
+                        let d = conn.read(ctx, 8192)?.expect("data");
+                        assert!(!d.is_empty(), "premature EOF on conn {conn_id}");
+                        for (i, b) in d.iter().enumerate() {
+                            assert_eq!(
+                                *b,
+                                expected_byte(conn_id, got + i),
+                                "conn {conn_id} corrupt at {}",
+                                got + i
+                            );
+                        }
+                        got += d.len();
+                    }
+                    conn.write(ctx, b"done")?.expect("ack");
+                    *total.lock() += got;
+                    let _ = conn.close(ctx);
+                    Ok(())
+                });
+            }
+            l.close(ctx)?;
+            Ok(())
+        });
+    }
+
+    for (conn_id, client, server, writes, start_us) in plans {
+        let api = Arc::clone(&tb.nodes[client].api);
+        let host = tb.nodes[server].api.local_host();
+        sim.spawn(format!("stress-client-{conn_id}"), move |ctx| {
+            ctx.delay(SimDuration::from_micros(start_us))?;
+            let conn = api.connect(ctx, host, 500)?.expect("connect");
+            let len: usize = writes.iter().sum();
+            let mut hdr = Vec::with_capacity(8);
+            hdr.extend_from_slice(&(conn_id as u32).to_le_bytes());
+            hdr.extend_from_slice(&(len as u32).to_le_bytes());
+            conn.write(ctx, &hdr)?.expect("hdr");
+            let mut off = 0usize;
+            for w in &writes {
+                let chunk: Vec<u8> =
+                    (0..*w).map(|i| expected_byte(conn_id, off + i)).collect();
+                conn.write(ctx, &chunk)?.expect("data");
+                off += w;
+            }
+            let ack = conn.read_exact(ctx, 4)?.expect("ack").expect("open");
+            assert_eq!(&ack[..], b"done");
+            conn.close(ctx)?;
+            Ok(())
+        });
+    }
+    sim.run_until(SimTime::from_secs(600));
+    let moved = *total_moved.lock();
+    moved
+}
+
+#[test]
+fn substrate_survives_concurrent_random_traffic() {
+    for seed in [1u64, 7, 42] {
+        let tb = Testbed::emp_default(4);
+        let moved = stress(&tb, seed, 12);
+        assert!(moved > 0, "seed {seed}: traffic moved");
+        // Every planned byte arrived (12 conns x 1..6 writes x <40 KB).
+        let cluster = tb.emp_cluster().expect("emp testbed");
+        for node in &cluster.nodes {
+            assert_eq!(node.nic.stats().sends_failed, 0, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn substrate_survives_random_traffic_with_tiny_credits() {
+    use sockets_over_emp::emp_proto::EmpConfig;
+    use sockets_over_emp::sockets_emp::SubstrateConfig;
+    let tb = Testbed::emp(
+        4,
+        EmpConfig::default(),
+        SubstrateConfig::ds().with_credits(1),
+        "emp-c1",
+    );
+    let moved = stress(&tb, 99, 8);
+    assert!(moved > 0);
+}
+
+#[test]
+fn kernel_tcp_survives_concurrent_random_traffic() {
+    for seed in [3u64, 11] {
+        let tb = Testbed::kernel_default(4);
+        let moved = stress(&tb, seed, 12);
+        assert!(moved > 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn stress_runs_are_deterministic() {
+    fn run(seed: u64) -> usize {
+        stress(&Testbed::emp_default(4), seed, 10)
+    }
+    assert_eq!(run(5), run(5));
+}
