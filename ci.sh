@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Repository CI: formatting, lints, the tier-1 test suite, and a traced
+# ping-pong smoke test proving the observability path works end to end.
+#
+#   ./ci.sh          # everything
+#   ./ci.sh --fast   # skip the release build
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy (default features)"
+cargo clippy --workspace -- -D warnings
+
+step "cargo clippy (trace feature)"
+cargo clippy --workspace --features trace -- -D warnings
+
+if [[ "${1:-}" != "--fast" ]]; then
+    step "cargo build --release"
+    cargo build --release
+fi
+
+step "cargo test (tier-1, default features)"
+cargo test --workspace -q
+
+step "cargo test (trace feature)"
+cargo test --workspace -q --features trace
+
+step "traced ping-pong smoke"
+# Must print a latency budget and a non-empty Chrome trace.
+out=$(cargo run -q --release -p emp-bench --bin figures --features trace -- --trace)
+echo "$out"
+echo "$out" | grep -q "latency breakdown over" \
+    || { echo "FAIL: no breakdown report in traced run"; exit 1; }
+events=$(echo "$out" | sed -n 's/^(\([0-9]\+\) events.*/\1/p')
+[[ -n "$events" && "$events" -gt 0 ]] \
+    || { echo "FAIL: traced run recorded no events"; exit 1; }
+[[ -s target/figures/pingpong_trace.json ]] \
+    || { echo "FAIL: chrome trace file missing or empty"; exit 1; }
+
+printf '\nci.sh: all checks passed\n'

@@ -86,8 +86,12 @@ pub trait NetListener: Send + Sync + 'static {
 /// One node's sockets interface.
 pub trait NetApi: Send + Sync + 'static {
     /// Active open.
-    fn connect(&self, ctx: &ProcessCtx, host: MacAddr, port: u16)
-        -> SimResult<Result<Conn, NetError>>;
+    fn connect(
+        &self,
+        ctx: &ProcessCtx,
+        host: MacAddr,
+        port: u16,
+    ) -> SimResult<Result<Conn, NetError>>;
     /// Passive open.
     fn listen(
         &self,

@@ -132,7 +132,12 @@ mod tests {
         let tb = Testbed::emp_default(2);
         let emp = throughput_mbps(&sim, &tb, 64 * 1024, 4 << 20);
         let sim = Sim::new();
-        let tb = Testbed::kernel(2, kernel_tcp::TcpConfig::default(), Some(256 * 1024), "tcp-big");
+        let tb = Testbed::kernel(
+            2,
+            kernel_tcp::TcpConfig::default(),
+            Some(256 * 1024),
+            "tcp-big",
+        );
         let tcp = throughput_mbps(&sim, &tb, 64 * 1024, 4 << 20);
         // §8: "840 Mbps ... compared to 550 Mbps ... up to 53%".
         let gain = (emp - tcp) / tcp * 100.0;
@@ -166,6 +171,9 @@ mod tests {
         let sim = Sim::new();
         let tb = Testbed::emp_default(2);
         let small = throughput_mbps(&sim, &tb, 1024, 2 << 20);
-        assert!(big > small, "64K writes ({big:.0}) vs 1K writes ({small:.0})");
+        assert!(
+            big > small,
+            "64K writes ({big:.0}) vs 1K writes ({small:.0})"
+        );
     }
 }

@@ -75,15 +75,11 @@ pub fn spawn_server(sim: &Sim, tb: &Testbed, server: usize, expected_conns: u32)
             let conn = l.accept(ctx)?.expect("client");
             let store = Arc::clone(&store);
             ctx.spawn("kv-worker", move |ctx| {
-                loop {
-                    // Request: op u8, key u32, value_len u32 [, value].
-                    let Some(hdr) = read_exactly(ctx, &conn, 9)? else {
-                        break;
-                    };
+                // Request: op u8, key u32, value_len u32 [, value].
+                while let Some(hdr) = read_exactly(ctx, &conn, 9)? {
                     let op = hdr[0];
                     let key = u32::from_le_bytes(hdr[1..5].try_into().expect("4"));
-                    let vlen =
-                        u32::from_le_bytes(hdr[5..9].try_into().expect("4")) as usize;
+                    let vlen = u32::from_le_bytes(hdr[5..9].try_into().expect("4")) as usize;
                     match op {
                         OP_PUT => {
                             let Some(value) = read_exactly(ctx, &conn, vlen)? else {
@@ -139,7 +135,10 @@ pub fn run_workload(
     get_fraction: f64,
     seed: u64,
 ) -> KvResults {
-    assert!(tb.nodes.len() > n_clients, "need a node per client + server");
+    assert!(
+        tb.nodes.len() > n_clients,
+        "need a node per client + server"
+    );
     let sim = Sim::new();
     spawn_server(&sim, tb, 0, n_clients as u32);
     let acc = Arc::new(Mutex::new((0u64, 0u64, 0.0f64, SimTime::ZERO)));
@@ -169,8 +168,7 @@ pub fn run_workload(
                     conn.write(ctx, &encode_request(OP_GET, key, None))?
                         .expect("get");
                     let hdr = read_exactly(ctx, &conn, 5)?.expect("resp");
-                    let len =
-                        u32::from_le_bytes(hdr[1..5].try_into().expect("4")) as usize;
+                    let len = u32::from_le_bytes(hdr[1..5].try_into().expect("4")) as usize;
                     if hdr[0] == STATUS_OK {
                         hits += 1;
                         let body = read_exactly(ctx, &conn, len)?.expect("body");

@@ -73,10 +73,7 @@ pub fn run(sim: &Sim, tb: &Testbed, n: usize) -> (f64, f64) {
                 .read_exact(ctx, rows_per * n * 8)?
                 .expect("A slice")
                 .expect("data");
-            let b_bytes = conn
-                .read_exact(ctx, n * n * 8)?
-                .expect("B")
-                .expect("data");
+            let b_bytes = conn.read_exact(ctx, n * n * 8)?.expect("B").expect("data");
             let a = decode_matrix(&a_bytes);
             let b = decode_matrix(&b_bytes);
             // The real arithmetic (content), charged at the host's rate
@@ -134,15 +131,18 @@ pub fn run(sim: &Sim, tb: &Testbed, n: usize) -> (f64, f64) {
                 .read_exact(ctx, rows_per * n * 8)?
                 .expect("C slice")
                 .expect("data");
-            c[w * rows_per * n..(w + 1) * rows_per * n]
-                .copy_from_slice(&decode_matrix(&bytes));
+            c[w * rows_per * n..(w + 1) * rows_per * n].copy_from_slice(&decode_matrix(&bytes));
             done[w] = true;
         }
         let elapsed = (ctx.now() - t0).as_micros_f64();
         for conn in &conns {
             conn.close(ctx)?;
         }
-        let checksum: f64 = c.iter().enumerate().map(|(i, v)| v * ((i % 5) as f64)).sum();
+        let checksum: f64 = c
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * ((i % 5) as f64))
+            .sum();
         *out2.lock() = (elapsed, checksum);
         Ok(())
     });
@@ -157,7 +157,10 @@ pub fn local_checksum(n: usize) -> f64 {
     let a: Vec<f64> = (0..n * n).map(|i| ((i % 13) as f64) - 6.0).collect();
     let b: Vec<f64> = (0..n * n).map(|i| ((i % 7) as f64) * 0.5).collect();
     let c = multiply_slice(&a, &b, n);
-    c.iter().enumerate().map(|(i, v)| v * ((i % 5) as f64)).sum()
+    c.iter()
+        .enumerate()
+        .map(|(i, v)| v * ((i % 5) as f64))
+        .sum()
 }
 
 #[cfg(test)]

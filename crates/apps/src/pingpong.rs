@@ -11,6 +11,39 @@ use crate::testbed::Testbed;
 /// Measure one-way latency for `msg_size`-byte messages over `iters`
 /// round trips on nodes 0 and 1 of `tb`. Returns microseconds.
 pub fn one_way_latency_us(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32) -> f64 {
+    pingpong_run(sim, tb, msg_size, iters, false)
+}
+
+/// A ping-pong run captured for analysis: the measured latency plus the
+/// post-warmup event trace (see `simnet::emp_trace`).
+pub struct TracedPingpong {
+    /// Measured one-way latency in microseconds, as
+    /// [`one_way_latency_us`] reports it.
+    pub one_way_us: f64,
+    /// The events recorded between the end of the warmup and the end of
+    /// the run, sorted by sim-time. Empty unless the `trace` feature is
+    /// enabled.
+    pub events: Vec<simnet::emp_trace::TraceEvent>,
+    /// Events lost to ring overflow (0 means the trace is complete).
+    pub dropped: u64,
+}
+
+/// Run the ping-pong with tracing: the simulation's tracer is cleared
+/// after the warmup round trips, so the returned trace covers exactly the
+/// `iters` measured round trips. Feed `events` to
+/// `emp_trace::Breakdown::compute` for the §7-style latency budget or to
+/// `emp_trace::chrome_trace_json` for a Perfetto-loadable timeline.
+pub fn traced_pingpong(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32) -> TracedPingpong {
+    let one_way_us = pingpong_run(sim, tb, msg_size, iters, true);
+    let tracer = sim.tracer();
+    TracedPingpong {
+        one_way_us,
+        events: tracer.snapshot(),
+        dropped: tracer.dropped(),
+    }
+}
+
+fn pingpong_run(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32, traced: bool) -> f64 {
     assert!(tb.nodes.len() >= 2, "ping-pong needs two nodes");
     assert!(msg_size >= 1);
     let out = Arc::new(Mutex::new(f64::NAN));
@@ -23,11 +56,8 @@ pub fn one_way_latency_us(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32) 
     sim.spawn("pingpong-echoer", move |ctx| {
         let l = server_api.listen(ctx, PORT, 4)?.expect("port free");
         let conn = l.accept(ctx)?.expect("connection");
-        loop {
-            let m = match conn.read(ctx, msg_size)? {
-                Ok(m) => m,
-                Err(_) => break, // reset/refused under a torn-down client
-            };
+        // The read errs (reset/refused) under a torn-down client.
+        while let Ok(m) = conn.read(ctx, msg_size)? {
             if m.is_empty() {
                 break;
             }
@@ -48,12 +78,21 @@ pub fn one_way_latency_us(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32) 
         // Warm up: connection setup, buffer registration, caches.
         for _ in 0..4 {
             conn.write(ctx, &payload)?.expect("warm write");
-            conn.read_exact(ctx, msg_size)?.expect("warm read").expect("pong");
+            conn.read_exact(ctx, msg_size)?
+                .expect("warm read")
+                .expect("pong");
+        }
+        if traced {
+            // Drop warmup noise so the trace covers exactly the measured
+            // round trips (connection setup dwarfs steady-state RTTs).
+            ctx.tracer().clear();
         }
         let t0 = ctx.now();
         for _ in 0..iters {
             conn.write(ctx, &payload)?.expect("write");
-            conn.read_exact(ctx, msg_size)?.expect("read").expect("pong");
+            conn.read_exact(ctx, msg_size)?
+                .expect("read")
+                .expect("pong");
         }
         let rtt = (ctx.now() - t0) / u64::from(iters);
         *out2.lock() = rtt.as_micros_f64() / 2.0;
@@ -115,7 +154,9 @@ pub fn connect_times_us(sim: &Sim, tb: &Testbed, iters: u32) -> (f64, f64) {
         for _ in 0..iters {
             let t0 = ctx.now();
             tcc.lock().push(t0.nanos());
-            let conn = client_api.connect(ctx, server_host, PORT)?.expect("connect");
+            let conn = client_api
+                .connect(ctx, server_host, PORT)?
+                .expect("connect");
             blocked += (ctx.now() - t0).nanos();
             conn.write(ctx, b"x")?.expect("probe");
             // Wait for the server to finish with this connection before
@@ -182,6 +223,55 @@ mod tests {
     }
 
     #[test]
+    fn traced_pingpong_breakdown_sums_to_measured_rtt() {
+        use simnet::emp_trace;
+        if !emp_trace::ENABLED {
+            return; // meaningful only with `--features trace`
+        }
+        let sim = Sim::new();
+        let tb = Testbed::emp_default(2);
+        let iters = 30;
+        let run = traced_pingpong(&sim, &tb, 4, iters);
+        assert_eq!(run.dropped, 0, "ring must hold the whole measured run");
+        assert!(!run.events.is_empty(), "traced run must record events");
+
+        // The milestone tiling must reproduce the measured RTT: the
+        // breakdown window covers the iters round trips, so its per-RTT
+        // mean and the wall-clock measurement agree within 5% (the only
+        // slack is the sub-µs tail after the last SockReadEnd).
+        let b = emp_trace::Breakdown::compute(&run.events).expect("complete window");
+        assert_eq!(b.stage_ns.iter().sum::<u64>(), b.total_ns());
+        assert_eq!(b.legs, u64::from(iters) * 2, "two socket reads per RTT");
+        let trace_rtt_ns = b.mean_rtt_ns().expect("enough legs");
+        let measured_rtt_ns = run.one_way_us * 2.0 * 1e3;
+        let err = (trace_rtt_ns - measured_rtt_ns).abs() / measured_rtt_ns;
+        assert!(
+            err < 0.05,
+            "breakdown rtt {trace_rtt_ns:.0} ns vs measured {measured_rtt_ns:.0} ns ({:.1}% off)",
+            err * 100.0
+        );
+        // Every stage the paper budgets must be visibly non-zero.
+        for stage in emp_trace::STAGES {
+            assert!(
+                b.stage(stage) > 0,
+                "stage '{}' missing from the budget",
+                stage.name()
+            );
+        }
+
+        // The Chrome export must be structurally valid JSON (the writer
+        // emits no strings containing braces or brackets, so balanced
+        // delimiters plus the envelope prove well-formedness).
+        let json = emp_trace::chrome_trace_json(&run.events);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"traceEvents\":["));
+        let count = |c| json.chars().filter(|&x| x == c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
+        assert!(json.matches("\"ph\":\"i\"").count() >= run.events.len());
+    }
+
+    #[test]
     fn latency_grows_with_message_size() {
         let sim = Sim::new();
         let tb = Testbed::emp_default(2);
@@ -189,6 +279,9 @@ mod tests {
         let sim = Sim::new();
         let tb = Testbed::emp_default(2);
         let large = one_way_latency_us(&sim, &tb, 4096, 20);
-        assert!(large > small + 10.0, "4 KiB ({large:.1}) vs 4 B ({small:.1})");
+        assert!(
+            large > small + 10.0,
+            "4 KiB ({large:.1}) vs 4 B ({small:.1})"
+        );
     }
 }

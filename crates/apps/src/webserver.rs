@@ -218,8 +218,7 @@ mod infinite_requests {
             "emp-c4",
         );
         let sim = Sim::new();
-        let per_request =
-            average_response_us_per_conn(&sim, &tb, 64, REQUEST_SIZE, 64);
+        let per_request = average_response_us_per_conn(&sim, &tb, 64, REQUEST_SIZE, 64);
         // The comparable microbenchmark: a 16-byte-each-way ping-pong is
         // one full round trip; the web request/response is too.
         let sim = Sim::new();

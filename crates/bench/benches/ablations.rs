@@ -47,9 +47,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("datacenter_kv_emp", |b| {
-        b.iter(|| {
-            emp_apps::kvstore::run_workload(&Testbed::emp_default(4), 3, 20, 128, 0.9, 7)
-        })
+        b.iter(|| emp_apps::kvstore::run_workload(&Testbed::emp_default(4), 3, 20, 128, 0.9, 7))
     });
     g.finish();
 }

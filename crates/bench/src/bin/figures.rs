@@ -4,15 +4,23 @@
 //! cargo run --release -p emp-bench --bin figures            # all, full sweeps
 //! cargo run --release -p emp-bench --bin figures -- --quick # smoke profile
 //! cargo run --release -p emp-bench --bin figures -- fig14   # one figure
+//! cargo run --release -p emp-bench --bin figures --features trace -- --trace
 //! ```
 //!
 //! Tables print to stdout; JSON lands in `target/figures/<id>.json`.
+//! `--trace` (requires the `trace` feature) runs a traced ping-pong
+//! instead, printing the §7-style latency budget and writing a
+//! Perfetto-loadable Chrome trace to `target/figures/pingpong_trace.json`.
 
 use emp_bench::figures;
 use emp_bench::{Figure, Profile};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--trace") {
+        run_traced_pingpong();
+        return;
+    }
     let profile = if args.iter().any(|a| a == "--quick") {
         Profile::Quick
     } else {
@@ -58,4 +66,41 @@ fn main() {
         std::fs::write(&path, fig.to_json()).expect("write figure json");
     }
     println!("(json written to target/figures/)");
+}
+
+/// Run a 4-byte ping-pong with the event tracer on, print the latency
+/// budget, and write the Chrome trace for Perfetto.
+fn run_traced_pingpong() {
+    use simnet::emp_trace;
+    if !emp_trace::ENABLED {
+        eprintln!(
+            "tracing is compiled out; rebuild with --features trace \
+             (e.g. cargo run --release -p emp-bench --bin figures \
+             --features trace -- --trace)"
+        );
+        std::process::exit(2);
+    }
+    let sim = simnet::Sim::new();
+    let tb = emp_apps::Testbed::emp_default(2);
+    let run = emp_apps::pingpong::traced_pingpong(&sim, &tb, 4, 50);
+    println!(
+        "traced ping-pong: 4-byte one-way latency {:.2} us over 50 round trips",
+        run.one_way_us
+    );
+    if run.dropped > 0 {
+        println!("warning: {} events lost to ring overflow", run.dropped);
+    }
+    match emp_trace::Breakdown::compute(&run.events) {
+        Some(b) => print!("{}", b.text_report()),
+        None => println!("trace holds no complete write..read window"),
+    }
+    let json_dir = std::path::Path::new("target/figures");
+    std::fs::create_dir_all(json_dir).expect("create target/figures");
+    let path = json_dir.join("pingpong_trace.json");
+    std::fs::write(&path, emp_trace::chrome_trace_json(&run.events)).expect("write chrome trace");
+    println!(
+        "({} events; chrome trace written to {} — load it in ui.perfetto.dev)",
+        run.events.len(),
+        path.display()
+    );
 }

@@ -45,11 +45,19 @@ fn tcp_tb(n: usize, sockbuf: Option<usize>, label: &str) -> Testbed {
     Testbed::kernel(n, TcpConfig::default(), sockbuf, label)
 }
 
-fn latency_sweep(cfg: SubstrateConfig, label: &str, sizes: &[usize], iters: u32) -> Vec<(f64, f64)> {
+fn latency_sweep(
+    cfg: SubstrateConfig,
+    label: &str,
+    sizes: &[usize],
+    iters: u32,
+) -> Vec<(f64, f64)> {
     parallel_sweep(sizes, |&size| {
         let sim = Sim::new();
         let tb = emp_tb(cfg.clone(), label, 2);
-        (size as f64, pingpong::one_way_latency_us(&sim, &tb, size, iters))
+        (
+            size as f64,
+            pingpong::one_way_latency_us(&sim, &tb, size, iters),
+        )
     })
 }
 
@@ -64,7 +72,10 @@ pub fn fig11(profile: Profile) -> Figure {
         "msg bytes",
         "one-way us",
     );
-    fig.push("DS", latency_sweep(SubstrateConfig::ds(), "ds", sizes, iters));
+    fig.push(
+        "DS",
+        latency_sweep(SubstrateConfig::ds(), "ds", sizes, iters),
+    );
     fig.push(
         "DS_DA",
         latency_sweep(SubstrateConfig::ds_da(), "ds-da", sizes, iters),
@@ -73,7 +84,10 @@ pub fn fig11(profile: Profile) -> Figure {
         "DS_DA_UQ",
         latency_sweep(SubstrateConfig::ds_da_uq(), "ds-da-uq", sizes, iters),
     );
-    fig.push("DG", latency_sweep(SubstrateConfig::dg(), "dg", sizes, iters));
+    fig.push(
+        "DG",
+        latency_sweep(SubstrateConfig::dg(), "dg", sizes, iters),
+    );
     fig.push(
         "EMP",
         parallel_sweep(sizes, |&size| {
@@ -106,7 +120,10 @@ pub fn fig12(profile: Profile) -> Figure {
             };
             let sim = Sim::new();
             let tb = emp_tb(cfg, label, 2);
-            (f64::from(n), pingpong::one_way_latency_us(&sim, &tb, 4, iters))
+            (
+                f64::from(n),
+                pingpong::one_way_latency_us(&sim, &tb, 4, iters),
+            )
         });
         fig.push(label, pts);
     }
@@ -141,7 +158,10 @@ pub fn fig13_latency(profile: Profile) -> Figure {
         let pts = parallel_sweep(sizes, |&size| {
             let sim = Sim::new();
             let tb = tcp_tb(2, buf, label);
-            (size as f64, pingpong::one_way_latency_us(&sim, &tb, size, iters))
+            (
+                size as f64,
+                pingpong::one_way_latency_us(&sim, &tb, size, iters),
+            )
         });
         fig.push(label, pts);
     }
@@ -170,7 +190,10 @@ pub fn fig13_bandwidth(profile: Profile) -> Figure {
         parallel_sweep(sizes, |&size| {
             let sim = Sim::new();
             let tb = emp_tb(SubstrateConfig::ds_da_uq(), "ds", 2);
-            (size as f64, bandwidth::throughput_mbps(&sim, &tb, size, total))
+            (
+                size as f64,
+                bandwidth::throughput_mbps(&sim, &tb, size, total),
+            )
         }),
     );
     fig.push(
@@ -178,7 +201,10 @@ pub fn fig13_bandwidth(profile: Profile) -> Figure {
         parallel_sweep(sizes, |&size| {
             let sim = Sim::new();
             let tb = emp_tb(SubstrateConfig::dg(), "dg", 2);
-            (size as f64, bandwidth::throughput_mbps(&sim, &tb, size, total))
+            (
+                size as f64,
+                bandwidth::throughput_mbps(&sim, &tb, size, total),
+            )
         }),
     );
     fig.push(
@@ -191,7 +217,10 @@ pub fn fig13_bandwidth(profile: Profile) -> Figure {
         let pts = parallel_sweep(sizes, |&size| {
             let sim = Sim::new();
             let tb = tcp_tb(2, buf, label);
-            (size as f64, bandwidth::throughput_mbps(&sim, &tb, size, total))
+            (
+                size as f64,
+                bandwidth::throughput_mbps(&sim, &tb, size, total),
+            )
         });
         fig.push(label, pts);
     }
@@ -234,7 +263,12 @@ pub fn fig14(profile: Profile) -> Figure {
     fig
 }
 
-fn webserver_fig(id: &str, title: &str, version: webserver::HttpVersion, profile: Profile) -> Figure {
+fn webserver_fig(
+    id: &str,
+    title: &str,
+    version: webserver::HttpVersion,
+    profile: Profile,
+) -> Figure {
     let sizes: &[usize] = match profile {
         Profile::Quick => &[4, 1024, 8192],
         Profile::Full => &[4, 64, 256, 1024, 4096, 8192],
@@ -421,7 +455,10 @@ pub fn connect_time(profile: Profile) -> Figure {
     let sim = Sim::new();
     let tb = emp_tb(SubstrateConfig::ds_da_uq().with_credits(4), "emp-c4", 2);
     let (emp_blocked, emp_est) = pingpong::connect_times_us(&sim, &tb, iters);
-    fig.push("connect() blocks", vec![(0.0, tcp_blocked), (1.0, emp_blocked)]);
+    fig.push(
+        "connect() blocks",
+        vec![(0.0, tcp_blocked), (1.0, emp_blocked)],
+    );
     fig.push("established", vec![(0.0, tcp_est), (1.0, emp_est)]);
     fig
 }
@@ -478,11 +515,8 @@ pub fn cpu_utilization(profile: Profile) -> Figure {
         "kernel CPU ms",
     );
     // Kernel TCP, built directly so the kernel resource is introspectable.
-    let tcp_cluster = kernel_tcp::build_tcp_cluster(
-        2,
-        TcpConfig::default(),
-        simnet::SwitchConfig::default(),
-    );
+    let tcp_cluster =
+        kernel_tcp::build_tcp_cluster(2, TcpConfig::default(), simnet::SwitchConfig::default());
     for node in &tcp_cluster.nodes {
         node.stack.set_sockbuf(256 * 1024);
     }

@@ -79,7 +79,13 @@ pub fn emp_bandwidth_mbps(msg_size: usize, total_bytes: usize) -> f64 {
     sim.spawn("raw-sink", move |ctx| {
         let mut handles = Vec::with_capacity(count);
         for i in 0..count {
-            handles.push(b2.post_recv(ctx, Tag(1), None, msg_size, buf(10 + (i % 64) as u64, msg_size))?);
+            handles.push(b2.post_recv(
+                ctx,
+                Tag(1),
+                None,
+                msg_size,
+                buf(10 + (i % 64) as u64, msg_size),
+            )?);
         }
         let t0 = ctx.now();
         for h in &handles {

@@ -2,10 +2,8 @@
 //! printable as the rows the paper's figures plot, and serializable for
 //! downstream plotting.
 
-use serde::Serialize;
-
 /// One plotted series.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label (e.g. "DS_DA_UQ", "TCP 16K").
     pub label: String,
@@ -14,7 +12,7 @@ pub struct Series {
 }
 
 /// One reproduced figure.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Figure {
     /// Paper figure id ("fig11", ...).
     pub id: String,
@@ -134,11 +132,11 @@ where
     F: Fn(&X) -> Y + Send + Sync,
 {
     std::thread::scope(|scope| {
-        let handles: Vec<_> = points
-            .iter()
-            .map(|p| scope.spawn(|| f(p)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+        let handles: Vec<_> = points.iter().map(|p| scope.spawn(|| f(p))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker"))
+            .collect()
     })
 }
 

@@ -137,7 +137,10 @@ fn connect_time_and_kv_match_paper_mechanisms() {
         (180.0..280.0).contains(&tcp_block),
         "TCP connect ~200-250 us (paper §7.4): {tcp_block:.0}"
     );
-    assert!(emp_block < 40.0, "substrate connect just posts: {emp_block:.0}");
+    assert!(
+        emp_block < 40.0,
+        "substrate connect just posts: {emp_block:.0}"
+    );
 
     let kv = figures::datacenter_kv(Profile::Quick);
     let emp = kv.value("Substrate", 64.0).unwrap();

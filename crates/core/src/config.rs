@@ -211,8 +211,8 @@ mod tests {
         // §6.3: credit size 1 => ack descriptors are ~50% of the total.
         let c1 = SubstrateConfig::ds_da().with_credits(1);
         assert_eq!(c1.fcack_descriptors(), 2); // vs 1 data descriptor
-        // Credit size 32 with delayed acks: ~2 ack descriptors vs 32 data,
-        // the ~6% the paper quotes.
+                                               // Credit size 32 with delayed acks: ~2 ack descriptors vs 32 data,
+                                               // the ~6% the paper quotes.
         let c32 = SubstrateConfig::ds_da();
         assert_eq!(c32.fcack_descriptors(), 3);
         // Without delayed acks, one per credit (plus slack).

@@ -14,7 +14,8 @@ use std::sync::{Arc, Weak};
 use emp_proto::{EmpEndpoint, RecvHandle, SendHandle};
 use hostsim::{VirtRange, PAGE_SIZE};
 use parking_lot::Mutex;
-use simnet::{wait_any, Completion, MacAddr, ProcessCtx, SimResult};
+use simnet::emp_trace::{self, EventKind};
+use simnet::{wait_any, Completion, MacAddr, ProcessCtx, SimAccess, SimResult};
 
 use crate::config::{SocketType, SubstrateConfig};
 use crate::error::SockError;
@@ -154,6 +155,19 @@ pub struct ConnStats {
     pub rendezvous: u64,
 }
 
+impl std::ops::AddAssign for ConnStats {
+    fn add_assign(&mut self, o: ConnStats) {
+        self.bytes_sent += o.bytes_sent;
+        self.bytes_received += o.bytes_received;
+        self.msgs_sent += o.msgs_sent;
+        self.msgs_received += o.msgs_received;
+        self.fcacks_sent += o.fcacks_sent;
+        self.piggybacked_credits += o.piggybacked_credits;
+        self.credit_stalls += o.credit_stalls;
+        self.rendezvous += o.rendezvous;
+    }
+}
+
 /// A data descriptor slot: handle + the stable buffer range it reposts to.
 pub(crate) struct DataSlot {
     pub(crate) handle: RecvHandle,
@@ -275,11 +289,7 @@ impl SockShared {
                 user_range: proc_.alloc_range(buf_size.max(1 << 20) + HEADER),
             }),
         });
-        proc_
-            .state
-            .lock()
-            .active
-            .insert(cid, Arc::downgrade(&sock));
+        proc_.state.lock().active.insert(cid, Arc::downgrade(&sock));
 
         let ep = &proc_.ep;
         let cfg = &proc_.cfg;
@@ -330,6 +340,21 @@ impl SockShared {
         Ok(sock)
     }
 
+    /// Record a trace event stamped with this station and connection id.
+    /// Compiles to nothing without the `trace` feature.
+    pub(crate) fn trace(&self, ctx: &ProcessCtx, kind: EventKind, a: u64, b: u64) {
+        if emp_trace::ENABLED {
+            ctx.tracer().emit(
+                ctx.now().nanos(),
+                self.proc_.ep.addr().0,
+                u32::from(self.cid),
+                kind,
+                a,
+                b,
+            );
+        }
+    }
+
     // --- tag helpers -------------------------------------------------
     // Receives match traffic flowing *towards* this side; sends carry the
     // opposite direction.
@@ -374,7 +399,9 @@ impl SockShared {
         msg: &Msg,
     ) -> SimResult<SendHandle> {
         let range = self.inner.lock().send_range;
-        self.proc_.ep.post_send(ctx, self.peer, tag, msg.encode(), range)
+        self.proc_
+            .ep
+            .post_send(ctx, self.peer, tag, msg.encode(), range)
     }
 
     /// Drain the control descriptor if it completed: handles `Close` and

@@ -9,6 +9,7 @@
 //! responsibility to avoid a deadlock lies on the user").
 
 use bytes::Bytes;
+use simnet::emp_trace::EventKind;
 use simnet::ProcessCtx;
 
 use crate::conn::{DataSlot, SockShared};
@@ -20,6 +21,7 @@ impl SockShared {
     /// Send one datagram. Small messages go eagerly (EMP retransmission
     /// covers the no-descriptor race); large ones rendezvous.
     pub(crate) fn dgram_send(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
+        self.trace(ctx, EventKind::SockWriteStart, data.len() as u64, 0);
         ctx.delay(self.proc_.cfg.dgram_overhead)?;
         ok_or_return!(self.reap_sends());
         {
@@ -45,6 +47,7 @@ impl SockShared {
             return Ok(Ok(data.len()));
         }
         // Rendezvous: announce, await the grant, then send.
+        self.trace(ctx, EventKind::RndvRequest, data.len() as u64, 0);
         let req = self.send_msg(
             ctx,
             self.tx_rndv_tag(),
@@ -77,6 +80,7 @@ impl SockShared {
             simnet::wait_any(ctx, &[&ctrl])?;
             ok_or_return!(self.poll_ctrl(ctx)?);
         }
+        self.trace(ctx, EventKind::RndvData, data.len() as u64, 0);
         let msg = Msg::Data {
             piggyback: 0,
             payload: Bytes::copy_from_slice(data),
@@ -143,6 +147,7 @@ impl SockShared {
                     i.stats.bytes_received += payload.len() as u64;
                     i.stats.msgs_received += 1;
                 }
+                self.trace(ctx, EventKind::SockReadEnd, payload.len() as u64, 0);
                 return Ok(Ok(payload));
             }
             // Rendezvous request?
@@ -211,6 +216,7 @@ impl SockShared {
                 .post_recv(ctx, self.rx_rndv_tag(), Some(self.peer), HEADER, range)?;
         self.inner.lock().rndv_handle = Some(new_handle);
         let reply = if size as usize <= max {
+            self.trace(ctx, EventKind::RndvAck, u64::from(size), 0);
             Msg::RndvAck
         } else {
             Msg::RndvNak { limit: max as u32 }

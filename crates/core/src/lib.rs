@@ -41,4 +41,6 @@ pub use config::{RecvMode, SocketType, SubstrateConfig};
 pub use conn::ConnStats;
 pub use error::SockError;
 pub use fdtable::{FdError, FdTable};
-pub use socket::{Connection, EmpSockets, Listener, SockAddr};
+pub use socket::{
+    ConnDebugState, Connection, EmpSockets, Listener, SlotDebug, SockAddr, SubstrateStats,
+};

@@ -135,13 +135,33 @@ impl EmpSockets {
         Ok(Ok(Connection { sock }))
     }
 
+    /// Substrate-wide counters: every live connection's [`crate::conn::ConnStats`]
+    /// summed, plus table sizes. Closed connections leave the active table,
+    /// so this reflects the substrate's current working set.
+    pub fn stats(&self) -> SubstrateStats {
+        let (socks, listeners) = {
+            let st = self.proc_.state.lock();
+            let socks: Vec<Arc<SockShared>> = st
+                .active
+                .values()
+                .filter_map(std::sync::Weak::upgrade)
+                .collect();
+            (socks, st.listeners.len())
+        };
+        let mut totals = crate::conn::ConnStats::default();
+        for s in &socks {
+            totals += s.inner.lock().stats;
+        }
+        SubstrateStats {
+            connections: socks.len(),
+            listeners,
+            totals,
+        }
+    }
+
     /// `select()` for readability across connections: blocks until one
     /// would not block on `read`, returning its index.
-    pub fn select_readable(
-        &self,
-        ctx: &ProcessCtx,
-        conns: &[&Connection],
-    ) -> SimResult<usize> {
+    pub fn select_readable(&self, ctx: &ProcessCtx, conns: &[&Connection]) -> SimResult<usize> {
         assert!(!conns.is_empty(), "select on an empty set");
         loop {
             for (idx, c) in conns.iter().enumerate() {
@@ -338,29 +358,72 @@ impl Connection {
         self.sock.inner.lock().stats
     }
 
-    /// Diagnostic: per data slot `(descriptor id, done)` in queue order
-    /// (`u64::MAX` marks a handle satisfied from the unexpected pool).
-    pub fn debug_slots(&self) -> Vec<(u64, bool)> {
+    /// Diagnostic: the posted data descriptors in queue order.
+    pub fn debug_slots(&self) -> Vec<SlotDebug> {
         let i = self.sock.inner.lock();
         i.data_slots
             .iter()
-            .map(|s| (s.handle.id(), s.handle.is_done()))
+            .map(|s| SlotDebug {
+                desc_id: s.handle.id(),
+                done: s.handle.is_done(),
+            })
             .collect()
     }
 
-    /// Diagnostic snapshot: `(data_slots, done_slots, stream_len, credits,
-    /// consumed, peer_closed, closed)`.
-    pub fn debug_state(&self) -> (usize, usize, usize, u32, u32, bool, bool) {
+    /// Diagnostic snapshot of the connection's receive/flow-control state.
+    pub fn debug_state(&self) -> ConnDebugState {
         let i = self.sock.inner.lock();
-        let done = i.data_slots.iter().filter(|s| s.handle.is_done()).count();
-        (
-            i.data_slots.len(),
-            done,
-            i.stream_len,
-            i.credits,
-            i.consumed,
-            i.peer_closed,
-            i.closed,
-        )
+        let done_slots = i.data_slots.iter().filter(|s| s.handle.is_done()).count();
+        ConnDebugState {
+            data_slots: i.data_slots.len(),
+            done_slots,
+            stream_len: i.stream_len,
+            credits: i.credits,
+            consumed: i.consumed,
+            peer_closed: i.peer_closed,
+            closed: i.closed,
+        }
     }
+}
+
+/// Diagnostic view of one posted data descriptor (see
+/// [`Connection::debug_slots`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlotDebug {
+    /// NIC descriptor id (`u64::MAX` marks a handle satisfied from the
+    /// unexpected pool).
+    pub desc_id: u64,
+    /// Whether a message has already landed in this descriptor.
+    pub done: bool,
+}
+
+/// Diagnostic snapshot of a connection's receive and flow-control state
+/// (see [`Connection::debug_state`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConnDebugState {
+    /// Data descriptors currently posted.
+    pub data_slots: usize,
+    /// How many of those already completed.
+    pub done_slots: usize,
+    /// Bytes buffered in the reassembled stream awaiting `read()`.
+    pub stream_len: usize,
+    /// Send credits currently available (§6.1).
+    pub credits: u32,
+    /// Messages consumed since the last credit return.
+    pub consumed: u32,
+    /// Peer sent a close notification.
+    pub peer_closed: bool,
+    /// This side is closed.
+    pub closed: bool,
+}
+
+/// Substrate-wide counter aggregate (see [`EmpSockets::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubstrateStats {
+    /// Live (not yet closed) connections in the active-socket table.
+    pub connections: usize,
+    /// Open listeners.
+    pub listeners: usize,
+    /// Sum of every live connection's [`crate::conn::ConnStats`].
+    pub totals: crate::conn::ConnStats,
 }

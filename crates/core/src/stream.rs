@@ -9,6 +9,7 @@
 //! when §6.4 is enabled.
 
 use bytes::Bytes;
+use simnet::emp_trace::{self, EventKind};
 use simnet::{ProcessCtx, SimResult};
 
 use crate::config::RecvMode;
@@ -37,12 +38,16 @@ impl SockShared {
     /// the call returns when the NIC has acknowledged the last fragment
     /// (the buffer is the application's to reuse again).
     pub(crate) fn stream_write(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
+        self.trace(ctx, EventKind::SockWriteStart, data.len() as u64, 0);
         let mut off = 0;
         while off < data.len() || (data.is_empty() && off == 0) {
             ok_or_return!(self.check_writable());
             ok_or_return!(self.acquire_credit(ctx)?);
             let chunk = (data.len() - off).min(self.buf_size);
             let piggyback = self.take_due_ack();
+            if emp_trace::ENABLED && piggyback > 0 {
+                self.trace(ctx, EventKind::AckPiggybacked, u64::from(piggyback), 0);
+            }
             {
                 let mut i = self.inner.lock();
                 i.stats.bytes_sent += chunk as u64;
@@ -58,7 +63,9 @@ impl SockShared {
             if chunk <= self.proc_.cfg.send_copy_threshold {
                 // Buffered send: copy into a registered staging buffer and
                 // return without waiting (like TCP's write-into-sockbuf).
-                ctx.delay(self.proc_.ep.host().cost().memcpy(chunk))?;
+                let copy = self.proc_.ep.host().cost().memcpy(chunk);
+                ctx.delay(copy)?;
+                self.trace(ctx, EventKind::SubstrateCopy, chunk as u64, copy.nanos());
                 let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
                 self.inner.lock().inflight_sends.push(h);
             } else {
@@ -114,7 +121,17 @@ impl SockShared {
             if let Some(out) = served {
                 // The data-streaming copy from the substrate's temporary
                 // buffer into the caller's buffer (§6.2).
-                ctx.delay(self.proc_.ep.host().cost().memcpy(out.len()))?;
+                let copy = self.proc_.ep.host().cost().memcpy(out.len());
+                ctx.delay(copy)?;
+                if emp_trace::ENABLED {
+                    self.trace(
+                        ctx,
+                        EventKind::SubstrateCopy,
+                        out.len() as u64,
+                        copy.nanos(),
+                    );
+                    self.trace(ctx, EventKind::SockReadEnd, out.len() as u64, 0);
+                }
                 self.inner.lock().stats.bytes_received += out.len() as u64;
                 return Ok(Ok(out));
             }
@@ -193,10 +210,19 @@ impl SockShared {
             if i.consumed >= threshold {
                 Some(std::mem::take(&mut i.consumed) as u16)
             } else {
+                if emp_trace::ENABLED && self.proc_.cfg.piggyback_acks && i.consumed > 0 {
+                    let accrued = u64::from(i.consumed);
+                    drop(i);
+                    self.trace(ctx, EventKind::AckDelayed, accrued, 0);
+                }
                 None
             }
         };
         if let Some(credits) = send_explicit {
+            if emp_trace::ENABLED {
+                self.trace(ctx, EventKind::CreditReturn, u64::from(credits), 0);
+                self.trace(ctx, EventKind::AckSent, u64::from(credits), 0);
+            }
             let h = self.send_msg(ctx, self.tx_fcack_tag(), &Msg::FcAck { credits })?;
             let mut i = self.inner.lock();
             i.stats.fcacks_sent += 1;
@@ -245,6 +271,7 @@ impl SockShared {
                 }
                 i.stats.credit_stalls += 1;
             }
+            self.trace(ctx, EventKind::CreditStall, 0, 0);
             // Out of credits: block for the next flow-control ack.
             if self.proc_.cfg.acks_in_unexpected_queue {
                 // §6.4: the ack may already be parked in the unexpected
@@ -259,7 +286,7 @@ impl SockShared {
                 ok_or_return!(self.wait_data_or_ctrl(ctx, h.completion())?);
                 if h.is_done() {
                     if let Some(msg) = self.proc_.ep.wait_recv(ctx, &h)? {
-                        ok_or_return!(self.apply_fcack(&msg.data));
+                        ok_or_return!(self.apply_fcack(ctx, &msg.data));
                     }
                 } else {
                     // Control woke us (close); unpost the straggler.
@@ -283,12 +310,12 @@ impl SockShared {
     /// in UQ mode, anything parked in the unexpected pool.
     pub(crate) fn reap_fcacks(&self, ctx: &ProcessCtx) -> SimResult<()> {
         if self.proc_.cfg.acks_in_unexpected_queue {
-            while let Some(msg) = self.proc_.ep.try_claim_unexpected(
-                ctx,
-                self.rx_fcack_tag(),
-                Some(self.peer),
-            )? {
-                let _ = self.apply_fcack(&msg.data);
+            while let Some(msg) =
+                self.proc_
+                    .ep
+                    .try_claim_unexpected(ctx, self.rx_fcack_tag(), Some(self.peer))?
+            {
+                let _ = self.apply_fcack(ctx, &msg.data);
             }
             return Ok(());
         }
@@ -302,7 +329,7 @@ impl SockShared {
             };
             self.inner.lock().fcack_handles.pop_front();
             if let Some(msg) = self.proc_.ep.wait_recv(ctx, &handle)? {
-                let _ = self.apply_fcack(&msg.data);
+                let _ = self.apply_fcack(ctx, &msg.data);
                 // Repost to keep the fc-ack descriptor count constant.
                 let range = self.inner.lock().fcack_range;
                 let h = self.proc_.ep.post_recv(
@@ -317,9 +344,10 @@ impl SockShared {
         }
     }
 
-    fn apply_fcack(&self, raw: &Bytes) -> Result<(), SockError> {
+    fn apply_fcack(&self, ctx: &ProcessCtx, raw: &Bytes) -> Result<(), SockError> {
         match Msg::decode(raw)? {
             Msg::FcAck { credits } => {
+                self.trace(ctx, EventKind::CreditGrant, u64::from(credits), 0);
                 self.inner.lock().credits += u32::from(credits);
                 Ok(())
             }

@@ -22,12 +22,10 @@ fn ports_beyond_the_tag_space_are_rejected() {
     let s = sub(&cl, 0, SubstrateConfig::ds_da_uq());
     sim.spawn("p", move |ctx| {
         let too_big = 0x1000;
+        assert_eq!(s.listen(ctx, too_big, 4)?.err(), Some(SockError::AddrInUse));
         assert_eq!(
-            s.listen(ctx, too_big, 4)?.err(),
-            Some(SockError::AddrInUse)
-        );
-        assert_eq!(
-            s.connect(ctx, SockAddr::new(simnet::MacAddr(1), too_big))?.err(),
+            s.connect(ctx, SockAddr::new(simnet::MacAddr(1), too_big))?
+                .err(),
             Some(SockError::AddrInUse)
         );
         Ok(())
@@ -150,7 +148,8 @@ fn connection_ids_are_quarantined_not_instantly_reused() {
         for i in 0..ROUNDS {
             let conn = client.connect(ctx, addr)?.expect("connect");
             c2.lock().push(conn.cid());
-            conn.write(ctx, format!("round-{i}").as_bytes())?.expect("send");
+            conn.write(ctx, format!("round-{i}").as_bytes())?
+                .expect("send");
             let r = conn.read(ctx, 16)?.expect("echo");
             assert_eq!(&r[..], format!("round-{i}").as_bytes());
             conn.close(ctx)?;

@@ -375,7 +375,9 @@ fn rendezvous_transfers_large_datagrams() {
     });
     sim.spawn("sender", move |ctx| {
         let conn = client.connect(ctx, addr)?.expect("connect");
-        let n = conn.write(ctx, &vec![0x42u8; BIG])?.expect("rendezvous send");
+        let n = conn
+            .write(ctx, &vec![0x42u8; BIG])?
+            .expect("rendezvous send");
         assert_eq!(n, BIG);
         Ok(())
     });
@@ -445,7 +447,10 @@ fn figure7_rendezvous_deadlock_reproduces() {
     });
     sim.run_until(SimTime::from_millis(200));
     let (a, b) = *progressed.lock();
-    assert!(!a && !b, "write-write on rendezvous datagrams must deadlock");
+    assert!(
+        !a && !b,
+        "write-write on rendezvous datagrams must deadlock"
+    );
 }
 
 #[test]
@@ -631,7 +636,10 @@ fn fd_table_routes_files_and_sockets() {
     let server = substrate(&cl, 1, SubstrateConfig::ds_da_uq());
     let client = substrate(&cl, 0, SubstrateConfig::ds_da_uq());
     let addr = SockAddr::new(cl.nodes[1].addr(), 21);
-    cl.nodes[0].host.fs().put("local.txt", &b"file contents"[..]);
+    cl.nodes[0]
+        .host
+        .fs()
+        .put("local.txt", &b"file contents"[..]);
     let client_fs = cl.nodes[0].host.fs().clone();
     let done = Completion::new();
     let done2 = done.clone();

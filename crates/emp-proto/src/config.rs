@@ -51,9 +51,6 @@ mod tests {
     fn defaults_match_paper() {
         let c = EmpConfig::default();
         assert_eq!(c.ack_window, 4);
-        assert_eq!(
-            c.nic.tag_match_per_descriptor,
-            SimDuration::from_nanos(550)
-        );
+        assert_eq!(c.nic.tag_match_per_descriptor, SimDuration::from_nanos(550));
     }
 }

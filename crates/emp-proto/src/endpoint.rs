@@ -12,7 +12,8 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use hostsim::{Host, VirtRange};
-use simnet::{MacAddr, ProcessCtx, SimResult};
+use simnet::emp_trace::{self, EventKind};
+use simnet::{MacAddr, ProcessCtx, SimAccess, SimResult};
 
 use crate::nic::{DescId, EmpNic, RecvState, SendState};
 use crate::wire::{RecvMsg, Tag};
@@ -103,6 +104,21 @@ impl EmpEndpoint {
         &self.nic
     }
 
+    /// Record a trace event stamped with this station's id. Compiles to
+    /// nothing without the `trace` feature.
+    fn trace(&self, ctx: &ProcessCtx, kind: EventKind, a: u64, b: u64) {
+        if emp_trace::ENABLED {
+            ctx.tracer().emit(
+                ctx.now().nanos(),
+                self.nic.mac().0,
+                emp_trace::NO_CONN,
+                kind,
+                a,
+                b,
+            );
+        }
+    }
+
     /// Post a message send from the buffer `buf` (whose registration state
     /// determines whether the pin syscall is paid). Returns immediately
     /// after the doorbell; use [`EmpEndpoint::wait_send`] to block until
@@ -118,6 +134,7 @@ impl EmpEndpoint {
         let cfg = self.nic.cfg();
         let (pin, _) = self.host.memory().lock().register(buf, self.host.cost());
         ctx.delay(cfg.desc_build + pin + self.host.cost().doorbell_write)?;
+        self.trace(ctx, EventKind::TxDoorbell, data.len() as u64, 0);
         let state = self.nic.start_send(ctx, dst, tag, data);
         Ok(SendHandle { state })
     }
@@ -165,10 +182,22 @@ impl EmpEndpoint {
     pub fn wait_recv(&self, ctx: &ProcessCtx, h: &RecvHandle) -> SimResult<Option<RecvMsg>> {
         h.state.completion.wait(ctx)?;
         ctx.delay(self.host.cost().poll_completion)?;
-        let msg = h.state.slot.lock().clone().expect("completed recv has a result");
+        let msg = h
+            .state
+            .slot
+            .lock()
+            .clone()
+            .expect("completed recv has a result");
         if let Some(m) = &msg {
             if m.from_unexpected {
-                ctx.delay(self.host.cost().memcpy(m.data.len()))?;
+                let copy = self.host.cost().memcpy(m.data.len());
+                ctx.delay(copy)?;
+                self.trace(
+                    ctx,
+                    EventKind::SubstrateCopy,
+                    m.data.len() as u64,
+                    copy.nanos(),
+                );
             }
         }
         Ok(msg)
@@ -181,10 +210,18 @@ impl EmpEndpoint {
         if !h.state.completion.is_done() {
             return Ok(RecvPoll::Pending);
         }
-        Ok(match h.state.slot.lock().clone().expect("completed recv has a result") {
-            Some(msg) => RecvPoll::Ready(msg),
-            None => RecvPoll::Cancelled,
-        })
+        Ok(
+            match h
+                .state
+                .slot
+                .lock()
+                .clone()
+                .expect("completed recv has a result")
+            {
+                Some(msg) => RecvPoll::Ready(msg),
+                None => RecvPoll::Cancelled,
+            },
+        )
     }
 
     /// Claim a message from the unexpected pool without posting anything
@@ -199,7 +236,14 @@ impl EmpEndpoint {
         ctx.delay(self.host.cost().poll_completion)?;
         match self.nic.claim_unexpected(tag, src) {
             Some(msg) => {
-                ctx.delay(self.host.cost().memcpy(msg.data.len()))?;
+                let copy = self.host.cost().memcpy(msg.data.len());
+                ctx.delay(copy)?;
+                self.trace(
+                    ctx,
+                    EventKind::SubstrateCopy,
+                    msg.data.len() as u64,
+                    copy.nanos(),
+                );
                 Ok(Some(msg))
             }
             None => Ok(None),

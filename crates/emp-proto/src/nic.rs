@@ -16,6 +16,7 @@ use std::sync::{Arc, Weak};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use simnet::emp_trace::{self, EventKind};
 use simnet::{
     Completion, EtherType, Frame, FrameSink, MacAddr, Sim, SimAccess, SimAccessExt, SimDuration,
 };
@@ -85,7 +86,6 @@ impl RecvState {
             slot: Arc::new(Mutex::new(None)),
         }
     }
-
 }
 
 struct TxRecord {
@@ -287,6 +287,21 @@ impl EmpNic {
         self.self_ref.upgrade().expect("EmpNic is always Arc-owned")
     }
 
+    /// Record a trace event stamped with this NIC's station id. Compiles
+    /// to nothing without the `trace` feature.
+    fn trace(&self, s: &dyn SimAccess, kind: EventKind, a: u64, b: u64) {
+        if emp_trace::ENABLED {
+            s.tracer().emit(
+                s.now().nanos(),
+                self.mac().0,
+                emp_trace::NO_CONN,
+                kind,
+                a,
+                b,
+            );
+        }
+    }
+
     // ------------------------------------------------------------------
     // Transmit path
     // ------------------------------------------------------------------
@@ -346,10 +361,7 @@ impl EmpNic {
                 // the retry count (mod 4) so a deterministic protocol
                 // cannot phase-lock with a periodic loss pattern whose
                 // period divides the round size.
-                let stagger = st
-                    .tx
-                    .get(&msg_id)
-                    .map_or(0, |r| r.retries % 4);
+                let stagger = st.tx.get(&msg_id).map_or(0, |r| r.retries % 4);
                 let effective = window.saturating_sub(stagger).max(1);
                 if st.tx_inflight >= effective {
                     break;
@@ -405,8 +417,14 @@ impl EmpNic {
         }
         for frame in to_schedule {
             let me = self.arc();
-            let cost = self.cfg.nic.dma_time(frame.payload.wire_len()) + self.cfg.nic.tx_frame_cost;
+            let wire_len = frame.payload.wire_len();
+            let dma = self.cfg.nic.dma_time(wire_len);
+            let cost = dma + self.cfg.nic.tx_frame_cost;
             self.tigon.cpu_tx.exec(sim, cost, move |sim| {
+                if emp_trace::ENABLED {
+                    me.trace(sim, EventKind::DmaCopy, wire_len as u64, dma.nanos());
+                    me.trace(sim, EventKind::NicTxWire, wire_len as u64, 0);
+                }
                 me.tigon.send_frame(sim, frame);
             });
         }
@@ -428,7 +446,7 @@ impl EmpNic {
             enum Action {
                 Rearm(u32, SimDuration),
                 Fail(SendState),
-                Retransmit(SimDuration, u32),
+                Retransmit(SimDuration, u32, u32),
             }
             let action = {
                 let mut st = me.state.lock();
@@ -462,9 +480,8 @@ impl EmpNic {
                         if !st.tx_order.contains(&msg_id) {
                             st.tx_order.push_front(msg_id);
                         }
-                        let backoff =
-                            me.cfg.retransmit_timeout * 2u64.pow(retries.min(5));
-                        Action::Retransmit(backoff, acked)
+                        let backoff = me.cfg.retransmit_timeout * 2u64.pow(retries.min(5));
+                        Action::Retransmit(backoff, acked, retries)
                     }
                 }
             };
@@ -476,7 +493,8 @@ impl EmpNic {
                     *state.ok.lock() = Some(false);
                     state.completion.complete(sim);
                 }
-                Action::Retransmit(backoff, acked) => {
+                Action::Retransmit(backoff, acked, retries) => {
+                    me.trace(sim, EventKind::Retransmit, u64::from(retries), msg_id);
                     me.arm_retransmit_timer(sim, msg_id, acked, backoff);
                     me.release_tx(sim);
                 }
@@ -549,6 +567,7 @@ impl EmpNic {
         self.tigon
             .cpu_rx
             .exec_at(s, earliest, self.cfg.rx_post_cost, move |sim| {
+                me.trace(sim, EventKind::DescPost, id, capacity as u64);
                 me.state.lock().preposted.push(RecvDesc {
                     id,
                     tag,
@@ -576,6 +595,7 @@ impl EmpNic {
                     pos.map(|p| st.preposted.remove(p).state)
                 };
                 if let Some(state) = state {
+                    me.trace(sim, EventKind::DescUnpost, id, 0);
                     *state.slot.lock() = Some(None);
                     state.completion.complete(sim);
                 }
@@ -609,7 +629,7 @@ impl EmpNic {
 
     /// Classification + matching, at the completion of the first rx CPU
     /// phase. Returns the work for the second phase.
-    fn rx_match(&self, frame: &Frame, wire: &EmpWire) -> RxPhase2 {
+    fn rx_match(&self, sim: &Sim, frame: &Frame, wire: &EmpWire) -> RxPhase2 {
         let EmpWire::Data {
             msg_id,
             tag,
@@ -676,10 +696,7 @@ impl EmpNic {
         // message must queue behind it rather than overtake it into a
         // descriptor — otherwise a stream's bytes reorder whenever its
         // first messages raced ahead of the descriptors.
-        let lane_blocked = st
-            .pool
-            .iter()
-            .any(|m| m.tag == *tag && m.src == src)
+        let lane_blocked = st.pool.iter().any(|m| m.tag == *tag && m.src == src)
             || st
                 .pending_unexpected
                 .get(&(src, *tag))
@@ -709,6 +726,7 @@ impl EmpNic {
         let dest = match found {
             Some(i) => {
                 let desc = st.preposted.remove(i);
+                self.trace(sim, EventKind::DescConsume, desc.id, u64::from(*total_len));
                 RecvDest::Desc(desc.state)
             }
             None => {
@@ -716,9 +734,14 @@ impl EmpNic {
                 if st.unexpected_in_use < st.unexpected_capacity {
                     st.unexpected_in_use += 1;
                     st.stats.descriptors_walked += 1;
+                    self.trace(sim, EventKind::UqHit, u64::from(*total_len), 0);
                     RecvDest::Unexpected
                 } else {
                     st.stats.frames_dropped += 1;
+                    if emp_trace::ENABLED {
+                        self.trace(sim, EventKind::UqOverflow, u64::from(*total_len), 0);
+                        self.trace(sim, EventKind::FrameDrop, chunk.len() as u64, 0);
+                    }
                     return RxPhase2 {
                         walked,
                         dma_bytes: 0,
@@ -850,14 +873,17 @@ impl EmpNic {
                         let msg = st.pool.remove(mi).expect("index just found");
                         let desc = st.preposted.remove(di);
                         st.unexpected_in_use -= 1;
+                        self.trace(sim, EventKind::DescConsume, desc.id, msg.data.len() as u64);
                         Some((desc.state, msg))
                     }
                     None => None,
                 }
             };
             let Some((state, msg)) = delivered else { break };
+            let me = self.arc();
             let post = self.cfg.nic.completion_post;
             sim.schedule_after(post, move |sim| {
+                me.trace(sim, EventKind::RecvDeliver, msg.data.len() as u64, 0);
                 *state.slot.lock() = Some(Some(msg));
                 state.completion.complete(sim);
             });
@@ -917,20 +943,23 @@ impl FrameSink for EmpNic {
         match wire {
             EmpWire::Ack { msg_id, frames } => {
                 let me = self.arc();
-                self.tigon.cpu_rx.exec(s, self.cfg.nic.ack_cost, move |sim| {
-                    me.process_ack(sim, msg_id, frames);
-                });
+                self.tigon
+                    .cpu_rx
+                    .exec(s, self.cfg.nic.ack_cost, move |sim| {
+                        me.process_ack(sim, msg_id, frames);
+                    });
             }
             EmpWire::Data { .. } => {
+                self.trace(s, EventKind::NicRxStart, frame.payload.wire_len() as u64, 0);
                 let me = self.arc();
                 // Phase 1: classification + bookkeeping, fixed cost.
                 self.tigon
                     .cpu_rx
                     .exec(s, self.cfg.nic.rx_frame_cost, move |sim| {
-                        let phase2 = me.rx_match(&frame, &wire);
+                        let phase2 = me.rx_match(sim, &frame, &wire);
                         let cfg = &me.cfg.nic;
-                        let mut cost = cfg.tag_match_time(phase2.walked)
-                            + cfg.dma_time(phase2.dma_bytes);
+                        let dma = cfg.dma_time(phase2.dma_bytes);
+                        let mut cost = cfg.tag_match_time(phase2.walked) + dma;
                         if matches!(phase2.deliver, Some(Deliver::Host { .. })) {
                             cost += cfg.completion_post;
                         }
@@ -939,11 +968,25 @@ impl FrameSink for EmpNic {
                         // chain is EMP's large-message bottleneck.
                         let me2 = Arc::clone(&me);
                         me.tigon.cpu_rx.exec(sim, cost, move |sim| {
+                            if emp_trace::ENABLED && phase2.dma_bytes > 0 {
+                                me2.trace(
+                                    sim,
+                                    EventKind::DmaCopy,
+                                    phase2.dma_bytes as u64,
+                                    dma.nanos(),
+                                );
+                            }
                             if let Some((dst, msg_id, frames)) = phase2.ack {
                                 me2.send_ack(sim, dst, msg_id, frames);
                             }
                             match phase2.deliver {
                                 Some(Deliver::Host { state, msg }) => {
+                                    me2.trace(
+                                        sim,
+                                        EventKind::RecvDeliver,
+                                        msg.data.len() as u64,
+                                        0,
+                                    );
                                     *state.slot.lock() = Some(Some(msg));
                                     state.completion.complete(sim);
                                 }

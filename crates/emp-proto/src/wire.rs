@@ -148,7 +148,10 @@ mod tests {
             chunk: Bytes::from(vec![0u8; 100]),
         };
         assert_eq!(w.wire_len(), 120);
-        let a = EmpWire::Ack { msg_id: 1, frames: 1 };
+        let a = EmpWire::Ack {
+            msg_id: 1,
+            frames: 1,
+        };
         assert_eq!(a.wire_len(), ACK_WIRE);
         // A max chunk exactly fills the MTU.
         let w = EmpWire::Data {

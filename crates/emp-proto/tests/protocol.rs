@@ -41,7 +41,13 @@ fn single_message_delivery_preserves_contents() {
     });
     sim.spawn("sender", move |ctx| {
         ctx.delay(SimDuration::from_micros(5))?; // let the receiver post
-        let h = a.post_send(ctx, dst, Tag(7), Bytes::from_static(b"hello emp"), buf(0, 9))?;
+        let h = a.post_send(
+            ctx,
+            dst,
+            Tag(7),
+            Bytes::from_static(b"hello emp"),
+            buf(0, 9),
+        )?;
         assert!(a.wait_send(ctx, &h)?);
         Ok(())
     });

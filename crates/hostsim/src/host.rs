@@ -77,8 +77,14 @@ mod tests {
         assert_eq!(h.id(), MacAddr(3));
         h.fs().put("f", &b"x"[..]);
         assert!(h.fs().exists("f"));
-        let (d1, _) = h.memory().lock().register(VirtRange::new(0, 4096), h.cost());
-        let (d2, _) = h.memory().lock().register(VirtRange::new(0, 4096), h.cost());
+        let (d1, _) = h
+            .memory()
+            .lock()
+            .register(VirtRange::new(0, 4096), h.cost());
+        let (d2, _) = h
+            .memory()
+            .lock()
+            .register(VirtRange::new(0, 4096), h.cost());
         assert!(d1 > d2);
     }
 

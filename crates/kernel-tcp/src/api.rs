@@ -39,7 +39,11 @@ impl TcpApi {
 
     /// Active open to `remote`; blocks for the three-way handshake
     /// (~200-250 µs on the calibrated testbed, §7.4).
-    pub fn connect(&self, ctx: &ProcessCtx, remote: SockAddr) -> SimResult<Result<TcpConn, TcpError>> {
+    pub fn connect(
+        &self,
+        ctx: &ProcessCtx,
+        remote: SockAddr,
+    ) -> SimResult<Result<TcpConn, TcpError>> {
         Ok(self.stack.connect(ctx, remote)?.map(|sock| TcpConn {
             stack: Arc::clone(&self.stack),
             sock,
@@ -111,7 +115,11 @@ impl TcpConn {
 
     /// Read exactly `n` bytes (looping over `read`); `None` on premature
     /// EOF.
-    pub fn read_exact(&self, ctx: &ProcessCtx, n: usize) -> SimResult<Result<Option<Bytes>, TcpError>> {
+    pub fn read_exact(
+        &self,
+        ctx: &ProcessCtx,
+        n: usize,
+    ) -> SimResult<Result<Option<Bytes>, TcpError>> {
         let mut buf = Vec::with_capacity(n);
         while buf.len() < n {
             let chunk = match self.read(ctx, n - buf.len())? {

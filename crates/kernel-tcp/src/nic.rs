@@ -112,11 +112,7 @@ impl AcenicNic {
             rx.interrupts += 1;
             std::mem::take(&mut rx.pending)
         };
-        let handler = self
-            .handler
-            .lock()
-            .as_ref()
-            .and_then(|w| w.upgrade());
+        let handler = self.handler.lock().as_ref().and_then(|w| w.upgrade());
         if let Some(h) = handler {
             h.handle_batch(s, batch);
         }

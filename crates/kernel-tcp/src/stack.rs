@@ -14,16 +14,16 @@ use bytes::Bytes;
 use hostsim::Host;
 use parking_lot::Mutex;
 use simnet::{
-    EtherType, Frame, MacAddr, Payload, ProcessCtx, SimAccess, SimAccessExt, SimCondvar,
-    SimQueue, SimResult,
+    EtherType, Frame, MacAddr, Payload, ProcessCtx, SimAccess, SimAccessExt, SimCondvar, SimQueue,
+    SimResult,
 };
 use tigon_nic::FirmwareCpu;
 
 use crate::config::TcpConfig;
 use crate::nic::{AcenicNic, BatchHandler};
 use crate::tcp::{conn_key, ConnKey, TcpError, TcpInner, TcpSocket, TcpState};
-use crate::udp::UdpReasm;
 use crate::udp::UdpPort;
+use crate::udp::UdpReasm;
 use crate::wire::{IpPacket, IpProto, SockAddr, TcpFlags, TcpSegment};
 
 /// A listening socket's kernel state.
@@ -152,7 +152,13 @@ impl TcpStack {
     }
 
     /// Emit `seg` for `sock` on the kernel CPU at `cost`.
-    fn emit_segment(&self, s: &dyn SimAccess, sock: &Arc<TcpSocket>, seg: TcpSegment, cost: simnet::SimDuration) {
+    fn emit_segment(
+        &self,
+        s: &dyn SimAccess,
+        sock: &Arc<TcpSocket>,
+        seg: TcpSegment,
+        cost: simnet::SimDuration,
+    ) {
         let me = self.arc();
         let pkt = IpPacket {
             src: sock.local.host,
@@ -187,7 +193,13 @@ impl TcpStack {
         // torn-down socket; drop it.
     }
 
-    fn spawn_child(&self, sim: &dyn SimAccess, l: &Arc<ListenerState>, key: ConnKey, syn: &TcpSegment) {
+    fn spawn_child(
+        &self,
+        sim: &dyn SimAccess,
+        l: &Arc<ListenerState>,
+        key: ConnKey,
+        syn: &TcpSegment,
+    ) {
         let sockbuf = self.state.lock().sockbuf;
         let child = Arc::new(TcpSocket {
             local: SockAddr::new(self.host.id(), l.port),
@@ -244,8 +256,7 @@ impl TcpStack {
                 }
                 _ => {}
             }
-            if !seg.data.is_empty()
-                && matches!(i.state, TcpState::Established | TcpState::FinWait)
+            if !seg.data.is_empty() && matches!(i.state, TcpState::Established | TcpState::FinWait)
             {
                 debug_assert_eq!(seg.seq, i.rcv_nxt, "loss-free fabric delivers in order");
                 i.rcv_buf.extend(seg.data.iter().copied());
@@ -359,13 +370,7 @@ impl TcpStack {
                     break;
                 }
                 let start = i.in_flight();
-                let data: Vec<u8> = i
-                    .snd_buf
-                    .iter()
-                    .skip(start)
-                    .take(len)
-                    .copied()
-                    .collect();
+                let data: Vec<u8> = i.snd_buf.iter().skip(start).take(len).copied().collect();
                 let adv = i.advertised_window(&self.cfg);
                 i.last_advertised = adv;
                 i.unacked_segments = 0;
@@ -678,7 +683,10 @@ impl BatchHandler for TcpStack {
             };
             let cost = match &pkt.proto {
                 IpProto::Tcp(seg)
-                    if seg.data.is_empty() && !seg.flags.syn && !seg.flags.fin && !seg.flags.rst =>
+                    if seg.data.is_empty()
+                        && !seg.flags.syn
+                        && !seg.flags.fin
+                        && !seg.flags.rst =>
                 {
                     self.cfg.ack_rx_cost
                 }

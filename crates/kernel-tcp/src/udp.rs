@@ -117,14 +117,11 @@ pub(crate) fn on_frag(
         Some(dgram)
     } else {
         let mut st = stack.state.lock();
-        let entry = st
-            .udp_reasm
-            .entry((src, id))
-            .or_insert_with(|| UdpReasm {
-                received: 0,
-                count,
-                dgram,
-            });
+        let entry = st.udp_reasm.entry((src, id)).or_insert_with(|| UdpReasm {
+            received: 0,
+            count,
+            dgram,
+        });
         entry.received += 1;
         if entry.received == entry.count {
             let done = st.udp_reasm.remove(&(src, id)).expect("entry exists");

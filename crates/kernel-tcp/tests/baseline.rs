@@ -3,7 +3,7 @@
 //! with 16 KiB socket buffers, ~550 Mbps with large ones, and 200-250 µs
 //! connection setup (§7.2, §7.4).
 
-use kernel_tcp::{build_tcp_cluster, SockAddr, TcpConfig, TcpCluster, TcpError};
+use kernel_tcp::{build_tcp_cluster, SockAddr, TcpCluster, TcpConfig, TcpError};
 use parking_lot::Mutex;
 use simnet::{Completion, Sim, SimAccess, SimDuration, SwitchConfig};
 use std::sync::Arc;

@@ -1,7 +1,7 @@
 //! Edge-case coverage for the kernel stack: EOF exactness, half-close
 //! semantics, UDP overflow, port exhaustion behaviour, listener teardown.
 
-use kernel_tcp::{build_tcp_cluster, SockAddr, TcpConfig, TcpCluster, TcpError};
+use kernel_tcp::{build_tcp_cluster, SockAddr, TcpCluster, TcpConfig, TcpError};
 use parking_lot::Mutex;
 use simnet::{Completion, Sim, SimDuration, SwitchConfig};
 use std::sync::Arc;
@@ -65,7 +65,8 @@ fn half_close_still_allows_receiving() {
         // Wait for A's FIN (read returns EOF), then still send data.
         let d = c.read(ctx, 64)?.expect("read");
         assert!(d.is_empty(), "A closed first");
-        c.write(ctx, b"parting words")?.expect("send from CloseWait");
+        c.write(ctx, b"parting words")?
+            .expect("send from CloseWait");
         c.close(ctx)?;
         Ok(())
     });
@@ -73,7 +74,10 @@ fn half_close_still_allows_receiving() {
     sim.spawn("peer-a", move |ctx| {
         let c = api_c.connect(ctx, addr)?.expect("connect");
         c.close(ctx)?; // half-close: our FIN goes out
-        let d = c.read_exact(ctx, 13)?.expect("read").expect("data after our close");
+        let d = c
+            .read_exact(ctx, 13)?
+            .expect("read")
+            .expect("data after our close");
         assert_eq!(&d[..], b"parting words");
         done2.complete(ctx);
         Ok(())

@@ -64,6 +64,7 @@ pub(crate) struct SimCore {
 pub struct SimShared {
     pub(crate) core: Mutex<SimCore>,
     pub(crate) procs: Mutex<ProcTable>,
+    pub(crate) tracer: emp_trace::Tracer,
 }
 
 impl SimShared {
@@ -110,6 +111,14 @@ pub trait SimAccess {
     /// Schedule a boxed event at an absolute time (clamped to now).
     fn schedule_boxed(&self, at: SimTime, f: EventFn) {
         self.shared().schedule_boxed(at, f);
+    }
+
+    /// This simulation's event tracer (a cheap shared handle). All layers
+    /// record into the same per-simulation ring; recording is a no-op
+    /// unless the `trace` feature is enabled, and emission sites should be
+    /// gated on [`emp_trace::ENABLED`] so they compile out entirely.
+    fn tracer(&self) -> emp_trace::Tracer {
+        self.shared().tracer.clone()
     }
 }
 
@@ -175,6 +184,7 @@ impl Sim {
                     executed: 0,
                 }),
                 procs: Mutex::new(ProcTable::new()),
+                tracer: emp_trace::Tracer::new(),
             }),
         }
     }

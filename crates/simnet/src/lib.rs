@@ -38,6 +38,7 @@ pub mod switch;
 pub mod sync;
 pub mod time;
 
+pub use emp_trace;
 pub use engine::{EventFn, Sim, SimAccess, SimAccessExt};
 pub use error::{SimError, SimResult};
 pub use frame::{EtherType, Frame, MacAddr, Payload, MTU};

@@ -89,14 +89,15 @@ impl LinkTx {
         };
         let now = s.now();
         let tx_time = SimDuration::for_bits_at_rate(frame.wire_bits(), self.cfg.bandwidth_bps);
-        let (deliver_at, dropped) = {
+        let (start, deliver_at, dropped) = {
             let mut st = self.state.lock();
             let start = now.max(st.busy_until);
             let backlog = start.since(now);
             st.max_backlog = st.max_backlog.max(backlog);
             st.busy_until = start + tx_time;
             st.frames_sent += 1;
-            st.throughput.record(s.now(), frame.payload.wire_len() as u64);
+            st.throughput
+                .record(s.now(), frame.payload.wire_len() as u64);
             // Failure injection: the frame still occupies the wire (it is
             // corrupted in flight, FCS fails at the receiver) but is
             // never delivered.
@@ -107,10 +108,39 @@ impl LinkTx {
             if dropped {
                 st.frames_dropped += 1;
             }
-            (st.busy_until + self.cfg.propagation, dropped)
+            (start, st.busy_until + self.cfg.propagation, dropped)
         };
+        if emp_trace::ENABLED {
+            // Stamped at serialization start, which may be in the future
+            // when the frame queues behind earlier traffic.
+            let kind = if dropped {
+                emp_trace::EventKind::FrameDrop
+            } else {
+                emp_trace::EventKind::WireTx
+            };
+            s.tracer().emit(
+                start.nanos(),
+                frame.src.0,
+                emp_trace::NO_CONN,
+                kind,
+                frame.payload.wire_len() as u64,
+                u64::from(frame.dst.0),
+            );
+        }
         if !dropped {
-            s.schedule_at(deliver_at, move |sim| peer.deliver(sim, frame));
+            s.schedule_at(deliver_at, move |sim| {
+                if emp_trace::ENABLED {
+                    sim.tracer().emit(
+                        sim.now().nanos(),
+                        frame.dst.0,
+                        emp_trace::NO_CONN,
+                        emp_trace::EventKind::WireRx,
+                        frame.payload.wire_len() as u64,
+                        u64::from(frame.src.0),
+                    );
+                }
+                peer.deliver(sim, frame);
+            });
         }
     }
 

@@ -202,10 +202,7 @@ mod tests {
             h.record(v);
         }
         let buckets: Vec<_> = h.buckets().collect();
-        assert_eq!(
-            buckets,
-            vec![(10, 2), (100, 1), (1000, 1), (u64::MAX, 1)]
-        );
+        assert_eq!(buckets, vec![(10, 2), (100, 1), (1000, 1), (u64::MAX, 1)]);
         assert_eq!(h.total(), 5);
         assert_eq!(h.quantile(0.0), Some(10));
         assert_eq!(h.quantile(0.5), Some(100));

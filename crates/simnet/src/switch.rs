@@ -157,6 +157,16 @@ impl FrameSink for PortIngress {
                 }
             };
             let _ = counted_flood;
+            if emp_trace::ENABLED {
+                sim.tracer().emit(
+                    sim.now().nanos(),
+                    emp_trace::NO_NODE,
+                    emp_trace::NO_CONN,
+                    emp_trace::EventKind::SwitchForward,
+                    frame.payload.wire_len() as u64,
+                    u64::from(frame.dst.0),
+                );
+            }
             for tx in txs {
                 tx.send(sim, frame.clone());
             }
@@ -270,7 +280,9 @@ mod tests {
         let tx0 = txs[0].clone();
         sim.schedule_at(SimTime::ZERO, move |s| tx0.send(s, frame(0, 1, 4))); // floods, learns 0
         let tx1 = txs[1].clone();
-        sim.schedule_at(SimTime::from_micros(50), move |s| tx1.send(s, frame(1, 0, 4))); // forwarded
+        sim.schedule_at(SimTime::from_micros(50), move |s| {
+            tx1.send(s, frame(1, 0, 4))
+        }); // forwarded
         sim.run();
         assert_eq!(switch.frames_flooded(), 1);
         assert_eq!(switch.frames_forwarded(), 1);

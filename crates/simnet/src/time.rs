@@ -187,7 +187,11 @@ impl Sub<SimTime> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("simulated duration overflow"))
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulated duration overflow"),
+        )
     }
 }
 
@@ -217,7 +221,11 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs).expect("simulated duration overflow"))
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("simulated duration overflow"),
+        )
     }
 }
 
@@ -316,7 +324,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
-        assert_eq!(SimDuration::from_micros_f64(1.5), SimDuration::from_nanos(1_500));
+        assert_eq!(
+            SimDuration::from_micros_f64(1.5),
+            SimDuration::from_nanos(1_500)
+        );
     }
 
     #[test]

@@ -4,9 +4,7 @@
 
 use parking_lot::Mutex;
 use proptest::prelude::*;
-use simnet::{
-    Sim, SimAccess, SimAccessExt, SimDuration, SimQueue, SimSemaphore, SimTime,
-};
+use simnet::{Sim, SimAccess, SimAccessExt, SimDuration, SimQueue, SimSemaphore, SimTime};
 use std::sync::Arc;
 
 proptest! {

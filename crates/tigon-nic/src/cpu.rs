@@ -23,6 +23,7 @@ struct CpuState {
 #[derive(Clone)]
 pub struct FirmwareCpu {
     name: &'static str,
+    node: u16,
     state: Arc<Mutex<CpuState>>,
 }
 
@@ -31,6 +32,7 @@ impl FirmwareCpu {
     pub fn new(name: &'static str) -> Self {
         FirmwareCpu {
             name,
+            node: simnet::emp_trace::NO_NODE,
             state: Arc::new(Mutex::new(CpuState {
                 busy_until: SimTime::ZERO,
                 busy_total: SimDuration::ZERO,
@@ -38,6 +40,12 @@ impl FirmwareCpu {
                 last_seen: SimTime::ZERO,
             })),
         }
+    }
+
+    /// Tag trace events from this CPU with a station id (the NIC's MAC).
+    pub fn with_node(mut self, node: u16) -> Self {
+        self.node = node;
+        self
     }
 
     /// Label given at construction.
@@ -59,7 +67,7 @@ impl FirmwareCpu {
     where
         F: FnOnce(&Sim) + Send + 'static,
     {
-        let done = {
+        let (start, done) = {
             let mut st = self.state.lock();
             let start = earliest.max(st.busy_until).max(s.now());
             let done = start + cost;
@@ -67,8 +75,18 @@ impl FirmwareCpu {
             st.busy_total += cost;
             st.tasks_run += 1;
             st.last_seen = st.last_seen.max(done);
-            done
+            (start, done)
         };
+        if simnet::emp_trace::ENABLED {
+            s.tracer().emit(
+                done.nanos(),
+                self.node,
+                simnet::emp_trace::NO_CONN,
+                simnet::emp_trace::EventKind::FwTask,
+                cost.nanos(),
+                start.nanos(),
+            );
+        }
         s.schedule_at(done, f);
         done
     }

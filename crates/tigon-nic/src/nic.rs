@@ -30,11 +30,11 @@ impl Tigon {
     /// With `cfg.single_cpu` both protocol directions share one firmware
     /// CPU (the IPDPS'02 multi-CPU-NIC ablation).
     pub fn new(mac: MacAddr, cfg: NicConfig) -> Self {
-        let cpu_tx = FirmwareCpu::new("tx");
+        let cpu_tx = FirmwareCpu::new("tx").with_node(mac.0);
         let cpu_rx = if cfg.single_cpu {
             cpu_tx.clone()
         } else {
-            FirmwareCpu::new("rx")
+            FirmwareCpu::new("rx").with_node(mac.0)
         };
         Tigon {
             mac,
@@ -79,8 +79,8 @@ impl Tigon {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use simnet::{EtherType, FrameSink, Payload, Sim, SimAccessExt, SimTime, Switch, SwitchConfig};
+    use std::sync::Arc;
 
     struct Collector {
         got: Mutex<Vec<u64>>,

@@ -1,0 +1,296 @@
+//! Latency breakdown: the paper's §7 accounting as data.
+//!
+//! The decomposition works by *tiling*: the interval between the first
+//! `SockWriteStart` and the last `SockReadEnd` in the trace is cut at
+//! every milestone event, and each gap is attributed to the stage that
+//! ends at its closing milestone:
+//!
+//! | gap ends at       | stage          |
+//! |-------------------|----------------|
+//! | `TxDoorbell`      | host overhead  |
+//! | `NicTxWire`       | NIC firmware   |
+//! | `NicRxStart`      | wire           |
+//! | `RecvDeliver`     | NIC firmware   |
+//! | `SockReadEnd`     | host overhead  |
+//! | `SockWriteStart`  | host overhead  |
+//!
+//! Because the gaps partition the interval, the stages sum to the
+//! measured wall time *exactly* — no double counting, no leakage. Two
+//! refinements then move time between stages without breaking the sum:
+//! `DmaCopy` durations shift NIC-firmware time into the DMA stage, and
+//! `SubstrateCopy` durations shift host time into the substrate-copy
+//! stage.
+//!
+//! The attribution assumes a closed-loop exchange (one side active at a
+//! time, like a pingpong); under pipelined traffic the gaps still
+//! partition wall time but a gap may cover concurrent activity from
+//! more than one stage.
+
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, TraceEvent};
+
+/// Where a slice of wall time went.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Host-side software: descriptor builds, syscalls, doorbells,
+    /// completion polling, application turnaround.
+    Host,
+    /// NIC firmware processing (tag match walks, frame handling).
+    NicFirmware,
+    /// PCI DMA transfers between host memory and the NIC.
+    Dma,
+    /// Serialization, propagation, and switch fabric time.
+    Wire,
+    /// Substrate buffer copies (bounce-buffer sends, staging reads).
+    SubstrateCopy,
+}
+
+/// All stages in display order.
+pub const STAGES: [Stage; 5] = [
+    Stage::Host,
+    Stage::NicFirmware,
+    Stage::Dma,
+    Stage::Wire,
+    Stage::SubstrateCopy,
+];
+
+impl Stage {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Host => "host overhead",
+            Stage::NicFirmware => "nic firmware",
+            Stage::Dma => "dma",
+            Stage::Wire => "wire",
+            Stage::SubstrateCopy => "substrate copy",
+        }
+    }
+
+    /// The stage a tiling gap belongs to, keyed by its closing milestone.
+    pub(crate) fn for_closing_milestone(kind: EventKind) -> Option<Stage> {
+        match kind {
+            EventKind::TxDoorbell | EventKind::SockReadEnd | EventKind::SockWriteStart => {
+                Some(Stage::Host)
+            }
+            EventKind::NicTxWire | EventKind::RecvDeliver => Some(Stage::NicFirmware),
+            EventKind::NicRxStart => Some(Stage::Wire),
+            _ => None,
+        }
+    }
+}
+
+/// The result of decomposing a trace window into stages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Window start: first `SockWriteStart` timestamp.
+    pub start_ns: u64,
+    /// Window end: last `SockReadEnd` timestamp.
+    pub end_ns: u64,
+    /// Nanoseconds attributed to each stage, indexed like [`STAGES`].
+    pub stage_ns: [u64; 5],
+    /// Number of one-way message legs (`SockReadEnd` milestones) seen.
+    pub legs: u64,
+}
+
+impl Breakdown {
+    /// Decompose `events` (any order). Returns `None` when the trace
+    /// holds no complete `SockWriteStart .. SockReadEnd` window.
+    pub fn compute(events: &[TraceEvent]) -> Option<Breakdown> {
+        let mut milestones: Vec<&TraceEvent> =
+            events.iter().filter(|e| e.kind.is_milestone()).collect();
+        milestones.sort_by_key(|e| e.t_ns);
+        let start_ns = milestones
+            .iter()
+            .find(|e| e.kind == EventKind::SockWriteStart)
+            .map(|e| e.t_ns)?;
+        let end_ns = milestones
+            .iter()
+            .rev()
+            .find(|e| e.kind == EventKind::SockReadEnd)
+            .map(|e| e.t_ns)?;
+        if end_ns <= start_ns {
+            return None;
+        }
+
+        let mut stage_ns = [0u64; 5];
+        let mut legs = 0u64;
+        let mut prev = start_ns;
+        for m in &milestones {
+            if m.t_ns < start_ns || m.t_ns > end_ns {
+                continue;
+            }
+            if m.kind == EventKind::SockReadEnd {
+                legs += 1;
+            }
+            let gap = m.t_ns - prev;
+            if gap > 0 {
+                let stage = Stage::for_closing_milestone(m.kind)
+                    .expect("milestone kinds all map to a stage");
+                stage_ns[stage as usize] += gap;
+            }
+            prev = m.t_ns;
+        }
+
+        // Refinements: move sub-span durations into their own stages.
+        // Clamping keeps the invariant `sum(stage_ns) == end - start` even
+        // if a cost event leaks past the window edge.
+        let in_window = |e: &&TraceEvent| e.t_ns >= start_ns && e.t_ns <= end_ns;
+        let dma: u64 = events
+            .iter()
+            .filter(|e| e.kind == EventKind::DmaCopy)
+            .filter(in_window)
+            .map(|e| e.b)
+            .sum();
+        let dma = dma.min(stage_ns[Stage::NicFirmware as usize]);
+        stage_ns[Stage::NicFirmware as usize] -= dma;
+        stage_ns[Stage::Dma as usize] += dma;
+
+        let copy: u64 = events
+            .iter()
+            .filter(|e| e.kind == EventKind::SubstrateCopy)
+            .filter(in_window)
+            .map(|e| e.b)
+            .sum();
+        let copy = copy.min(stage_ns[Stage::Host as usize]);
+        stage_ns[Stage::Host as usize] -= copy;
+        stage_ns[Stage::SubstrateCopy as usize] += copy;
+
+        Some(Breakdown {
+            start_ns,
+            end_ns,
+            stage_ns,
+            legs,
+        })
+    }
+
+    /// Length of the decomposed window; equals the sum of the stages.
+    pub fn total_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Nanoseconds attributed to `stage`.
+    pub fn stage(&self, stage: Stage) -> u64 {
+        self.stage_ns[stage as usize]
+    }
+
+    /// Mean round-trip time, treating every two legs as one RTT.
+    pub fn mean_rtt_ns(&self) -> Option<f64> {
+        if self.legs < 2 {
+            return None;
+        }
+        Some(self.total_ns() as f64 / (self.legs as f64 / 2.0))
+    }
+
+    /// Render the paper-§7-style attribution table.
+    pub fn text_report(&self) -> String {
+        let total = self.total_ns().max(1);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "latency breakdown over {:.3} us ({} legs):",
+            self.total_ns() as f64 / 1e3,
+            self.legs,
+        );
+        for stage in STAGES {
+            let ns = self.stage(stage);
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>10.3} us  {:>5.1}%",
+                stage.name(),
+                ns as f64 / 1e3,
+                ns as f64 * 100.0 / total as f64,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>10.3} us  100.0%",
+            "total",
+            total as f64 / 1e3
+        );
+        if let Some(rtt) = self.mean_rtt_ns() {
+            let _ = writeln!(out, "  mean rtt       {:>10.3} us", rtt / 1e3);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_CONN;
+
+    fn m(t: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            t_ns: t,
+            node: 0,
+            conn: NO_CONN,
+            kind,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    fn one_leg(base: u64) -> Vec<TraceEvent> {
+        vec![
+            m(base, EventKind::SockWriteStart),
+            m(base + 100, EventKind::TxDoorbell),   // 100 host
+            m(base + 350, EventKind::NicTxWire),    // 250 nic fw
+            m(base + 1050, EventKind::NicRxStart),  // 700 wire
+            m(base + 1250, EventKind::RecvDeliver), // 200 nic fw
+            m(base + 1400, EventKind::SockReadEnd), // 150 host
+        ]
+    }
+
+    #[test]
+    fn stages_tile_the_window_exactly() {
+        let mut events = one_leg(1000);
+        events.extend(one_leg(2400)); // return leg starts at the read end
+        let b = Breakdown::compute(&events).expect("complete window");
+        assert_eq!(b.start_ns, 1000);
+        assert_eq!(b.end_ns, 3800);
+        assert_eq!(b.total_ns(), 2800);
+        assert_eq!(b.stage_ns.iter().sum::<u64>(), b.total_ns());
+        assert_eq!(b.legs, 2);
+        assert_eq!(b.stage(Stage::Wire), 1400);
+        assert_eq!(b.stage(Stage::NicFirmware), 900);
+        assert_eq!(b.mean_rtt_ns(), Some(2800.0));
+    }
+
+    #[test]
+    fn dma_and_copy_refinements_conserve_the_sum() {
+        let mut events = one_leg(0);
+        events.push(TraceEvent {
+            t_ns: 200,
+            node: 0,
+            conn: NO_CONN,
+            kind: EventKind::DmaCopy,
+            a: 64,
+            b: 120,
+        });
+        events.push(TraceEvent {
+            t_ns: 1300,
+            node: 1,
+            conn: NO_CONN,
+            kind: EventKind::SubstrateCopy,
+            a: 64,
+            b: 40,
+        });
+        let b = Breakdown::compute(&events).expect("complete window");
+        assert_eq!(b.stage(Stage::Dma), 120);
+        assert_eq!(b.stage(Stage::NicFirmware), 450 - 120);
+        assert_eq!(b.stage(Stage::SubstrateCopy), 40);
+        assert_eq!(b.stage(Stage::Host), 250 - 40);
+        assert_eq!(b.stage_ns.iter().sum::<u64>(), b.total_ns());
+        let report = b.text_report();
+        assert!(report.contains("wire") && report.contains("100.0%"));
+    }
+
+    #[test]
+    fn incomplete_traces_yield_none() {
+        assert!(Breakdown::compute(&[]).is_none());
+        assert!(Breakdown::compute(&[m(5, EventKind::SockWriteStart)]).is_none());
+        assert!(Breakdown::compute(&[m(5, EventKind::SockReadEnd)]).is_none());
+    }
+}

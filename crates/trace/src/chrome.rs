@@ -1,0 +1,207 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! Two views are written into one file:
+//!
+//! - **Breakdown track** (pid 0): complete (`"X"`) duration events from
+//!   the same milestone tiling as [`crate::Breakdown`], so the RTT
+//!   decomposition is visible as nested colored spans on a timeline.
+//! - **Event instants** (pid = node + 1): every recorded event as an
+//!   instant (`"i"`) event, one process row per station, one thread row
+//!   per connection.
+//!
+//! The JSON is hand-rolled: every emitted string is a static identifier
+//! or a formatted number, so no escaping is required.
+
+use std::fmt::Write as _;
+
+use crate::breakdown::Stage;
+use crate::event::{TraceEvent, NO_CONN};
+
+/// Serialize `events` (any order) as a Chrome trace-event JSON object.
+/// Timestamps are exported in microseconds as the format requires.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.t_ns);
+
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+
+    // Breakdown track: spans between consecutive milestones.
+    let mut prev: Option<&TraceEvent> = None;
+    for e in sorted.iter().filter(|e| e.kind.is_milestone()) {
+        if let (Some(p), Some(stage)) = (prev, Stage::for_closing_milestone(e.kind)) {
+            if e.t_ns > p.t_ns {
+                sep(&mut out, &mut first);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"breakdown\",\"ph\":\"X\",\
+                     \"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":0}}",
+                    ident(stage.name()),
+                    p.t_ns as f64 / 1e3,
+                    (e.t_ns - p.t_ns) as f64 / 1e3,
+                );
+            }
+        }
+        prev = Some(e);
+    }
+
+    // Every event as an instant on its station's row.
+    for e in &sorted {
+        sep(&mut out, &mut first);
+        let tid = if e.conn == NO_CONN { 0 } else { e.conn + 1 };
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\
+             \"ts\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+            e.kind.name(),
+            e.t_ns as f64 / 1e3,
+            u32::from(e.node) + 1,
+            tid,
+            e.a,
+            e.b,
+        );
+    }
+
+    out.push_str("]}");
+    out
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// Replace spaces so span names stay single identifiers (no escaping
+/// needed anywhere in the output).
+fn ident(name: &str) -> String {
+    name.replace(' ', "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, NO_CONN};
+
+    fn m(t: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            t_ns: t,
+            node: 2,
+            conn: NO_CONN,
+            kind,
+            a: 1,
+            b: 2,
+        }
+    }
+
+    /// Minimal JSON validity checker (objects, arrays, strings, numbers).
+    fn validate_json(s: &str) {
+        let bytes = s.as_bytes();
+        let mut i = 0usize;
+        fn ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && (b[*i] as char).is_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) {
+            ws(b, i);
+            match b.get(*i) {
+                Some(b'{') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return;
+                    }
+                    loop {
+                        string(b, i);
+                        ws(b, i);
+                        assert_eq!(b.get(*i), Some(&b':'), "expected ':' at {i}");
+                        *i += 1;
+                        value(b, i);
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b'}') => {
+                                *i += 1;
+                                return;
+                            }
+                            other => panic!("bad object at {i}: {other:?}"),
+                        }
+                    }
+                }
+                Some(b'[') => {
+                    *i += 1;
+                    ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return;
+                    }
+                    loop {
+                        value(b, i);
+                        ws(b, i);
+                        match b.get(*i) {
+                            Some(b',') => *i += 1,
+                            Some(b']') => {
+                                *i += 1;
+                                return;
+                            }
+                            other => panic!("bad array at {i}: {other:?}"),
+                        }
+                    }
+                }
+                Some(b'"') => string(b, i),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                    while *i < b.len()
+                        && matches!(b[*i], b'0'..=b'9' | b'.' | b'-' | b'+' | b'e' | b'E')
+                    {
+                        *i += 1;
+                    }
+                }
+                other => panic!("bad value at {i}: {other:?}"),
+            }
+        }
+        fn string(b: &[u8], i: &mut usize) {
+            ws(b, i);
+            assert_eq!(b.get(*i), Some(&b'"'), "expected '\"' at {i}");
+            *i += 1;
+            while b.get(*i) != Some(&b'"') {
+                assert_ne!(b.get(*i), Some(&b'\\'), "stub emits no escapes");
+                assert!(*i < b.len(), "unterminated string");
+                *i += 1;
+            }
+            *i += 1;
+        }
+        value(bytes, &mut i);
+        ws(bytes, &mut i);
+        assert_eq!(i, bytes.len(), "trailing garbage after JSON value");
+    }
+
+    #[test]
+    fn export_is_valid_json_with_spans_and_instants() {
+        let events = vec![
+            m(100, EventKind::SockWriteStart),
+            m(200, EventKind::TxDoorbell),
+            m(900, EventKind::NicRxStart),
+            m(1000, EventKind::SockReadEnd),
+            m(150, EventKind::WireTx),
+        ];
+        let json = chrome_trace_json(&events);
+        validate_json(&json);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""), "breakdown spans present");
+        assert!(json.contains("\"ph\":\"i\""), "instant events present");
+        assert!(json.contains("wire/tx"));
+        assert!(json.contains("host_overhead"));
+    }
+
+    #[test]
+    fn empty_trace_still_exports_valid_json() {
+        let json = chrome_trace_json(&[]);
+        validate_json(&json);
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+}

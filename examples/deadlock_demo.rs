@@ -79,5 +79,7 @@ fn main() {
     );
 
     println!();
-    println!("\"In this approach, the responsibility to avoid a deadlock lies on the user.\" — §6.2");
+    println!(
+        "\"In this approach, the responsibility to avoid a deadlock lies on the user.\" — §6.2"
+    );
 }

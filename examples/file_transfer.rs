@@ -25,7 +25,10 @@ fn main() {
 
     // The server's RAM disk holds the payload (as §7.3: RAM disks remove
     // disk effects; what remains is file-system overhead).
-    cluster.nodes[1].host.fs().put_synthetic("kernel.tar", FILE_SIZE);
+    cluster.nodes[1]
+        .host
+        .fs()
+        .put_synthetic("kernel.tar", FILE_SIZE);
     let server_fs = cluster.nodes[1].host.fs().clone();
     let client_fs = cluster.nodes[0].host.fs().clone();
     let stats = Arc::new(PlMutex::new((0usize, 0.0f64)));

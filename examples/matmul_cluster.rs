@@ -10,7 +10,10 @@ use sockets_over_emp::emp_apps::{matmul, Testbed};
 
 fn main() {
     println!("Distributed matmul, 1 master + 3 workers (select()-driven gather):");
-    println!("{:>8} {:>16} {:>16} {:>10}", "n", "substrate (ms)", "tcp (ms)", "speedup");
+    println!(
+        "{:>8} {:>16} {:>16} {:>10}",
+        "n", "substrate (ms)", "tcp (ms)", "speedup"
+    );
     for n in [48usize, 96, 192] {
         let sim = Sim::new();
         let (emp_us, emp_sum) = matmul::run(&sim, &Testbed::emp_default(4), n);

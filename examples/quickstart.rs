@@ -41,9 +41,14 @@ fn main() {
         let conn = client.connect(ctx, addr)?.expect("connect");
 
         // One friendly exchange.
-        conn.write(ctx, b"hello, user-level sockets")?.expect("send");
+        conn.write(ctx, b"hello, user-level sockets")?
+            .expect("send");
         let reply = conn.read(ctx, 4096)?.expect("reply");
-        println!("echoed {} bytes: {:?}", reply.len(), std::str::from_utf8(&reply).unwrap());
+        println!(
+            "echoed {} bytes: {:?}",
+            reply.len(),
+            std::str::from_utf8(&reply).unwrap()
+        );
 
         // Then a 4-byte ping-pong, the paper's headline microbenchmark.
         let iters = 100u32;

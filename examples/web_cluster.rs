@@ -16,7 +16,10 @@ fn main() {
         "{:>12} {:>16} {:>16} {:>16} {:>10}",
         "resp bytes", "substrate (us)", "tcp (us)", "http", "speedup"
     );
-    for version in [webserver::HttpVersion::Http10, webserver::HttpVersion::Http11] {
+    for version in [
+        webserver::HttpVersion::Http10,
+        webserver::HttpVersion::Http11,
+    ] {
         for &size in &sizes {
             // §7.4: the web server runs the substrate with credit size 4.
             let emp_tb = Testbed::emp(

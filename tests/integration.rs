@@ -117,8 +117,14 @@ fn headline_numbers_hold_end_to_end() {
     let ds = pingpong::one_way_latency_us(&sim, &Testbed::emp_default(2), 4, 40);
     let sim = Sim::new();
     let tcp = pingpong::one_way_latency_us(&sim, &Testbed::kernel_default(2), 4, 40);
-    assert!((26.5..31.0).contains(&dg), "datagram {dg:.1} us (paper 28.5)");
-    assert!((32.0..40.0).contains(&ds), "streaming {ds:.1} us (paper 37)");
+    assert!(
+        (26.5..31.0).contains(&dg),
+        "datagram {dg:.1} us (paper 28.5)"
+    );
+    assert!(
+        (32.0..40.0).contains(&ds),
+        "streaming {ds:.1} us (paper 37)"
+    );
     assert!((105.0..135.0).contains(&tcp), "tcp {tcp:.1} us (paper 120)");
 
     let sim = Sim::new();
@@ -126,7 +132,12 @@ fn headline_numbers_hold_end_to_end() {
     let sim = Sim::new();
     let tcp_bw = bandwidth::throughput_mbps(
         &sim,
-        &Testbed::kernel(2, kernel_tcp::TcpConfig::default(), Some(256 << 10), "tcp-big"),
+        &Testbed::kernel(
+            2,
+            kernel_tcp::TcpConfig::default(),
+            Some(256 << 10),
+            "tcp-big",
+        ),
         64 << 10,
         4 << 20,
     );

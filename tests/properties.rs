@@ -13,7 +13,9 @@ use sockets_over_emp::prelude::*;
 
 /// Deterministic payload for (message index, length).
 fn pattern(idx: usize, len: usize) -> Vec<u8> {
-    (0..len).map(|i| ((i * 31 + idx * 7 + 3) % 251) as u8).collect()
+    (0..len)
+        .map(|i| ((i * 31 + idx * 7 + 3) % 251) as u8)
+        .collect()
 }
 
 /// Send `writes` over a stream connection and return everything the

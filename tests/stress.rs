@@ -53,10 +53,8 @@ fn stress(tb: &Testbed, seed: u64, n_conns: usize) -> usize {
                 ctx.spawn("stress-worker", move |ctx| {
                     // Header: 8 bytes = conn_id u32 + total_len u32.
                     let hdr = conn.read_exact(ctx, 8)?.expect("hdr").expect("open");
-                    let conn_id =
-                        u32::from_le_bytes(hdr[0..4].try_into().expect("4")) as usize;
-                    let len =
-                        u32::from_le_bytes(hdr[4..8].try_into().expect("4")) as usize;
+                    let conn_id = u32::from_le_bytes(hdr[0..4].try_into().expect("4")) as usize;
+                    let len = u32::from_le_bytes(hdr[4..8].try_into().expect("4")) as usize;
                     let mut got = 0usize;
                     while got < len {
                         let d = conn.read(ctx, 8192)?.expect("data");
@@ -95,8 +93,7 @@ fn stress(tb: &Testbed, seed: u64, n_conns: usize) -> usize {
             conn.write(ctx, &hdr)?.expect("hdr");
             let mut off = 0usize;
             for w in &writes {
-                let chunk: Vec<u8> =
-                    (0..*w).map(|i| expected_byte(conn_id, off + i)).collect();
+                let chunk: Vec<u8> = (0..*w).map(|i| expected_byte(conn_id, off + i)).collect();
                 conn.write(ctx, &chunk)?.expect("data");
                 off += w;
             }

@@ -1,0 +1,112 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the narrow API the workspace's benches use: groups,
+//! `sample_size`, `bench_function`, `iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs `sample_size`
+//! iterations and prints mean wall-clock time per iteration — no
+//! statistics, outlier analysis, or HTML reports.
+
+use std::hint;
+use std::time::Instant;
+
+/// Benchmark driver handed to the `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark: `f` receives a [`Bencher`] and calls
+    /// [`Bencher::iter`] with the code under test.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        let mean_ns = b.elapsed_ns as f64 / self.sample_size as f64;
+        println!(
+            "{}/{}: {:.3} ms/iter ({} iters)",
+            self.name,
+            id,
+            mean_ns / 1e6,
+            self.sample_size
+        );
+        self
+    }
+
+    /// End the group (no-op in the stub; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Opaque value barrier, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

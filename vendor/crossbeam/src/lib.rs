@@ -1,0 +1,326 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel` is provided, and only the pieces the
+//! simulator's process scheduler uses: `bounded`, blocking `send`/`recv`,
+//! and their `_timeout` variants. The zero-capacity (rendezvous) case is
+//! load-bearing — the discrete-event engine relies on `send` blocking
+//! until a receiver has taken the value to enforce strict alternation
+//! between the event loop and process threads — so this implementation
+//! tracks, per queued value, whether it has been consumed, and `send`
+//! does not return until its own value has been received.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        /// Queued values tagged with their send sequence number.
+        queue: VecDeque<(u64, T)>,
+        next_seq: u64,
+        /// All sequence numbers below this have been consumed.
+        popped: u64,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+        cap: usize,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Create a bounded channel of capacity `cap`. Capacity 0 is a
+    /// rendezvous channel: every send blocks until a receiver takes the
+    /// value.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                next_seq: 0,
+                popped: 0,
+                senders: 1,
+                receivers: 1,
+            }),
+            cv: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// `send` failed because all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    /// `send_timeout` failure.
+    pub enum SendTimeoutError<T> {
+        /// No receiver took the value in time; the value is returned.
+        Timeout(T),
+        /// All receivers are gone; the value is returned.
+        Disconnected(T),
+    }
+
+    /// `recv` failed because the channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// `recv_timeout` failure.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived in time.
+        Timeout,
+        /// Channel empty and all senders gone.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("SendTimeoutError::Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("SendTimeoutError::Disconnected(..)")
+                }
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is delivered (for capacity 0: until a
+        /// receiver has taken it).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self.send_inner(value, None) {
+                Ok(()) => Ok(()),
+                Err(SendTimeoutError::Disconnected(v)) => Err(SendError(v)),
+                Err(SendTimeoutError::Timeout(_)) => unreachable!("no deadline was set"),
+            }
+        }
+
+        /// Like [`Sender::send`] with a deadline.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            self.send_inner(value, Some(Instant::now() + timeout))
+        }
+
+        fn send_inner(
+            &self,
+            value: T,
+            deadline: Option<Instant>,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let chan = &*self.chan;
+            let mut st = chan.lock();
+            if st.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            // For positive capacity, wait for room before enqueueing.
+            while chan.cap > 0 && st.queue.len() >= chan.cap {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                match wait(chan, st, deadline) {
+                    Ok(g) => st = g,
+                    Err(g) => {
+                        drop(g);
+                        return Err(SendTimeoutError::Timeout(value));
+                    }
+                }
+            }
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.queue.push_back((seq, value));
+            chan.cv.notify_all();
+            if chan.cap > 0 {
+                return Ok(());
+            }
+            // Rendezvous: block until our value has been consumed.
+            loop {
+                if st.popped > seq {
+                    return Ok(());
+                }
+                let still_queued = |st: &mut State<T>| {
+                    st.queue
+                        .iter()
+                        .position(|(s, _)| *s == seq)
+                        .and_then(|i| st.queue.remove(i))
+                        .map(|(_, v)| v)
+                };
+                if st.receivers == 0 {
+                    return match still_queued(&mut st) {
+                        Some(v) => Err(SendTimeoutError::Disconnected(v)),
+                        // A receiver took it before disconnecting.
+                        None => Ok(()),
+                    };
+                }
+                match wait(chan, st, deadline) {
+                    Ok(g) => st = g,
+                    Err(mut g) => {
+                        return match still_queued(&mut g) {
+                            Some(v) => Err(SendTimeoutError::Timeout(v)),
+                            None => Ok(()),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.recv_inner(None).map_err(|e| match e {
+                RecvTimeoutError::Disconnected => RecvError,
+                RecvTimeoutError::Timeout => unreachable!("no deadline was set"),
+            })
+        }
+
+        /// Like [`Receiver::recv`] with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_inner(Some(Instant::now() + timeout))
+        }
+
+        fn recv_inner(&self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+            let chan = &*self.chan;
+            let mut st = chan.lock();
+            loop {
+                if let Some((seq, v)) = st.queue.pop_front() {
+                    st.popped = seq + 1;
+                    chan.cv.notify_all();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                match wait(chan, st, deadline) {
+                    Ok(g) => st = g,
+                    Err(g) => {
+                        drop(g);
+                        return Err(RecvTimeoutError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wait on the condvar until notified or the deadline passes.
+    /// `Err` carries the guard back when the deadline has passed.
+    #[allow(clippy::type_complexity)]
+    fn wait<'a, T>(
+        chan: &'a Chan<T>,
+        guard: MutexGuard<'a, State<T>>,
+        deadline: Option<Instant>,
+    ) -> Result<MutexGuard<'a, State<T>>, MutexGuard<'a, State<T>>> {
+        match deadline {
+            None => Ok(chan.cv.wait(guard).unwrap_or_else(PoisonError::into_inner)),
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    return Err(guard);
+                }
+                let (g, res) = chan
+                    .cv
+                    .wait_timeout(guard, d - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                if res.timed_out() && Instant::now() >= d {
+                    Err(g)
+                } else {
+                    Ok(g)
+                }
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.lock().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.chan.lock().senders -= 1;
+            self.chan.cv.notify_all();
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.lock().receivers -= 1;
+            self.chan.cv.notify_all();
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        #[test]
+        fn rendezvous_send_blocks_until_received() {
+            let (tx, rx) = bounded::<u32>(0);
+            let sent = Arc::new(AtomicBool::new(false));
+            let sent2 = Arc::clone(&sent);
+            let h = std::thread::spawn(move || {
+                tx.send(7).unwrap();
+                sent2.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(Duration::from_millis(50));
+            assert!(!sent.load(Ordering::SeqCst), "send returned before recv");
+            assert_eq!(rx.recv().unwrap(), 7);
+            h.join().unwrap();
+            assert!(sent.load(Ordering::SeqCst));
+        }
+
+        #[test]
+        fn timeout_returns_value_and_disconnect_is_detected() {
+            let (tx, rx) = bounded::<u32>(0);
+            match tx.send_timeout(1, Duration::from_millis(10)) {
+                Err(SendTimeoutError::Timeout(v)) => assert_eq!(v, 1),
+                other => panic!("expected timeout, got {other:?}"),
+            }
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            ));
+            drop(tx);
+            assert!(matches!(rx.recv(), Err(RecvError)));
+        }
+    }
+}
