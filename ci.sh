@@ -29,6 +29,12 @@ cargo test --workspace -q
 step "cargo test (trace feature)"
 cargo test --workspace -q --features trace
 
+step "cargo test (lossy suite)"
+# Chaos stage: the substrate robustness suite (seeded fault injection,
+# vanished-peer detection) in both build modes.
+cargo test -q -p sockets-emp --test lossy
+cargo test -q -p sockets-emp --test lossy --features sockets-emp/trace
+
 step "traced ping-pong smoke"
 # Must print a latency budget and a non-empty Chrome trace.
 out=$(cargo run -q --release -p emp-bench --bin figures --features trace -- --trace)
@@ -40,5 +46,7 @@ events=$(echo "$out" | sed -n 's/^(\([0-9]\+\) events.*/\1/p')
     || { echo "FAIL: traced run recorded no events"; exit 1; }
 [[ -s target/figures/pingpong_trace.json ]] \
     || { echo "FAIL: chrome trace file missing or empty"; exit 1; }
+echo "$out" | grep -q "fault counters: wire_drops=" \
+    || { echo "FAIL: no fault-counter report in traced run"; exit 1; }
 
 printf '\nci.sh: all checks passed\n'

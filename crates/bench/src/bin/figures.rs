@@ -94,6 +94,29 @@ fn run_traced_pingpong() {
         Some(b) => print!("{}", b.text_report()),
         None => println!("trace holds no complete write..read window"),
     }
+    // Fault counters from every layer that can injure a frame (all zero on
+    // the default lossless fabric — the point is that the plumbing that
+    // the chaos suite relies on is alive in the traced build too).
+    if let Some(cl) = tb.emp_cluster() {
+        let (mut drops, mut corrupt, mut delayed) = (0u64, 0u64, 0u64);
+        for p in cl.switch.port_stats() {
+            drops += p.frames_dropped;
+            corrupt += p.frames_corrupted;
+            delayed += p.frames_delayed;
+        }
+        let (mut retx, mut ring_drops, mut dma_delays) = (0u64, 0u64, 0u64);
+        for node in &cl.nodes {
+            let s = node.nic.stats();
+            retx += s.frames_retransmitted;
+            ring_drops += s.nic_rx_ring_drops;
+            dma_delays += s.nic_dma_delays;
+        }
+        println!(
+            "fault counters: wire_drops={drops} wire_corrupt={corrupt} \
+             wire_delayed={delayed} retransmits={retx} \
+             nic_rx_ring_drops={ring_drops} nic_dma_delays={dma_delays}"
+        );
+    }
     let json_dir = std::path::Path::new("target/figures");
     std::fs::create_dir_all(json_dir).expect("create target/figures");
     let path = json_dir.join("pingpong_trace.json");

@@ -71,6 +71,21 @@ pub struct SubstrateConfig {
     pub stream_overhead: SimDuration,
     /// Host bookkeeping per datagram operation.
     pub dgram_overhead: SimDuration,
+    /// `None` (the default) keeps `connect()` non-blocking: it returns
+    /// immediately and pipelines data behind the request (§7.4). `Some(d)`
+    /// makes `connect()` block until the request is acknowledged, resending
+    /// it with exponential backoff, and fail with
+    /// [`crate::SockError::Timeout`] once `d` elapses with no answer — the
+    /// behaviour an application wants against a possibly-dead station.
+    pub connect_timeout: Option<SimDuration>,
+    /// Ack-starvation watchdog: when a blocking read or credit wait hears
+    /// *nothing* from the peer — no data, no credit return, no control
+    /// message — for this long, the operation fails with
+    /// [`crate::SockError::PeerGone`] instead of waiting forever. `None`
+    /// (the default) preserves the paper's semantics, where a vanished or
+    /// deadlocked peer blocks the caller indefinitely (Figure 7 relies on
+    /// this).
+    pub peer_gone_after: Option<SimDuration>,
 }
 
 impl Default for SubstrateConfig {
@@ -96,6 +111,8 @@ impl SubstrateConfig {
             send_copy_threshold: 16 * 1024,
             stream_overhead: SimDuration::from_micros_f64(2.8),
             dgram_overhead: SimDuration::from_nanos(300),
+            connect_timeout: None,
+            peer_gone_after: None,
         }
     }
 
@@ -145,6 +162,24 @@ impl SubstrateConfig {
     /// whose measured ack behaviour is explicit.
     pub fn with_piggyback(mut self) -> Self {
         self.piggyback_acks = true;
+        self
+    }
+
+    /// Bound `connect()` by `deadline`: block until the request is
+    /// answered, resending with exponential backoff, and surface
+    /// [`crate::SockError::Timeout`] when the deadline passes.
+    pub fn with_connect_timeout(mut self, deadline: SimDuration) -> Self {
+        assert!(!deadline.is_zero(), "a zero connect deadline always fires");
+        self.connect_timeout = Some(deadline);
+        self
+    }
+
+    /// Arm the ack-starvation watchdog: blocking operations fail with
+    /// [`crate::SockError::PeerGone`] after `patience` of total silence
+    /// from the peer.
+    pub fn with_peer_watchdog(mut self, patience: SimDuration) -> Self {
+        assert!(!patience.is_zero(), "a zero watchdog always fires");
+        self.peer_gone_after = Some(patience);
         self
     }
 
@@ -217,6 +252,24 @@ mod tests {
         assert_eq!(c32.fcack_descriptors(), 3);
         // Without delayed acks, one per credit (plus slack).
         assert_eq!(SubstrateConfig::ds().fcack_descriptors(), 33);
+    }
+
+    #[test]
+    fn robustness_knobs_default_off() {
+        for cfg in [
+            SubstrateConfig::ds(),
+            SubstrateConfig::ds_da(),
+            SubstrateConfig::ds_da_uq(),
+            SubstrateConfig::dg(),
+        ] {
+            assert_eq!(cfg.connect_timeout, None);
+            assert_eq!(cfg.peer_gone_after, None);
+        }
+        let armed = SubstrateConfig::ds()
+            .with_connect_timeout(SimDuration::from_millis(5))
+            .with_peer_watchdog(SimDuration::from_millis(20));
+        assert_eq!(armed.connect_timeout, Some(SimDuration::from_millis(5)));
+        assert_eq!(armed.peer_gone_after, Some(SimDuration::from_millis(20)));
     }
 
     #[test]

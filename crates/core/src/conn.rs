@@ -8,18 +8,19 @@
 //! control) that the substrate must account for and explicitly release on
 //! `close()` — §5.3's resource management.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Arc, Weak};
 
+use bytes::Bytes;
 use emp_proto::{EmpEndpoint, RecvHandle, SendHandle};
 use hostsim::{VirtRange, PAGE_SIZE};
 use parking_lot::Mutex;
 use simnet::emp_trace::{self, EventKind};
-use simnet::{wait_any, Completion, MacAddr, ProcessCtx, SimAccess, SimResult};
+use simnet::{wait_any, Completion, MacAddr, ProcessCtx, SimAccess, SimAccessExt, SimResult};
 
 use crate::config::{SocketType, SubstrateConfig};
 use crate::error::SockError;
-use crate::proto::{Msg, HEADER};
+use crate::proto::{Msg, DATA_HEADER, HEADER};
 use crate::tags;
 
 /// Per-process substrate state (behind `EmpSockets`).
@@ -203,6 +204,17 @@ pub(crate) struct SockInner {
     pub(crate) rndv_granted: bool,
     /// Rendezvous refusal (receiver buffer too small), with its limit.
     pub(crate) rndv_refused: Option<usize>,
+    // ---- message ordering (fault robustness) ----
+    /// Sequence number the next outgoing data message will carry.
+    pub(crate) tx_seq: u32,
+    /// Sequence number the next in-order incoming data message must carry.
+    pub(crate) rx_next_seq: u32,
+    /// Payloads that arrived ahead of sequence (fabric reordering let a
+    /// later message bind a descriptor first), parked until the gap fills.
+    pub(crate) rx_ooo: BTreeMap<u32, Bytes>,
+    /// Total data messages the peer sent before closing (from `Close`);
+    /// EOF is surfaced only once `rx_next_seq` reaches it.
+    pub(crate) peer_final_seq: Option<u32>,
     // ---- statistics ----
     pub(crate) stats: ConnStats,
     // ---- control ----
@@ -217,6 +229,23 @@ pub(crate) struct SockInner {
     pub(crate) ctrl_range: VirtRange,
     pub(crate) rndv_range: VirtRange,
     pub(crate) user_range: VirtRange,
+}
+
+impl SockInner {
+    /// True once the peer closed AND every data message it announced has
+    /// been delivered in order — only then may reads surface EOF. A peer
+    /// that vanished without a `Close` (failed sends) has no announced
+    /// count; EOF is immediate then.
+    pub(crate) fn peer_drained(&self) -> bool {
+        self.peer_closed && self.peer_final_seq.is_none_or(|f| self.rx_next_seq >= f)
+    }
+
+    /// Claim the next outgoing data-message sequence number.
+    pub(crate) fn claim_tx_seq(&mut self) -> u32 {
+        let s = self.tx_seq;
+        self.tx_seq += 1;
+        s
+    }
 }
 
 /// One side of a substrate connection.
@@ -277,16 +306,20 @@ impl SockShared {
                 dgram_data: None,
                 rndv_granted: false,
                 rndv_refused: None,
+                tx_seq: 0,
+                rx_next_seq: 0,
+                rx_ooo: BTreeMap::new(),
+                peer_final_seq: None,
                 stats: ConnStats::default(),
                 ctrl_handle: None,
                 peer_closed: false,
                 write_closed: false,
                 closed: false,
-                send_range: proc_.alloc_range(buf_size + HEADER),
+                send_range: proc_.alloc_range(buf_size + DATA_HEADER),
                 fcack_range: proc_.alloc_range(HEADER),
                 ctrl_range: proc_.alloc_range(HEADER),
                 rndv_range: proc_.alloc_range(HEADER),
-                user_range: proc_.alloc_range(buf_size.max(1 << 20) + HEADER),
+                user_range: proc_.alloc_range(buf_size.max(1 << 20) + DATA_HEADER),
             }),
         });
         proc_.state.lock().active.insert(cid, Arc::downgrade(&sock));
@@ -304,12 +337,12 @@ impl SockShared {
                 // N data descriptors into temp buffers (§5.2 eager w/ flow
                 // control), each with its own stable staging range.
                 for _ in 0..credits_max {
-                    let range = proc_.alloc_range(buf_size + HEADER);
+                    let range = proc_.alloc_range(buf_size + DATA_HEADER);
                     let h = ep.post_recv(
                         ctx,
                         sock.rx_data_tag(),
                         Some(peer),
-                        buf_size + HEADER,
+                        buf_size + DATA_HEADER,
                         range,
                     )?;
                     sock.inner
@@ -427,8 +460,10 @@ impl SockShared {
             };
             let mut repost = true;
             match parsed {
-                Msg::Close => {
-                    self.inner.lock().peer_closed = true;
+                Msg::Close { final_seq } => {
+                    let mut i = self.inner.lock();
+                    i.peer_closed = true;
+                    i.peer_final_seq = Some(final_seq);
                     repost = false;
                 }
                 Msg::RndvAck => {
@@ -460,14 +495,18 @@ impl SockShared {
         }
     }
 
-    /// The completion of the control channel. After close the channel is
-    /// gone; an already-done completion is returned so waiters wake
-    /// immediately and observe `peer_closed`/`closed`.
+    /// The completion of the control channel. After close (local, or the
+    /// peer's `Close` consumed) the channel is gone and no further control
+    /// event can arrive, so a never-completing completion is returned:
+    /// every waiter re-checks `peer_closed`/`closed`/`peer_drained()`
+    /// before blocking, and an already-done completion here would spin
+    /// such a waiter at one instant of simulated time while lost data is
+    /// still retransmitting toward it.
     pub(crate) fn ctrl_completion(&self) -> Completion {
         let i = self.inner.lock();
         match &i.ctrl_handle {
             Some(h) => h.completion().clone(),
-            None => Completion::new_done(),
+            None => Completion::new(),
         }
     }
 
@@ -508,9 +547,12 @@ impl SockShared {
         if already {
             return Ok(());
         }
-        let peer_closed = self.inner.lock().peer_closed;
+        let (peer_closed, final_seq) = {
+            let i = self.inner.lock();
+            (i.peer_closed, i.tx_seq)
+        };
         if !peer_closed {
-            let h = self.send_msg(ctx, self.tx_ctrl_tag(), &Msg::Close)?;
+            let h = self.send_msg(ctx, self.tx_ctrl_tag(), &Msg::Close { final_seq })?;
             self.inner.lock().inflight_sends.push(h);
         }
         Ok(())
@@ -527,12 +569,12 @@ impl SockShared {
         if already {
             return Ok(());
         }
-        let (peer_closed, already_shut) = {
+        let (peer_closed, already_shut, final_seq) = {
             let i = self.inner.lock();
-            (i.peer_closed, i.write_closed)
+            (i.peer_closed, i.write_closed, i.tx_seq)
         };
         if !peer_closed && !already_shut {
-            let h = self.send_msg(ctx, self.tx_ctrl_tag(), &Msg::Close)?;
+            let h = self.send_msg(ctx, self.tx_ctrl_tag(), &Msg::Close { final_seq })?;
             self.inner.lock().inflight_sends.push(h);
         }
         // Unpost everything still on the NIC, recycling the buffers.
@@ -579,7 +621,7 @@ impl SockShared {
     /// Would `read()` return without blocking?
     pub(crate) fn readable_now(&self) -> bool {
         let i = self.inner.lock();
-        if i.stream_len > 0 || i.peer_closed || i.closed {
+        if i.stream_len > 0 || i.peer_drained() || i.closed {
             return true;
         }
         if let Some(front) = i.data_slots.front() {
@@ -619,6 +661,36 @@ impl SockShared {
         v
     }
 
+    /// Block until any of `watched` fires. With the ack-starvation
+    /// watchdog armed ([`crate::SubstrateConfig::peer_gone_after`]), a wait
+    /// that hears nothing from the peer for the configured patience fails
+    /// with [`SockError::PeerGone`] instead of parking forever — the
+    /// vanished-peer detection a production substrate needs (a crashed
+    /// process never sends `Close`). Every call re-arms the full patience,
+    /// so any completion progress resets the watchdog.
+    pub(crate) fn wait_watched(
+        &self,
+        ctx: &ProcessCtx,
+        watched: &[&Completion],
+    ) -> SimResult<Result<(), SockError>> {
+        let Some(patience) = self.proc_.cfg.peer_gone_after else {
+            wait_any(ctx, watched)?;
+            return Ok(Ok(()));
+        };
+        let timer = Completion::new();
+        let t2 = timer.clone();
+        ctx.schedule_after(patience, move |s| t2.complete(s));
+        let mut all: Vec<&Completion> = Vec::with_capacity(watched.len() + 1);
+        all.extend_from_slice(watched);
+        all.push(&timer);
+        wait_any(ctx, &all)?;
+        if watched.iter().any(|c| c.is_done()) {
+            Ok(Ok(()))
+        } else {
+            Ok(Err(SockError::PeerGone))
+        }
+    }
+
     /// Block until either the given completion or the control channel
     /// fires, then drain control.
     pub(crate) fn wait_data_or_ctrl(
@@ -627,7 +699,9 @@ impl SockShared {
         data: &Completion,
     ) -> SimResult<Result<(), SockError>> {
         let ctrl = self.ctrl_completion();
-        wait_any(ctx, &[data, &ctrl])?;
+        if let Err(e) = self.wait_watched(ctx, &[data, &ctrl])? {
+            return Ok(Err(e));
+        }
         self.poll_ctrl(ctx)
     }
 }

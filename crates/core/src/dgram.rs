@@ -14,7 +14,7 @@ use simnet::ProcessCtx;
 
 use crate::conn::{DataSlot, SockShared};
 use crate::error::SockError;
-use crate::proto::{Msg, HEADER};
+use crate::proto::{Msg, DATA_HEADER, HEADER};
 use crate::stream::{ok_or_return, OpResult};
 
 impl SockShared {
@@ -35,6 +35,7 @@ impl SockShared {
         if data.len() <= self.proc_.cfg.dgram_eager_max {
             let msg = Msg::Data {
                 piggyback: 0,
+                seq: self.inner.lock().claim_tx_seq(),
                 payload: Bytes::copy_from_slice(data),
             };
             let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
@@ -77,12 +78,15 @@ impl SockShared {
                 }
             }
             let ctrl = self.ctrl_completion();
-            simnet::wait_any(ctx, &[&ctrl])?;
+            // Watchdog-aware wait: a peer that crashes between the request
+            // and the grant must not hang the sender forever.
+            ok_or_return!(self.wait_watched(ctx, &[&ctrl])?);
             ok_or_return!(self.poll_ctrl(ctx)?);
         }
         self.trace(ctx, EventKind::RndvData, data.len() as u64, 0);
         let msg = Msg::Data {
             piggyback: 0,
+            seq: self.inner.lock().claim_tx_seq(),
             payload: Bytes::copy_from_slice(data),
         };
         let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
@@ -103,32 +107,47 @@ impl SockShared {
     }
 
     /// Receive one whole datagram of up to `max` bytes, zero-copy into the
-    /// (simulated) user buffer. Empty bytes = peer closed.
+    /// (simulated) user buffer. Empty bytes = peer closed. Datagrams are
+    /// delivered in send order: a message that overtook an earlier one on
+    /// a reordering fabric parks in the reorder buffer until the gap fills.
     pub(crate) fn dgram_recv(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
         ctx.delay(self.proc_.cfg.dgram_overhead)?;
-        // Post the user-buffer descriptor if none is outstanding.
-        {
-            let need_post = {
-                let i = self.inner.lock();
+        loop {
+            // 0. Serve the next-in-order datagram if it already arrived
+            // (ahead of sequence, parked by a previous iteration).
+            let parked = {
+                let mut i = self.inner.lock();
                 if i.closed {
                     return Ok(Err(SockError::Closed));
                 }
-                i.dgram_data.is_none()
+                let next = i.rx_next_seq;
+                match i.rx_ooo.remove(&next) {
+                    Some(p) => {
+                        i.rx_next_seq += 1;
+                        i.stats.bytes_received += p.len() as u64;
+                        i.stats.msgs_received += 1;
+                        Some(p)
+                    }
+                    None => None,
+                }
             };
-            if need_post {
+            if let Some(payload) = parked {
+                self.trace(ctx, EventKind::SockReadEnd, payload.len() as u64, 0);
+                return Ok(Ok(payload));
+            }
+            // 1. Post the user-buffer descriptor if none is outstanding.
+            if self.inner.lock().dgram_data.is_none() {
                 let range = self.inner.lock().user_range;
                 let handle = self.proc_.ep.post_recv(
                     ctx,
                     self.rx_data_tag(),
                     Some(self.peer),
-                    max + HEADER,
+                    max + DATA_HEADER,
                     range,
                 )?;
                 self.inner.lock().dgram_data = Some(DataSlot { handle, range });
             }
-        }
-        loop {
-            // Data landed?
+            // 2. Data landed?
             let data_done = {
                 let i = self.inner.lock();
                 i.dgram_data.as_ref().is_some_and(|d| d.handle.is_done())
@@ -139,18 +158,32 @@ impl SockShared {
                     return Ok(Err(SockError::Closed));
                 };
                 let parsed = ok_or_return!(Msg::decode(&msg.data));
-                let Msg::Data { payload, .. } = parsed else {
+                let Msg::Data { seq, payload, .. } = parsed else {
                     return Ok(Err(SockError::protocol("non-data message on data tag")));
                 };
-                {
+                let deliver = {
                     let mut i = self.inner.lock();
-                    i.stats.bytes_received += payload.len() as u64;
-                    i.stats.msgs_received += 1;
+                    if seq == i.rx_next_seq {
+                        i.rx_next_seq += 1;
+                        i.stats.bytes_received += payload.len() as u64;
+                        i.stats.msgs_received += 1;
+                        true
+                    } else {
+                        if seq > i.rx_next_seq {
+                            i.rx_ooo.insert(seq, payload.clone());
+                        }
+                        false
+                    }
+                };
+                if deliver {
+                    self.trace(ctx, EventKind::SockReadEnd, payload.len() as u64, 0);
+                    return Ok(Ok(payload));
                 }
-                self.trace(ctx, EventKind::SockReadEnd, payload.len() as u64, 0);
-                return Ok(Ok(payload));
+                // Out of order: repost (top of loop) and keep waiting for
+                // the gap message, which EMP is still retransmitting.
+                continue;
             }
-            // Rendezvous request?
+            // 3. Rendezvous request?
             let rndv_done = {
                 let i = self.inner.lock();
                 i.rndv_handle.as_ref().is_some_and(|h| h.is_done())
@@ -159,14 +192,15 @@ impl SockShared {
                 ok_or_return!(self.serve_rndv_request(ctx, max)?);
                 continue;
             }
-            // Peer gone?
+            // 4. Peer closed and every announced datagram delivered?
             {
                 let i = self.inner.lock();
-                if i.peer_closed {
+                if i.peer_drained() {
                     return Ok(Ok(Bytes::new()));
                 }
             }
-            // Block on data, rendezvous request, or control.
+            // 5. Block on data, rendezvous request, or control (with the
+            // ack-starvation watchdog when configured).
             let (data_c, rndv_c) = {
                 let i = self.inner.lock();
                 (
@@ -182,7 +216,7 @@ impl SockShared {
             if let Some(r) = &rndv_c {
                 watch.push(r);
             }
-            simnet::wait_any(ctx, &watch)?;
+            ok_or_return!(self.wait_watched(ctx, &watch)?);
             ok_or_return!(self.poll_ctrl(ctx)?);
         }
     }

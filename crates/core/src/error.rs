@@ -22,6 +22,15 @@ pub enum SockError {
     },
     /// Port outside the substrate's encodable range, or already listening.
     AddrInUse,
+    /// A deadline expired before the operation could complete (today only
+    /// `connect()` with [`crate::SubstrateConfig::connect_timeout`] set).
+    Timeout,
+    /// The peer stopped responding entirely — no data, no credit returns,
+    /// no control traffic — for longer than the configured ack-starvation
+    /// watchdog allows. Distinct from [`SockError::PeerClosed`]: a closed
+    /// peer said goodbye; a gone peer just vanished (crashed process,
+    /// unplugged station).
+    PeerGone,
     /// Malformed substrate message or protocol violation.
     Protocol(String),
 }
@@ -42,6 +51,8 @@ impl std::fmt::Display for SockError {
                 write!(f, "message of {size} bytes exceeds receiver limit {limit}")
             }
             SockError::AddrInUse => write!(f, "address in use"),
+            SockError::Timeout => write!(f, "operation timed out"),
+            SockError::PeerGone => write!(f, "peer vanished (ack starvation)"),
             SockError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }

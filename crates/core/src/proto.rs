@@ -13,10 +13,16 @@ use crate::error::SockError;
 /// Bytes of substrate header preceding any payload.
 pub const HEADER: usize = 8;
 
+/// Bytes preceding the user payload of a data message: the common header
+/// plus the 32-bit per-connection sequence number that lets the receiver
+/// restore message order when the fabric reorders (injected faults; the
+/// paper's fabric never does).
+pub const DATA_HEADER: usize = HEADER + 4;
+
 /// Largest user payload of an eager datagram: one EMP frame's worth after
-/// the substrate header, so small datagrams stay single-frame (the 28.5 µs
-/// path of §7.1).
-pub const MAX_EAGER_DGRAM: usize = emp_proto::MAX_CHUNK - HEADER;
+/// the substrate data header, so small datagrams stay single-frame (the
+/// 28.5 µs path of §7.1).
+pub const MAX_EAGER_DGRAM: usize = emp_proto::MAX_CHUNK - DATA_HEADER;
 
 const KIND_DATA: u8 = 1;
 const KIND_FCACK: u8 = 2;
@@ -33,6 +39,11 @@ pub enum Msg {
     Data {
         /// Credits returned to the receiver-of-this-message's send side.
         piggyback: u16,
+        /// Per-connection, per-direction data-message sequence number.
+        /// EMP preserves order *within* a message; under injected fabric
+        /// reordering, consecutive messages on the same tag can still bind
+        /// descriptors out of order, and this is what puts them back.
+        seq: u32,
         /// The user bytes.
         payload: Bytes,
     },
@@ -70,8 +81,16 @@ pub enum Msg {
         /// What the receiver could take.
         limit: u32,
     },
-    /// Orderly close notification (§5.3).
-    Close,
+    /// Orderly close notification (§5.3). Control rides a different lane
+    /// than data, so under loss it can overtake in-flight (retransmitting)
+    /// data messages; `final_seq` tells the receiver how many data
+    /// messages the closer sent in total, so EOF is only surfaced once
+    /// every one of them has been delivered.
+    Close {
+        /// Count of data messages sent on this connection before closing
+        /// (i.e. one past the last sequence number used).
+        final_seq: u32,
+    },
 }
 
 impl Msg {
@@ -79,11 +98,16 @@ impl Msg {
     pub fn encode(&self) -> Bytes {
         let mut b = BytesMut::with_capacity(HEADER);
         match self {
-            Msg::Data { piggyback, payload } => {
+            Msg::Data {
+                piggyback,
+                seq,
+                payload,
+            } => {
                 b.put_u8(KIND_DATA);
                 b.put_u8(0);
                 b.put_u16_le(*piggyback);
                 b.put_u32_le(payload.len() as u32);
+                b.put_u32_le(*seq);
                 b.extend_from_slice(payload);
             }
             Msg::FcAck { credits } => {
@@ -127,11 +151,11 @@ impl Msg {
                 b.put_u16_le(0);
                 b.put_u32_le(*limit);
             }
-            Msg::Close => {
+            Msg::Close { final_seq } => {
                 b.put_u8(KIND_CLOSE);
                 b.put_u8(0);
                 b.put_u16_le(0);
-                b.put_u32_le(0);
+                b.put_u32_le(*final_seq);
             }
         }
         b.freeze()
@@ -148,12 +172,14 @@ impl Msg {
         match kind {
             KIND_DATA => {
                 let len = arg32 as usize;
-                if raw.len() < HEADER + len {
+                if raw.len() < DATA_HEADER + len {
                     return Err(SockError::protocol("data message truncated"));
                 }
+                let seq = u32::from_le_bytes([raw[8], raw[9], raw[10], raw[11]]);
                 Ok(Msg::Data {
                     piggyback: arg16,
-                    payload: raw.slice(HEADER..HEADER + len),
+                    seq,
+                    payload: raw.slice(DATA_HEADER..DATA_HEADER + len),
                 })
             }
             KIND_FCACK => Ok(Msg::FcAck { credits: arg16 }),
@@ -178,7 +204,7 @@ impl Msg {
             KIND_RNDV_REQ => Ok(Msg::RndvReq { size: arg32 }),
             KIND_RNDV_ACK => Ok(Msg::RndvAck),
             KIND_RNDV_NAK => Ok(Msg::RndvNak { limit: arg32 }),
-            KIND_CLOSE => Ok(Msg::Close),
+            KIND_CLOSE => Ok(Msg::Close { final_seq: arg32 }),
             other => Err(SockError::protocol(format!("unknown message kind {other}"))),
         }
     }
@@ -187,7 +213,7 @@ impl Msg {
     pub fn wire_len(&self) -> usize {
         HEADER
             + match self {
-                Msg::Data { payload, .. } => payload.len(),
+                Msg::Data { payload, .. } => 4 + payload.len(),
                 Msg::ConnReq { .. } => 4,
                 _ => 0,
             }
@@ -209,10 +235,12 @@ mod tests {
     fn all_kinds_roundtrip() {
         roundtrip(Msg::Data {
             piggyback: 7,
+            seq: 42,
             payload: Bytes::from_static(b"payload bytes"),
         });
         roundtrip(Msg::Data {
             piggyback: 0,
+            seq: u32::MAX,
             payload: Bytes::new(),
         });
         roundtrip(Msg::FcAck { credits: 16 });
@@ -233,7 +261,8 @@ mod tests {
         roundtrip(Msg::RndvReq { size: 1 << 20 });
         roundtrip(Msg::RndvAck);
         roundtrip(Msg::RndvNak { limit: 4096 });
-        roundtrip(Msg::Close);
+        roundtrip(Msg::Close { final_seq: 0 });
+        roundtrip(Msg::Close { final_seq: 9_999 });
     }
 
     #[test]
@@ -241,11 +270,13 @@ mod tests {
         assert!(Msg::decode(&Bytes::from_static(b"abc")).is_err());
         let mut enc = Msg::Data {
             piggyback: 0,
+            seq: 3,
             payload: Bytes::from_static(b"0123456789"),
         }
         .encode()
         .to_vec();
-        enc.truncate(12);
+        // Cut into the payload (header + seq survive, bytes do not).
+        enc.truncate(DATA_HEADER + 4);
         assert!(Msg::decode(&Bytes::from(enc)).is_err());
     }
 
@@ -259,6 +290,7 @@ mod tests {
     fn eager_dgram_fits_one_emp_frame() {
         let m = Msg::Data {
             piggyback: 0,
+            seq: 0,
             payload: Bytes::from(vec![0u8; MAX_EAGER_DGRAM]),
         };
         assert_eq!(m.wire_len(), emp_proto::MAX_CHUNK);

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use emp_proto::{EmpEndpoint, RecvHandle};
 use parking_lot::Mutex;
-use simnet::{wait_any, MacAddr, ProcessCtx, SimResult};
+use simnet::{wait_any, MacAddr, ProcessCtx, SimAccess, SimAccessExt, SimDuration, SimResult};
 
 use crate::config::{SocketType, SubstrateConfig};
 use crate::conn::{ProcShared, SockShared};
@@ -132,7 +132,70 @@ impl EmpSockets {
         };
         let h = sock.send_msg(ctx, tags::conn_tag(addr.port), &req)?;
         sock.inner.lock().conn_send = Some(h);
+        if let Some(deadline) = cfg.connect_timeout {
+            ok_or_return!(self.await_connect(ctx, &sock, &req, addr, deadline)?);
+        }
         Ok(Ok(Connection { sock }))
+    }
+
+    /// The blocking half of `connect()` when a
+    /// [`SubstrateConfig::connect_timeout`] deadline is configured: wait
+    /// for the connection request to be acknowledged, resending it with
+    /// exponential backoff when EMP reports definitive failure, and give
+    /// up with [`SockError::Timeout`] at the deadline. On timeout the
+    /// half-built connection is torn down (descriptors unposted, cid
+    /// recycled) before the error is surfaced.
+    fn await_connect(
+        &self,
+        ctx: &ProcessCtx,
+        sock: &Arc<SockShared>,
+        req: &Msg,
+        addr: SockAddr,
+        deadline: SimDuration,
+    ) -> OpResult<()> {
+        let give_up_at = ctx.now() + deadline;
+        // First resend after 1/8 of the deadline, doubling each attempt.
+        let mut backoff = deadline / 8;
+        if backoff.is_zero() {
+            backoff = deadline;
+        }
+        let timed_out = loop {
+            let handle = {
+                let i = sock.inner.lock();
+                i.conn_send.clone().expect("request just sent")
+            };
+            match handle.status() {
+                Some(true) => break false,
+                Some(false) => {
+                    // EMP gave up (receiver had no descriptor and no
+                    // unexpected slot, or the station is dead): back off
+                    // and resend while the deadline allows.
+                    if ctx.now() + backoff >= give_up_at {
+                        break true;
+                    }
+                    ctx.delay(backoff)?;
+                    backoff = backoff * 2;
+                    let h = sock.send_msg(ctx, tags::conn_tag(addr.port), req)?;
+                    sock.inner.lock().conn_send = Some(h);
+                }
+                None => {
+                    let timer = simnet::Completion::new();
+                    let t2 = timer.clone();
+                    ctx.schedule_at(give_up_at, move |s| t2.complete(s));
+                    wait_any(ctx, &[handle.completion(), &timer])?;
+                    if !handle.is_done() {
+                        break true;
+                    }
+                }
+            }
+        };
+        if timed_out {
+            // Suppress the goodbye: there is nobody to say it to.
+            sock.inner.lock().peer_closed = true;
+            sock.close(ctx)?;
+            return Ok(Err(SockError::Timeout));
+        }
+        Ok(Ok(()))
     }
 
     /// Substrate-wide counters: every live connection's [`crate::conn::ConnStats`]

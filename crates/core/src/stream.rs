@@ -48,14 +48,16 @@ impl SockShared {
             if emp_trace::ENABLED && piggyback > 0 {
                 self.trace(ctx, EventKind::AckPiggybacked, u64::from(piggyback), 0);
             }
-            {
+            let seq = {
                 let mut i = self.inner.lock();
                 i.stats.bytes_sent += chunk as u64;
                 i.stats.msgs_sent += 1;
                 i.stats.piggybacked_credits += u64::from(piggyback);
-            }
+                i.claim_tx_seq()
+            };
             let msg = Msg::Data {
                 piggyback,
+                seq,
                 payload: Bytes::copy_from_slice(&data[off..off + chunk]),
             };
             ctx.delay(self.proc_.cfg.stream_overhead)?;
@@ -144,10 +146,12 @@ impl SockShared {
                 ok_or_return!(self.pull_stream_msg(ctx)?);
                 continue;
             }
-            // 3. EOF once the peer closed and everything is drained.
+            // 3. EOF once the peer closed and every data message it
+            // announced has been delivered (a Close can overtake data that
+            // is still retransmitting on a lossy fabric).
             {
                 let i = self.inner.lock();
-                if i.peer_closed {
+                if i.peer_drained() {
                     return Ok(Ok(Bytes::new()));
                 }
             }
@@ -176,7 +180,12 @@ impl SockShared {
             return Ok(Ok(())); // unposted during close
         };
         let parsed = ok_or_return!(Msg::decode(&msg.data));
-        let Msg::Data { piggyback, payload } = parsed else {
+        let Msg::Data {
+            piggyback,
+            seq,
+            payload,
+        } = parsed
+        else {
             return Ok(Err(SockError::protocol("non-data message on data tag")));
         };
         ctx.delay(self.proc_.cfg.stream_overhead)?;
@@ -185,15 +194,35 @@ impl SockShared {
             ctx,
             self.rx_data_tag(),
             Some(self.peer),
-            self.buf_size + crate::proto::HEADER,
+            self.buf_size + crate::proto::DATA_HEADER,
             slot.range,
         )?;
         let send_explicit = {
             let mut i = self.inner.lock();
             i.credits += u32::from(piggyback);
             i.stats.msgs_received += 1;
-            i.stream_len += payload.len();
-            i.stream_chunks.push_back(payload);
+            // The descriptor is consumed (and reposted below) regardless of
+            // arrival order; only the *byte stream* is sequenced. An
+            // ahead-of-sequence payload parks in the reorder buffer until
+            // the retransmitting gap message lands.
+            if seq == i.rx_next_seq {
+                i.rx_next_seq += 1;
+                i.stream_len += payload.len();
+                i.stream_chunks.push_back(payload);
+                loop {
+                    let next = i.rx_next_seq;
+                    let Some(parked) = i.rx_ooo.remove(&next) else {
+                        break;
+                    };
+                    i.rx_next_seq += 1;
+                    i.stream_len += parked.len();
+                    i.stream_chunks.push_back(parked);
+                }
+            } else if seq > i.rx_next_seq {
+                i.rx_ooo.insert(seq, payload);
+            }
+            // seq < rx_next_seq would be a duplicate; EMP's message-level
+            // dedup makes that unreachable, so it is silently ignored.
             i.data_slots.push_back(DataSlot {
                 handle,
                 range: slot.range,

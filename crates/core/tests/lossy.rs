@@ -1,0 +1,441 @@
+//! Substrate robustness under injected fabric faults: every Figure 11
+//! preset must deliver byte-exact data over a fabric that drops, reorders,
+//! and delays frames, and a peer that vanishes must surface
+//! [`SockError::Timeout`] / [`SockError::PeerGone`] instead of a hang.
+
+use emp_proto::{build_cluster, EmpCluster, EmpConfig};
+use simnet::{Completion, FaultPlan, LinkConfig, Sim, SimAccess, SimDuration, SwitchConfig};
+use sockets_emp::{EmpSockets, SockAddr, SockError, SubstrateConfig};
+
+fn faulty_cluster(n: usize, faults: FaultPlan) -> EmpCluster {
+    // EMP abandons a message after `max_retries` silent timer rounds — a
+    // policy tuned for realistic loss. The sweep's harshest schedule drops
+    // every 2nd frame on every link, where a single-frame message's
+    // data+ack round trip can need far more rounds (no partial-ack
+    // progress ever resets the counter), so the transport gets a deeper
+    // retry budget here; what is under test is the substrate above it.
+    let emp = EmpConfig {
+        max_retries: 5_000,
+        ..EmpConfig::default()
+    };
+    let sw = SwitchConfig {
+        link: LinkConfig {
+            faults,
+            ..LinkConfig::default()
+        },
+        ..SwitchConfig::default()
+    };
+    build_cluster(n, emp, sw)
+}
+
+fn substrate(cl: &EmpCluster, node: usize, cfg: SubstrateConfig) -> EmpSockets {
+    EmpSockets::new(cl.nodes[node].endpoint(), cfg)
+}
+
+/// Deterministic payload byte for (message index, offset).
+fn pat(idx: usize, i: usize) -> u8 {
+    ((i * 31 + idx * 7 + 3) % 251) as u8
+}
+
+fn pattern(idx: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|i| pat(idx, i)).collect()
+}
+
+/// The fault schedules of the sweep — drop rates 1/2, 1/5 and 1/10, each
+/// combined with probabilistic reordering so consecutive messages can
+/// overtake. The 1/5 and 1/10 rates use the strictly periodic legacy
+/// schedule; the 1/2 rate uses a seeded probabilistic drop, because a
+/// perfectly alternating drop pattern phase-locks with EMP's (capped,
+/// deterministic) retransmission backoff and models a malicious wire
+/// rather than a lossy one.
+fn sweep_plans() -> Vec<FaultPlan> {
+    let reorder = SimDuration::from_micros(80);
+    vec![
+        FaultPlan::seeded(0xD5)
+            .with_drop_prob(0.5)
+            .with_reorder(0.2, reorder),
+        FaultPlan::drop_every(5).with_reorder(0.2, reorder),
+        FaultPlan::drop_every(10).with_reorder(0.2, reorder),
+    ]
+}
+
+/// Push `total` bytes through a stream connection over a faulty fabric and
+/// require: bytes intact and in order, exact EOF, clean close on both ends.
+fn stream_exchange(cfg: SubstrateConfig, faults: FaultPlan, total: usize, chunk: usize) {
+    let sim = Sim::new();
+    let cl = faulty_cluster(2, faults);
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let r_done = Completion::new();
+    let w_done = Completion::new();
+    let (r2, w2) = (r_done.clone(), w_done.clone());
+
+    sim.spawn("reader", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        let mut buf = Vec::with_capacity(total);
+        while buf.len() < total {
+            let m = conn.read(ctx, 8192)?.expect("data");
+            assert!(!m.is_empty(), "premature EOF at byte {}", buf.len());
+            buf.extend_from_slice(&m);
+        }
+        assert_eq!(buf.len(), total, "overrun");
+        for (i, b) in buf.iter().enumerate() {
+            assert_eq!(*b, pat(0, i), "byte {i} wrong");
+        }
+        let eof = conn.read(ctx, 8192)?.expect("eof");
+        assert!(eof.is_empty(), "EOF must follow the last byte exactly");
+        conn.close(ctx)?;
+        r2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("writer", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        let data = pattern(0, total);
+        for c in data.chunks(chunk) {
+            conn.write(ctx, c)?.expect("send");
+        }
+        conn.close(ctx)?;
+        w2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(r_done.is_done(), "reader did not finish cleanly");
+    assert!(w_done.is_done(), "writer did not finish cleanly");
+}
+
+/// Send `sizes` datagrams over a faulty fabric and require: boundaries
+/// preserved, send order preserved, exact EOF, clean close on both ends.
+fn dgram_exchange(faults: FaultPlan, sizes: Vec<usize>) {
+    let sim = Sim::new();
+    let cl = faulty_cluster(2, faults);
+    let server = substrate(&cl, 1, SubstrateConfig::dg());
+    let client = substrate(&cl, 0, SubstrateConfig::dg());
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let r_done = Completion::new();
+    let w_done = Completion::new();
+    let (r2, w2) = (r_done.clone(), w_done.clone());
+    let n = sizes.len();
+    let sizes2 = sizes.clone();
+
+    sim.spawn("receiver", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        for (i, len) in sizes.iter().enumerate() {
+            let m = conn.read(ctx, 64_000)?.expect("message");
+            assert_eq!(m.len(), *len, "datagram {i}: boundary lost");
+            assert_eq!(&m[..], &pattern(i, *len)[..], "datagram {i}: bytes wrong");
+        }
+        let eof = conn.read(ctx, 64_000)?.expect("eof");
+        assert!(eof.is_empty(), "EOF must follow datagram {n} exactly");
+        conn.close(ctx)?;
+        r2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("sender", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        for (i, len) in sizes2.iter().enumerate() {
+            conn.write(ctx, &pattern(i, *len))?.expect("send");
+        }
+        conn.close(ctx)?;
+        w2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(r_done.is_done(), "receiver did not finish cleanly");
+    assert!(w_done.is_done(), "sender did not finish cleanly");
+}
+
+// ---- sweep: each Figure 11 preset × loss 1/2, 1/5, 1/10 + reorder ----
+
+const SWEEP_BYTES: usize = 64 * 1024;
+
+#[test]
+fn ds_survives_the_loss_sweep() {
+    for plan in sweep_plans() {
+        stream_exchange(SubstrateConfig::ds(), plan, SWEEP_BYTES, 7919);
+    }
+}
+
+#[test]
+fn ds_da_survives_the_loss_sweep() {
+    for plan in sweep_plans() {
+        stream_exchange(SubstrateConfig::ds_da(), plan, SWEEP_BYTES, 7919);
+    }
+}
+
+#[test]
+fn ds_da_uq_survives_the_loss_sweep() {
+    for plan in sweep_plans() {
+        stream_exchange(SubstrateConfig::ds_da_uq(), plan, SWEEP_BYTES, 7919);
+    }
+}
+
+#[test]
+fn dg_survives_the_loss_sweep() {
+    // Sizes straddle the eager/rendezvous boundary (~1.5 KB), so both
+    // paths run under loss and reordering.
+    let sizes: Vec<usize> = (0..24).map(|i| (i * 977) % 3000 + 1).collect();
+    for plan in sweep_plans() {
+        dgram_exchange(plan, sizes.clone());
+    }
+}
+
+// ---- acceptance: 1 MB byte-exact at p = 0.2 seeded loss + reorder ----
+
+const MEGABYTE: usize = 1 << 20;
+
+fn acceptance_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .with_drop_prob(0.2)
+        .with_reorder(0.1, SimDuration::from_micros(60))
+}
+
+#[test]
+fn ds_moves_a_megabyte_at_twenty_percent_loss() {
+    stream_exchange(
+        SubstrateConfig::ds(),
+        acceptance_plan(11),
+        MEGABYTE,
+        32 * 1024,
+    );
+}
+
+#[test]
+fn ds_da_moves_a_megabyte_at_twenty_percent_loss() {
+    stream_exchange(
+        SubstrateConfig::ds_da(),
+        acceptance_plan(12),
+        MEGABYTE,
+        32 * 1024,
+    );
+}
+
+#[test]
+fn ds_da_uq_moves_a_megabyte_at_twenty_percent_loss() {
+    stream_exchange(
+        SubstrateConfig::ds_da_uq(),
+        acceptance_plan(13),
+        MEGABYTE,
+        32 * 1024,
+    );
+}
+
+#[test]
+fn dg_moves_a_megabyte_at_twenty_percent_loss() {
+    // 128 × 8 KiB datagrams: every one takes the §5.2 rendezvous, whose
+    // request/grant control messages are themselves exposed to the loss.
+    dgram_exchange(acceptance_plan(14), vec![8192; 128]);
+}
+
+// ---- vanished peers: Timeout and PeerGone instead of hangs ----
+
+#[test]
+fn connect_to_a_dead_peer_times_out_within_the_deadline() {
+    let sim = Sim::new();
+    let cl = faulty_cluster(2, FaultPlan::none());
+    // Node 1 never runs a process: the connection request is never
+    // matched, EMP retransmits into silence.
+    let deadline = SimDuration::from_millis(50);
+    let client = substrate(&cl, 0, SubstrateConfig::ds().with_connect_timeout(deadline));
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("client", move |ctx| {
+        let t0 = ctx.now();
+        let r = client.connect(ctx, addr)?;
+        let Err(err) = r else {
+            panic!("must not connect")
+        };
+        assert_eq!(err, SockError::Timeout);
+        let waited = ctx.now() - t0;
+        assert!(
+            waited <= deadline + SimDuration::from_millis(1),
+            "timeout overshot the deadline: {waited:?}"
+        );
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+#[test]
+fn stream_reader_survives_a_writer_crash_mid_stream() {
+    let sim = Sim::new();
+    let cl = faulty_cluster(2, FaultPlan::none());
+    let cfg = SubstrateConfig::ds_da_uq().with_peer_watchdog(SimDuration::from_millis(20));
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("reader", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        let m = conn
+            .read(ctx, 1024)?
+            .expect("the bytes sent before the crash");
+        assert_eq!(&m[..], b"last words");
+        // The writer is gone without a Close: the watchdog must convert
+        // silence into PeerGone, not block forever.
+        let err = conn.read(ctx, 1024)?.expect_err("peer vanished");
+        assert_eq!(err, SockError::PeerGone);
+        conn.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("writer", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        conn.write(ctx, b"last words")?.expect("send");
+        // Crash: return without close(); no Close message is ever sent.
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+#[test]
+fn stream_writer_survives_a_reader_crash_mid_stream() {
+    let sim = Sim::new();
+    let cl = faulty_cluster(2, FaultPlan::none());
+    let cfg = SubstrateConfig::ds()
+        .with_credits(2)
+        .with_peer_watchdog(SimDuration::from_millis(20));
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("reader", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        let _ = conn.read(ctx, 64)?.expect("first message");
+        // Crash: stop reading, never return credits, never close.
+        Ok(())
+    });
+    sim.spawn("writer", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        // With 2 credits and a dead reader, some write soon stalls on
+        // flow control; the watchdog must fire instead of hanging.
+        let mut outcome = Ok(0);
+        for _ in 0..16 {
+            outcome = conn.write(ctx, &[7u8; 64])?;
+            if outcome.is_err() {
+                break;
+            }
+        }
+        assert_eq!(outcome.expect_err("credit starvation"), SockError::PeerGone);
+        conn.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+#[test]
+fn accepted_but_abandoned_connection_yields_peer_gone() {
+    // Mid-handshake crash: the acceptor dies right after the transport
+    // handshake, before any data flows.
+    let sim = Sim::new();
+    let cl = faulty_cluster(2, FaultPlan::none());
+    let cfg = SubstrateConfig::ds_da_uq().with_peer_watchdog(SimDuration::from_millis(20));
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("acceptor", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let _conn = l.accept(ctx)?.expect("connection");
+        // Crash immediately after accepting.
+        Ok(())
+    });
+    sim.spawn("client", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        let err = conn.read(ctx, 64)?.expect_err("peer vanished");
+        assert_eq!(err, SockError::PeerGone);
+        conn.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+#[test]
+fn dgram_receiver_survives_a_sender_crash() {
+    let sim = Sim::new();
+    let cl = faulty_cluster(2, FaultPlan::none());
+    let cfg = SubstrateConfig::dg().with_peer_watchdog(SimDuration::from_millis(20));
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("receiver", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        let m = conn.read(ctx, 1024)?.expect("pre-crash datagram");
+        assert_eq!(&m[..], b"dgram");
+        let err = conn.read(ctx, 1024)?.expect_err("peer vanished");
+        assert_eq!(err, SockError::PeerGone);
+        conn.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("sender", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        conn.write(ctx, b"dgram")?.expect("send");
+        // Crash without close().
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+#[test]
+fn dgram_sender_survives_a_receiver_crash_mid_rendezvous() {
+    let sim = Sim::new();
+    let cl = faulty_cluster(2, FaultPlan::none());
+    let cfg = SubstrateConfig::dg().with_peer_watchdog(SimDuration::from_millis(20));
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("receiver", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        let m = conn.read(ctx, 1024)?.expect("eager datagram");
+        assert_eq!(m.len(), 64);
+        // Crash before the large datagram's rendezvous can be granted.
+        Ok(())
+    });
+    sim.spawn("sender", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        conn.write(ctx, &[1u8; 64])?.expect("eager send");
+        // Let the receiver consume the eager datagram and die before the
+        // rendezvous starts (otherwise its in-progress read answers it).
+        ctx.delay(SimDuration::from_millis(2))?;
+        // Large message: rendezvous request goes out, the grant never
+        // comes back; the watchdog must fail the send with PeerGone.
+        let err = conn
+            .write(ctx, &vec![2u8; 16 * 1024])?
+            .expect_err("grant never arrives");
+        assert_eq!(err, SockError::PeerGone);
+        conn.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}

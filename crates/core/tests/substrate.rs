@@ -684,7 +684,7 @@ fn stream_survives_a_lossy_fabric() {
     let sim = Sim::new();
     let lossy = SwitchConfig {
         link: LinkConfig {
-            drop_every: Some(9),
+            faults: simnet::FaultPlan::drop_every(9),
             ..LinkConfig::default()
         },
         ..SwitchConfig::default()

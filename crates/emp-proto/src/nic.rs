@@ -52,6 +52,11 @@ pub struct EmpStats {
     pub unexpected_msgs: u64,
     /// Total descriptors examined by the tag matcher (walk length sum).
     pub descriptors_walked: u64,
+    /// Data frames lost to injected receive-descriptor-ring exhaustion
+    /// (dropped before classification; retransmission recovers them).
+    pub nic_rx_ring_drops: u64,
+    /// DMA completions delayed by injected PCI contention.
+    pub nic_dma_delays: u64,
 }
 
 /// Host-visible side of a send: completes when every frame is acked (or the
@@ -234,9 +239,14 @@ impl EmpNic {
         &self.tigon
     }
 
-    /// Snapshot of the protocol counters.
+    /// Snapshot of the protocol counters (including the hardware-level
+    /// injected-fault counts kept by the Tigon).
     pub fn stats(&self) -> EmpStats {
-        self.state.lock().stats.clone()
+        let mut stats = self.state.lock().stats.clone();
+        let (ring_drops, dma_delays) = self.tigon.fault_counts();
+        stats.nic_rx_ring_drops = ring_drops;
+        stats.nic_dma_delays = dma_delays;
+        stats
     }
 
     /// Pre-posted descriptors currently on the NIC.
@@ -419,7 +429,13 @@ impl EmpNic {
             let me = self.arc();
             let wire_len = frame.payload.wire_len();
             let dma = self.cfg.nic.dma_time(wire_len);
-            let cost = dma + self.cfg.nic.tx_frame_cost;
+            // Injected NIC fault: the frame's DMA fetch may stall behind
+            // (simulated) PCI contention.
+            let stall = self.tigon.inject_dma_delay();
+            if !stall.is_zero() {
+                self.trace(sim, EventKind::NicFault, 1, stall.nanos());
+            }
+            let cost = dma + self.cfg.nic.tx_frame_cost + stall;
             self.tigon.cpu_tx.exec(sim, cost, move |sim| {
                 if emp_trace::ENABLED {
                     me.trace(sim, EventKind::DmaCopy, wire_len as u64, dma.nanos());
@@ -950,6 +966,14 @@ impl FrameSink for EmpNic {
                     });
             }
             EmpWire::Data { .. } => {
+                // Injected NIC fault: the receive-descriptor ring is
+                // exhausted, so the frame has nowhere to land and is lost
+                // before the firmware sees it. The sender's retransmission
+                // machinery recovers, exactly as for wire loss.
+                if self.tigon.inject_rx_ring_exhausted() {
+                    self.trace(s, EventKind::NicFault, 0, frame.payload.wire_len() as u64);
+                    return;
+                }
                 self.trace(s, EventKind::NicRxStart, frame.payload.wire_len() as u64, 0);
                 let me = self.arc();
                 // Phase 1: classification + bookkeeping, fixed cost.
@@ -960,6 +984,15 @@ impl FrameSink for EmpNic {
                         let cfg = &me.cfg.nic;
                         let dma = cfg.dma_time(phase2.dma_bytes);
                         let mut cost = cfg.tag_match_time(phase2.walked) + dma;
+                        if phase2.dma_bytes > 0 {
+                            // Injected NIC fault: this DMA completion
+                            // stalls behind (simulated) PCI contention.
+                            let stall = me.tigon.inject_dma_delay();
+                            if !stall.is_zero() {
+                                me.trace(sim, EventKind::NicFault, 1, stall.nanos());
+                                cost += stall;
+                            }
+                        }
                         if matches!(phase2.deliver, Some(Deliver::Host { .. })) {
                             cost += cfg.completion_post;
                         }

@@ -7,17 +7,22 @@ use bytes::Bytes;
 use emp_proto::{build_cluster, EmpConfig, Tag};
 use hostsim::VirtRange;
 use parking_lot::Mutex;
-use simnet::{Completion, LinkConfig, Sim, SimDuration, SwitchConfig};
+use simnet::{Completion, FaultPlan, LinkConfig, Sim, SimDuration, SwitchConfig};
 use std::sync::Arc;
+use tigon_nic::{NicConfig, NicFaultPlan};
 
-fn lossy_switch(drop_every: u64) -> SwitchConfig {
+fn faulty_switch(faults: FaultPlan) -> SwitchConfig {
     SwitchConfig {
         link: LinkConfig {
-            drop_every: Some(drop_every),
+            faults,
             ..LinkConfig::default()
         },
         ..SwitchConfig::default()
     }
+}
+
+fn lossy_switch(drop_every: u64) -> SwitchConfig {
+    faulty_switch(FaultPlan::drop_every(drop_every))
 }
 
 fn buf(slot: u64, len: usize) -> VirtRange {
@@ -166,4 +171,121 @@ fn unrelenting_loss_eventually_fails_the_send() {
     sim.run();
     assert!(*finished.lock());
     assert_eq!(cl.nodes[0].nic.stats().sends_failed, 1);
+}
+
+/// One sender pushing `len` patterned bytes to one receiver over `sw`,
+/// with `emp` as the protocol config. Asserts byte-exact reassembly.
+fn exact_transfer(emp: EmpConfig, sw: SwitchConfig, len: usize) -> emp_proto::EmpCluster {
+    let sim = Sim::new();
+    let cl = build_cluster(2, emp, sw);
+    let (a, b) = (cl.nodes[0].endpoint(), cl.nodes[1].endpoint());
+    let dst = b.addr();
+    let payload: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+    let expect = payload.clone();
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    let b2 = b.clone();
+    sim.spawn("receiver", move |ctx| {
+        let h = b2.post_recv(ctx, Tag(3), None, len, buf(1, len))?;
+        let msg = b2.wait_recv(ctx, &h)?.expect("delivered");
+        assert_eq!(&msg.data[..], &expect[..], "byte-exact reassembly");
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("sender", move |ctx| {
+        ctx.delay(SimDuration::from_micros(10))?;
+        let h = a.post_send(ctx, dst, Tag(3), Bytes::from(payload), buf(0, len))?;
+        assert!(a.wait_send(ctx, &h)?);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+    cl
+}
+
+#[test]
+fn retransmission_survives_corruption_and_reordering() {
+    // Not just periodic drop: seeded in-flight corruption plus reorder
+    // windows wide enough for frames to genuinely overtake each other.
+    let plan = FaultPlan::seeded(0xC0FFEE)
+        .with_corrupt_prob(0.15)
+        .with_reorder(0.4, SimDuration::from_micros(80));
+    let cl = exact_transfer(EmpConfig::default(), faulty_switch(plan), 150_000);
+    let stats = cl.nodes[0].nic.stats();
+    assert!(
+        stats.frames_retransmitted > 0,
+        "corruption must force resend"
+    );
+    assert_eq!(stats.sends_failed, 0);
+    let corrupted: u64 = cl
+        .switch
+        .port_stats()
+        .iter()
+        .map(|s| s.frames_corrupted)
+        .sum();
+    assert!(corrupted > 0, "fault plan injected no corruption");
+}
+
+#[test]
+fn retransmission_survives_burst_loss_and_jitter() {
+    let plan = FaultPlan::seeded(0xB00B5)
+        .with_drop_prob(0.05)
+        .with_burst(0.8, 5)
+        .with_jitter(SimDuration::from_micros(15));
+    let cl = exact_transfer(EmpConfig::default(), faulty_switch(plan), 120_000);
+    let stats = cl.nodes[0].nic.stats();
+    assert!(stats.frames_retransmitted > 0);
+    assert_eq!(stats.sends_failed, 0);
+}
+
+#[test]
+fn nic_rx_ring_exhaustion_is_recovered_by_retransmission() {
+    let emp = EmpConfig {
+        nic: NicConfig {
+            faults: NicFaultPlan::seeded(77).with_rx_ring_drop_prob(0.25),
+            ..NicConfig::default()
+        },
+        ..EmpConfig::default()
+    };
+    let cl = exact_transfer(emp, SwitchConfig::default(), 100_000);
+    let rx_stats = cl.nodes[1].nic.stats();
+    assert!(
+        rx_stats.nic_rx_ring_drops > 0,
+        "rx-ring fault never fired at p=0.25"
+    );
+    let tx_stats = cl.nodes[0].nic.stats();
+    assert!(tx_stats.frames_retransmitted > 0);
+    assert_eq!(tx_stats.sends_failed, 0);
+}
+
+#[test]
+fn delayed_dma_completions_slow_but_do_not_break_transfers() {
+    let emp = EmpConfig {
+        nic: NicConfig {
+            faults: NicFaultPlan::seeded(13).with_dma_delay(0.2, SimDuration::from_micros(40)),
+            ..NicConfig::default()
+        },
+        ..EmpConfig::default()
+    };
+    let cl = exact_transfer(emp, SwitchConfig::default(), 100_000);
+    let stats = cl.nodes[1].nic.stats();
+    assert!(stats.nic_dma_delays > 0, "DMA-delay fault never fired");
+    assert_eq!(cl.nodes[0].nic.stats().sends_failed, 0);
+}
+
+#[test]
+fn seeded_fault_runs_are_deterministic() {
+    fn run_once() -> (u64, u64) {
+        let plan = FaultPlan::seeded(4242)
+            .with_drop_prob(0.1)
+            .with_corrupt_prob(0.1)
+            .with_reorder(0.3, SimDuration::from_micros(40));
+        let cl = exact_transfer(EmpConfig::default(), faulty_switch(plan), 60_000);
+        let st = cl.nodes[0].nic.stats();
+        (st.frames_retransmitted, st.acks_sent)
+    }
+    let first = run_once();
+    assert!(first.0 > 0);
+    assert_eq!(first, run_once());
 }

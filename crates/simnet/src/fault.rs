@@ -1,0 +1,362 @@
+//! Seeded, deterministic fault injection for the wire.
+//!
+//! A [`FaultPlan`] describes everything a hostile link may do to traffic:
+//! periodic drops (the old `drop_every` knob), seeded probabilistic loss,
+//! burst loss, in-flight corruption (the frame occupies the wire but fails
+//! the receiver's FCS check), reorder windows and delay jitter (frames get
+//! extra delivery delay, letting later frames overtake), and a scheduled
+//! link-down/link-up cycle. The plan itself is immutable and `Copy`; the
+//! mutable per-link cursor ([`FaultState`]) holds the RNG so that two links
+//! configured with the same plan fault independently but reproducibly.
+//!
+//! Every random decision flows from one [`XorShift64`] seeded from the
+//! plan, so a given `(seed, frame sequence)` always produces the identical
+//! drop/corrupt/reorder schedule — lossy runs stay bit-for-bit
+//! reproducible, which the property tests in this crate assert.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Minimal xorshift64 PRNG (Marsaglia 2003). Deterministic, `Copy`, and
+/// good enough for fault schedules; not for cryptography.
+#[derive(Clone, Copy, Debug)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Seed the generator. A zero seed is remapped (xorshift has a fixed
+    /// point at 0) so every seed yields a live sequence.
+    pub fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// Bernoulli draw: true with probability `prob`. Draws no randomness
+    /// when `prob` is 0 or less, so disabled fault classes do not perturb
+    /// the schedule of enabled ones.
+    pub fn chance(&mut self, prob: f64) -> bool {
+        if prob <= 0.0 {
+            return false;
+        }
+        if prob >= 1.0 {
+            return true;
+        }
+        // 53 uniform mantissa bits, the standard [0,1) construction.
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < prob
+    }
+
+    /// Uniform duration in `[0, max]`. Draws nothing when `max` is zero.
+    pub fn duration_upto(&mut self, max: SimDuration) -> SimDuration {
+        if max.is_zero() {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.next_u64() % (max.nanos() + 1))
+    }
+}
+
+/// What a hostile link may do to traffic. All classes default to off, so
+/// `FaultPlan::default()` (== [`FaultPlan::none`]) is the lossless
+/// machine-room wire the paper assumes.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Seed for every random decision this plan makes on a link.
+    pub seed: u64,
+    /// Deterministic periodic loss: drop every `n`-th frame.
+    pub drop_every: Option<u64>,
+    /// Independent per-frame drop probability in `[0, 1]`.
+    pub drop_prob: f64,
+    /// Probability that a probabilistic drop opens a burst: the following
+    /// `burst_len - 1` frames are dropped too (correlated loss).
+    pub burst_prob: f64,
+    /// Total frames lost per burst (including the one that opened it).
+    pub burst_len: u64,
+    /// Per-frame corruption probability: the frame occupies the wire but
+    /// the receiver's FCS check fails, so it is never delivered.
+    pub corrupt_prob: f64,
+    /// Probability a frame is held back by an extra reorder delay,
+    /// letting frames sent after it arrive first.
+    pub reorder_prob: f64,
+    /// Maximum extra delay for a reordered frame (uniform in `[0, max]`).
+    pub reorder_delay: SimDuration,
+    /// Uniform delivery jitter in `[0, jitter]` added to every frame.
+    pub jitter: SimDuration,
+    /// Link-down schedule period: every `down_every` of simulated time the
+    /// link goes down for [`FaultPlan::down_for`], starting at t=0.
+    pub down_every: Option<SimDuration>,
+    /// How long each scheduled down window lasts.
+    pub down_for: SimDuration,
+}
+
+impl FaultPlan {
+    /// A lossless wire: no faults of any kind.
+    pub const fn none() -> Self {
+        FaultPlan {
+            seed: 1,
+            drop_every: None,
+            drop_prob: 0.0,
+            burst_prob: 0.0,
+            burst_len: 0,
+            corrupt_prob: 0.0,
+            reorder_prob: 0.0,
+            reorder_delay: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            down_every: None,
+            down_for: SimDuration::ZERO,
+        }
+    }
+
+    /// The legacy deterministic plan: drop every `n`-th frame.
+    pub const fn drop_every(n: u64) -> Self {
+        let mut p = FaultPlan::none();
+        p.drop_every = Some(n);
+        p
+    }
+
+    /// An otherwise-lossless plan carrying `seed` for the builder methods.
+    pub const fn seeded(seed: u64) -> Self {
+        let mut p = FaultPlan::none();
+        p.seed = seed;
+        p
+    }
+
+    /// Independent per-frame drop probability.
+    pub fn with_drop_prob(mut self, prob: f64) -> Self {
+        self.drop_prob = prob;
+        self
+    }
+
+    /// Burst loss: each probabilistic drop opens, with probability `prob`,
+    /// a burst swallowing `len` frames total.
+    pub fn with_burst(mut self, prob: f64, len: u64) -> Self {
+        self.burst_prob = prob;
+        self.burst_len = len;
+        self
+    }
+
+    /// In-flight corruption probability.
+    pub fn with_corrupt_prob(mut self, prob: f64) -> Self {
+        self.corrupt_prob = prob;
+        self
+    }
+
+    /// Reorder window: with probability `prob` a frame is delayed by up to
+    /// `max_delay` beyond its natural delivery time.
+    pub fn with_reorder(mut self, prob: f64, max_delay: SimDuration) -> Self {
+        self.reorder_prob = prob;
+        self.reorder_delay = max_delay;
+        self
+    }
+
+    /// Uniform per-frame delivery jitter in `[0, jitter]`.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Scheduled outages: every `every`, the link is down for `dur`.
+    pub fn with_down_schedule(mut self, every: SimDuration, dur: SimDuration) -> Self {
+        self.down_every = Some(every);
+        self.down_for = dur;
+        self
+    }
+
+    /// True when no fault class is enabled (the default wire).
+    pub fn is_lossless(&self) -> bool {
+        self.drop_every.is_none()
+            && self.drop_prob <= 0.0
+            && self.corrupt_prob <= 0.0
+            && self.reorder_prob <= 0.0
+            && self.jitter.is_zero()
+            && self.down_every.is_none()
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// The fate of one frame, decided at transmit time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver after the link's natural latency plus `extra_delay`.
+    Deliver {
+        /// Reorder/jitter delay beyond serialization + propagation.
+        extra_delay: SimDuration,
+    },
+    /// Lost outright (periodic, probabilistic or burst loss).
+    Drop,
+    /// Corrupted in flight: occupies the wire, fails FCS, never delivered.
+    Corrupt,
+    /// The link was in a scheduled down window; the frame is lost.
+    Down,
+}
+
+/// Per-link mutable cursor through a [`FaultPlan`]'s schedule.
+#[derive(Clone, Debug)]
+pub struct FaultState {
+    rng: XorShift64,
+    burst_remaining: u64,
+}
+
+impl FaultState {
+    /// Fresh cursor at the start of `plan`'s schedule.
+    pub fn new(plan: &FaultPlan) -> Self {
+        FaultState {
+            rng: XorShift64::new(plan.seed),
+            burst_remaining: 0,
+        }
+    }
+
+    /// Decide the fate of the `frame_index`-th frame (1-based, as counted
+    /// by the link) transmitted at `now`. Deterministic in
+    /// `(plan.seed, call sequence, now)`.
+    pub fn decide(&mut self, plan: &FaultPlan, now: SimTime, frame_index: u64) -> FaultDecision {
+        if let Some(period) = plan.down_every {
+            if !period.is_zero() && now.nanos() % period.nanos() < plan.down_for.nanos() {
+                return FaultDecision::Down;
+            }
+        }
+        if plan
+            .drop_every
+            .is_some_and(|n| frame_index.is_multiple_of(n))
+        {
+            return FaultDecision::Drop;
+        }
+        if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            return FaultDecision::Drop;
+        }
+        if self.rng.chance(plan.drop_prob) {
+            if plan.burst_len > 1 && self.rng.chance(plan.burst_prob) {
+                self.burst_remaining = plan.burst_len - 1;
+            }
+            return FaultDecision::Drop;
+        }
+        if self.rng.chance(plan.corrupt_prob) {
+            return FaultDecision::Corrupt;
+        }
+        let mut extra = self.rng.duration_upto(plan.jitter);
+        if self.rng.chance(plan.reorder_prob) {
+            extra += self.rng.duration_upto(plan.reorder_delay);
+        }
+        FaultDecision::Deliver { extra_delay: extra }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(plan: &FaultPlan, frames: u64) -> Vec<FaultDecision> {
+        let mut st = FaultState::new(plan);
+        (1..=frames)
+            .map(|i| st.decide(plan, SimTime::from_nanos(i * 1000), i))
+            .collect()
+    }
+
+    #[test]
+    fn lossless_plan_delivers_everything_without_delay() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_lossless());
+        for d in schedule(&plan, 100) {
+            assert_eq!(
+                d,
+                FaultDecision::Deliver {
+                    extra_delay: SimDuration::ZERO
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::seeded(42)
+            .with_drop_prob(0.3)
+            .with_corrupt_prob(0.1)
+            .with_reorder(0.2, SimDuration::from_micros(50));
+        assert_eq!(schedule(&plan, 500), schedule(&plan, 500));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = FaultPlan::seeded(1).with_drop_prob(0.5);
+        let b = FaultPlan::seeded(2).with_drop_prob(0.5);
+        assert_ne!(schedule(&a, 200), schedule(&b, 200));
+    }
+
+    #[test]
+    fn burst_loss_swallows_consecutive_frames() {
+        let plan = FaultPlan::seeded(7).with_drop_prob(0.05).with_burst(1.0, 4);
+        let sched = schedule(&plan, 2000);
+        // Every drop must belong to a run of exactly burst_len unless runs merge.
+        let mut i = 0;
+        let mut saw_burst = false;
+        while i < sched.len() {
+            if sched[i] == FaultDecision::Drop {
+                let mut run = 0;
+                while i < sched.len() && sched[i] == FaultDecision::Drop {
+                    run += 1;
+                    i += 1;
+                }
+                assert!(run >= 4, "drop run of {run} frames is shorter than a burst");
+                saw_burst = true;
+            } else {
+                i += 1;
+            }
+        }
+        assert!(saw_burst, "no bursts fired in 2000 frames at p=0.05");
+    }
+
+    #[test]
+    fn down_window_tracks_simulated_time() {
+        let plan = FaultPlan::seeded(3)
+            .with_down_schedule(SimDuration::from_micros(100), SimDuration::from_micros(10));
+        let mut st = FaultState::new(&plan);
+        // t = 5 µs: inside the first down window.
+        assert_eq!(
+            st.decide(&plan, SimTime::from_micros(5), 1),
+            FaultDecision::Down
+        );
+        // t = 50 µs: link is up.
+        assert!(matches!(
+            st.decide(&plan, SimTime::from_micros(50), 2),
+            FaultDecision::Deliver { .. }
+        ));
+        // t = 103 µs: second down window.
+        assert_eq!(
+            st.decide(&plan, SimTime::from_micros(103), 3),
+            FaultDecision::Down
+        );
+    }
+
+    #[test]
+    fn drop_every_remains_periodic() {
+        let plan = FaultPlan::drop_every(3);
+        let sched = schedule(&plan, 9);
+        let drops: Vec<usize> = sched
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| **d == FaultDecision::Drop)
+            .map(|(i, _)| i + 1)
+            .collect();
+        assert_eq!(drops, vec![3, 6, 9]);
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod process;
@@ -41,10 +42,11 @@ pub mod time;
 pub use emp_trace;
 pub use engine::{EventFn, Sim, SimAccess, SimAccessExt};
 pub use error::{SimError, SimResult};
+pub use fault::{FaultDecision, FaultPlan, FaultState, XorShift64};
 pub use frame::{EtherType, Frame, MacAddr, Payload, MTU};
 pub use link::{FrameSink, LinkConfig, LinkTx};
 pub use process::{ProcId, ProcessCtx};
-pub use stats::{Histogram, RunningStats, Throughput};
+pub use stats::{Histogram, LinkStats, RunningStats, Throughput};
 pub use switch::{Switch, SwitchConfig, BROADCAST};
 pub use sync::{wait_any, Completion, SimCondvar, SimQueue, SimSemaphore};
 pub use time::{SimDuration, SimTime};

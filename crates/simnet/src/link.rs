@@ -10,8 +10,9 @@ use std::sync::{Arc, Weak};
 use parking_lot::Mutex;
 
 use crate::engine::{SimAccess, SimAccessExt};
+use crate::fault::{FaultDecision, FaultPlan, FaultState};
 use crate::frame::Frame;
-use crate::stats::Throughput;
+use crate::stats::{LinkStats, Throughput};
 use crate::time::{SimDuration, SimTime};
 
 /// Anything that can receive Ethernet frames: a NIC's MAC, a switch port.
@@ -27,11 +28,11 @@ pub struct LinkConfig {
     pub bandwidth_bps: u64,
     /// One-way propagation delay (cable length + PHY latency).
     pub propagation: SimDuration,
-    /// Failure injection: drop every `n`-th frame (deterministic, so
-    /// lossy runs stay reproducible). `None` = lossless, the testbed
-    /// default (a machine-room Gigabit switch corrupts essentially
-    /// nothing; loss is injected only to exercise reliability paths).
-    pub drop_every: Option<u64>,
+    /// Failure injection plan (seeded, deterministic — lossy runs stay
+    /// reproducible). [`FaultPlan::none`] = lossless, the testbed default
+    /// (a machine-room Gigabit switch corrupts essentially nothing; faults
+    /// are injected only to exercise reliability paths).
+    pub faults: FaultPlan,
 }
 
 impl Default for LinkConfig {
@@ -40,7 +41,7 @@ impl Default for LinkConfig {
         LinkConfig {
             bandwidth_bps: 1_000_000_000,
             propagation: SimDuration::from_nanos(500),
-            drop_every: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -48,8 +49,11 @@ impl Default for LinkConfig {
 struct TxState {
     busy_until: SimTime,
     throughput: Throughput,
+    faults: FaultState,
     frames_sent: u64,
     frames_dropped: u64,
+    frames_corrupted: u64,
+    frames_delayed: u64,
     max_backlog: SimDuration,
 }
 
@@ -74,8 +78,11 @@ impl LinkTx {
             state: Arc::new(Mutex::new(TxState {
                 busy_until: SimTime::ZERO,
                 throughput: Throughput::new(),
+                faults: FaultState::new(&cfg.faults),
                 frames_sent: 0,
                 frames_dropped: 0,
+                frames_corrupted: 0,
+                frames_delayed: 0,
                 max_backlog: SimDuration::ZERO,
             })),
         }
@@ -89,7 +96,7 @@ impl LinkTx {
         };
         let now = s.now();
         let tx_time = SimDuration::for_bits_at_rate(frame.wire_bits(), self.cfg.bandwidth_bps);
-        let (start, deliver_at, dropped) = {
+        let (start, deliver_at, fate) = {
             let mut st = self.state.lock();
             let start = now.max(st.busy_until);
             let backlog = start.since(now);
@@ -98,25 +105,33 @@ impl LinkTx {
             st.frames_sent += 1;
             st.throughput
                 .record(s.now(), frame.payload.wire_len() as u64);
-            // Failure injection: the frame still occupies the wire (it is
-            // corrupted in flight, FCS fails at the receiver) but is
-            // never delivered.
-            let dropped = self
-                .cfg
-                .drop_every
-                .is_some_and(|n| st.frames_sent.is_multiple_of(n));
-            if dropped {
-                st.frames_dropped += 1;
+            // Failure injection. Dropped/corrupted frames still occupy the
+            // wire (corruption means the FCS fails at the receiver) but
+            // are never delivered; delayed frames may be overtaken.
+            let frames_sent = st.frames_sent;
+            let fate = st.faults.decide(&self.cfg.faults, start, frames_sent);
+            match fate {
+                FaultDecision::Drop | FaultDecision::Down => st.frames_dropped += 1,
+                FaultDecision::Corrupt => st.frames_corrupted += 1,
+                FaultDecision::Deliver { extra_delay } if !extra_delay.is_zero() => {
+                    st.frames_delayed += 1
+                }
+                FaultDecision::Deliver { .. } => {}
             }
-            (start, st.busy_until + self.cfg.propagation, dropped)
+            (start, st.busy_until + self.cfg.propagation, fate)
+        };
+        let extra_delay = match fate {
+            FaultDecision::Deliver { extra_delay } => Some(extra_delay),
+            _ => None,
         };
         if emp_trace::ENABLED {
             // Stamped at serialization start, which may be in the future
             // when the frame queues behind earlier traffic.
-            let kind = if dropped {
-                emp_trace::EventKind::FrameDrop
-            } else {
-                emp_trace::EventKind::WireTx
+            let kind = match fate {
+                FaultDecision::Drop => emp_trace::EventKind::FrameDrop,
+                FaultDecision::Corrupt => emp_trace::EventKind::FrameCorrupt,
+                FaultDecision::Down => emp_trace::EventKind::LinkDown,
+                FaultDecision::Deliver { .. } => emp_trace::EventKind::WireTx,
             };
             s.tracer().emit(
                 start.nanos(),
@@ -126,9 +141,19 @@ impl LinkTx {
                 frame.payload.wire_len() as u64,
                 u64::from(frame.dst.0),
             );
+            if let Some(extra) = extra_delay.filter(|d| !d.is_zero()) {
+                s.tracer().emit(
+                    start.nanos(),
+                    frame.src.0,
+                    emp_trace::NO_CONN,
+                    emp_trace::EventKind::FrameReorder,
+                    frame.payload.wire_len() as u64,
+                    extra.nanos(),
+                );
+            }
         }
-        if !dropped {
-            s.schedule_at(deliver_at, move |sim| {
+        if let Some(extra) = extra_delay {
+            s.schedule_at(deliver_at + extra, move |sim| {
                 if emp_trace::ENABLED {
                     sim.tracer().emit(
                         sim.now().nanos(),
@@ -154,9 +179,35 @@ impl LinkTx {
         self.state.lock().frames_sent
     }
 
-    /// Frames corrupted by the injected loss model.
+    /// Frames lost outright to the injected fault model (periodic,
+    /// probabilistic or burst loss, and scheduled down windows).
     pub fn frames_dropped(&self) -> u64 {
         self.state.lock().frames_dropped
+    }
+
+    /// Frames corrupted in flight: they occupied the wire but failed the
+    /// receiver's FCS check and were never delivered.
+    pub fn frames_corrupted(&self) -> u64 {
+        self.state.lock().frames_corrupted
+    }
+
+    /// Frames held back by injected reorder/jitter delay.
+    pub fn frames_delayed(&self) -> u64 {
+        self.state.lock().frames_delayed
+    }
+
+    /// Snapshot of all per-link counters.
+    pub fn stats(&self) -> LinkStats {
+        let st = self.state.lock();
+        LinkStats {
+            frames_sent: st.frames_sent,
+            frames_dropped: st.frames_dropped,
+            frames_corrupted: st.frames_corrupted,
+            frames_delayed: st.frames_delayed,
+            max_backlog: st.max_backlog,
+            payload_bytes: st.throughput.bytes(),
+            payload_mbps: st.throughput.mbps(),
+        }
     }
 
     /// Longest time a frame waited behind earlier traffic.
@@ -208,7 +259,7 @@ mod tests {
             LinkConfig {
                 bandwidth_bps: 1_000_000_000,
                 propagation: SimDuration::from_nanos(100),
-                drop_every: None,
+                faults: FaultPlan::none(),
             },
             &sink,
         );
@@ -230,7 +281,7 @@ mod tests {
             LinkConfig {
                 bandwidth_bps: 1_000_000_000,
                 propagation: SimDuration::ZERO,
-                drop_every: None,
+                faults: FaultPlan::none(),
             },
             &sink,
         );
@@ -258,7 +309,7 @@ mod tests {
             LinkConfig {
                 bandwidth_bps: 1_000_000_000,
                 propagation: SimDuration::ZERO,
-                drop_every: None,
+                faults: FaultPlan::none(),
             },
             &sink,
         );
@@ -282,7 +333,7 @@ mod tests {
             LinkConfig {
                 bandwidth_bps: 1_000_000_000,
                 propagation: SimDuration::ZERO,
-                drop_every: Some(3),
+                faults: FaultPlan::drop_every(3),
             },
             &sink,
         );
@@ -296,6 +347,102 @@ mod tests {
         assert_eq!(rec.arrivals.lock().len(), 6, "frames 3, 6, 9 dropped");
         assert_eq!(tx.frames_dropped(), 3);
         assert_eq!(tx.frames_sent(), 9);
+    }
+
+    fn blast(plan: FaultPlan, n: usize) -> (Arc<Recorder>, LinkTx) {
+        let sim = Sim::new();
+        let rec = Arc::new(Recorder {
+            arrivals: Mutex::new(Vec::new()),
+        });
+        let sink: Arc<dyn FrameSink> = rec.clone();
+        let tx = LinkTx::new(
+            LinkConfig {
+                bandwidth_bps: 1_000_000_000,
+                propagation: SimDuration::ZERO,
+                faults: plan,
+            },
+            &sink,
+        );
+        let tx2 = tx.clone();
+        sim.schedule_at(SimTime::ZERO, move |s| {
+            for _ in 0..n {
+                tx2.send(s, frame(4));
+            }
+        });
+        sim.run();
+        (rec, tx)
+    }
+
+    #[test]
+    fn probabilistic_loss_is_seeded_and_reproducible() {
+        let plan = FaultPlan::seeded(99).with_drop_prob(0.3);
+        let (rec_a, tx_a) = blast(plan, 200);
+        let (rec_b, tx_b) = blast(plan, 200);
+        assert_eq!(*rec_a.arrivals.lock(), *rec_b.arrivals.lock());
+        assert_eq!(tx_a.frames_dropped(), tx_b.frames_dropped());
+        let dropped = tx_a.frames_dropped();
+        assert!(
+            (30..90).contains(&dropped),
+            "p=0.3 over 200 frames dropped {dropped}"
+        );
+        assert_eq!(
+            rec_a.arrivals.lock().len() as u64 + dropped,
+            tx_a.frames_sent()
+        );
+    }
+
+    #[test]
+    fn corruption_is_counted_separately_from_drops() {
+        let plan = FaultPlan::seeded(5).with_corrupt_prob(0.25);
+        let (rec, tx) = blast(plan, 200);
+        let stats = tx.stats();
+        assert_eq!(stats.frames_dropped, 0);
+        assert!(
+            (20..80).contains(&stats.frames_corrupted),
+            "p=0.25 over 200 frames corrupted {}",
+            stats.frames_corrupted
+        );
+        assert_eq!(tx.frames_corrupted(), stats.frames_corrupted);
+        assert_eq!(
+            rec.arrivals.lock().len() as u64 + stats.frames_corrupted,
+            stats.frames_sent
+        );
+    }
+
+    #[test]
+    fn reorder_injection_lets_later_frames_overtake() {
+        let plan = FaultPlan::seeded(11).with_reorder(0.5, SimDuration::from_micros(100));
+        let (rec, tx) = blast(plan, 50);
+        let arrivals = rec.arrivals.lock();
+        assert_eq!(arrivals.len(), 50, "reordering must not lose frames");
+        assert!(tx.frames_delayed() > 0, "no reorder delays fired");
+        // The recorder logs in delivery order; a delayed frame makes the
+        // timestamp sequence non-monotonic relative to send order only if
+        // something actually overtook. With per-frame extra delay the
+        // arrival times are no longer the uniform back-to-back spacing.
+        let times: Vec<u64> = arrivals.iter().map(|(t, _)| *t).collect();
+        let spacing: Vec<u64> = times
+            .windows(2)
+            .map(|w| w[1].saturating_sub(w[0]))
+            .collect();
+        assert!(
+            spacing.iter().any(|&gap| gap != spacing[0]),
+            "delays did not perturb delivery schedule"
+        );
+    }
+
+    #[test]
+    fn down_window_drops_frames_while_link_is_down() {
+        // Down for the first 10 µs of every 100 µs; blasting at t=0 the
+        // first frames fall inside the outage.
+        let plan = FaultPlan::seeded(1)
+            .with_down_schedule(SimDuration::from_micros(100), SimDuration::from_micros(10));
+        let (rec, tx) = blast(plan, 100);
+        assert!(tx.frames_dropped() > 0, "no frames lost to the outage");
+        assert_eq!(
+            rec.arrivals.lock().len() as u64 + tx.frames_dropped(),
+            tx.frames_sent()
+        );
     }
 
     #[test]

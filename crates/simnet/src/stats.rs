@@ -97,6 +97,41 @@ impl Throughput {
     }
 }
 
+/// Snapshot of one [`crate::LinkTx`]'s counters, with injected-fault
+/// outcomes broken out per class: `frames_dropped` counts frames lost
+/// outright (periodic/probabilistic/burst loss and down windows), while
+/// `frames_corrupted` counts frames that occupied the wire but failed the
+/// receiver's FCS check — the two used to be conflated in one counter.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkStats {
+    /// Total frames handed to the transmitter.
+    pub frames_sent: u64,
+    /// Frames lost outright to the injected fault model.
+    pub frames_dropped: u64,
+    /// Frames corrupted in flight (never delivered, FCS failure).
+    pub frames_corrupted: u64,
+    /// Frames held back by injected reorder/jitter delay.
+    pub frames_delayed: u64,
+    /// Longest time a frame waited behind earlier traffic.
+    pub max_backlog: SimDuration,
+    /// Total payload bytes recorded by the throughput meter.
+    pub payload_bytes: u64,
+    /// Payload throughput observed so far (Mbps), if any traffic flowed.
+    pub payload_mbps: Option<f64>,
+}
+
+impl LinkStats {
+    /// Frames the fault model prevented from being delivered.
+    pub fn frames_lost(&self) -> u64 {
+        self.frames_dropped + self.frames_corrupted
+    }
+
+    /// Frames that actually reached the peer sink.
+    pub fn frames_delivered(&self) -> u64 {
+        self.frames_sent - self.frames_lost()
+    }
+}
+
 /// Fixed-boundary histogram of `u64` samples (e.g. latencies in ns).
 #[derive(Clone, Debug)]
 pub struct Histogram {

@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use crate::engine::{SimAccess, SimAccessExt};
 use crate::frame::{Frame, MacAddr};
 use crate::link::{FrameSink, LinkConfig, LinkTx};
+use crate::stats::LinkStats;
 use crate::time::SimDuration;
 
 /// Destination address that floods to every port.
@@ -114,6 +115,19 @@ impl Switch {
     pub fn frames_flooded(&self) -> u64 {
         self.inner.state.lock().flooded
     }
+
+    /// Per-port egress-link counters, in attach order. Surfaces the
+    /// injected-fault outcomes (drops vs corruption vs reorder delays) of
+    /// every switch-to-station link.
+    pub fn port_stats(&self) -> Vec<LinkStats> {
+        self.inner
+            .state
+            .lock()
+            .ports
+            .iter()
+            .map(|p| p.tx.stats())
+            .collect()
+    }
 }
 
 struct PortIngress {
@@ -203,7 +217,7 @@ mod tests {
             link: LinkConfig {
                 bandwidth_bps: 1_000_000_000,
                 propagation: SimDuration::from_nanos(100),
-                drop_every: None,
+                faults: crate::fault::FaultPlan::none(),
             },
         });
         let mut stations = Vec::new();

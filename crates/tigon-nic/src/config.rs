@@ -8,6 +8,69 @@
 
 use simnet::SimDuration;
 
+/// Injectable NIC faults, seeded and deterministic like the wire-level
+/// [`simnet::FaultPlan`]. All classes default to off. The two fault
+/// classes model real Tigon failure modes the paper's lossless testbed
+/// never hit: the receive-descriptor ring running dry (an arriving frame
+/// has nowhere to land and is dropped before classification, recovered by
+/// the sender's retransmission) and a DMA completion stalling behind PCI
+/// bus contention.
+#[derive(Clone, Copy, Debug)]
+pub struct NicFaultPlan {
+    /// Seed for every random decision this plan makes on a NIC.
+    pub seed: u64,
+    /// Probability an arriving data frame finds the receive-descriptor
+    /// ring exhausted and is dropped before the firmware sees it.
+    pub rx_ring_drop_prob: f64,
+    /// Probability a DMA completion is delayed by [`NicFaultPlan::dma_delay`].
+    pub dma_delay_prob: f64,
+    /// Extra latency added to a delayed DMA completion.
+    pub dma_delay: SimDuration,
+}
+
+impl NicFaultPlan {
+    /// A healthy NIC: no injected faults.
+    pub const fn none() -> Self {
+        NicFaultPlan {
+            seed: 1,
+            rx_ring_drop_prob: 0.0,
+            dma_delay_prob: 0.0,
+            dma_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// An otherwise-healthy plan carrying `seed` for the builders.
+    pub const fn seeded(seed: u64) -> Self {
+        let mut p = NicFaultPlan::none();
+        p.seed = seed;
+        p
+    }
+
+    /// Receive-descriptor-ring exhaustion probability.
+    pub fn with_rx_ring_drop_prob(mut self, prob: f64) -> Self {
+        self.rx_ring_drop_prob = prob;
+        self
+    }
+
+    /// Delayed-DMA-completion injection.
+    pub fn with_dma_delay(mut self, prob: f64, delay: SimDuration) -> Self {
+        self.dma_delay_prob = prob;
+        self.dma_delay = delay;
+        self
+    }
+
+    /// True when no fault class is enabled.
+    pub fn is_healthy(&self) -> bool {
+        self.rx_ring_drop_prob <= 0.0 && self.dma_delay_prob <= 0.0
+    }
+}
+
+impl Default for NicFaultPlan {
+    fn default() -> Self {
+        NicFaultPlan::none()
+    }
+}
+
 /// Cost constants of the Tigon2-style NIC.
 #[derive(Clone, Debug)]
 pub struct NicConfig {
@@ -42,6 +105,8 @@ pub struct NicConfig {
     /// IPDPS'02): with one CPU the tx and rx paths contend and the
     /// bandwidth ceiling drops.
     pub single_cpu: bool,
+    /// Injectable hardware faults (default: none).
+    pub faults: NicFaultPlan,
 }
 
 impl Default for NicConfig {
@@ -57,6 +122,7 @@ impl Default for NicConfig {
             ack_cost: SimDuration::from_micros_f64(1.5),
             completion_post: SimDuration::from_micros(2),
             single_cpu: false,
+            faults: NicFaultPlan::none(),
         }
     }
 }

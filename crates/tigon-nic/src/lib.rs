@@ -21,6 +21,6 @@ pub mod config;
 pub mod cpu;
 pub mod nic;
 
-pub use config::NicConfig;
+pub use config::{NicConfig, NicFaultPlan};
 pub use cpu::FirmwareCpu;
 pub use nic::Tigon;

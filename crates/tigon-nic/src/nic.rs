@@ -9,10 +9,18 @@
 //! itself to `Switch::attach`).
 
 use parking_lot::Mutex;
-use simnet::{Frame, LinkTx, MacAddr, SimAccess};
+use simnet::{Frame, LinkTx, MacAddr, SimAccess, SimDuration, XorShift64};
 
 use crate::config::NicConfig;
 use crate::cpu::FirmwareCpu;
+
+/// Mutable cursor through the NIC's injected-fault schedule, plus the
+/// counters observability surfaces.
+struct NicFaultState {
+    rng: XorShift64,
+    rx_ring_drops: u64,
+    dma_delays: u64,
+}
 
 /// One Tigon2-style NIC.
 pub struct Tigon {
@@ -23,6 +31,7 @@ pub struct Tigon {
     /// Receive-path firmware CPU.
     pub cpu_rx: FirmwareCpu,
     link: Mutex<Option<LinkTx>>,
+    faults: Mutex<NicFaultState>,
 }
 
 impl Tigon {
@@ -36,12 +45,18 @@ impl Tigon {
         } else {
             FirmwareCpu::new("rx").with_node(mac.0)
         };
+        let fault_seed = cfg.faults.seed ^ u64::from(mac.0);
         Tigon {
             mac,
             cfg,
             cpu_tx,
             cpu_rx,
             link: Mutex::new(None),
+            faults: Mutex::new(NicFaultState {
+                rng: XorShift64::new(fault_seed),
+                rx_ring_drops: 0,
+                dma_delays: 0,
+            }),
         }
     }
 
@@ -73,6 +88,46 @@ impl Tigon {
     /// Frames handed to the MAC so far.
     pub fn frames_sent(&self) -> u64 {
         self.link.lock().as_ref().map_or(0, |l| l.frames_sent())
+    }
+
+    /// Injected-fault draw for one arriving data frame: true when the
+    /// receive-descriptor ring is (simulated as) exhausted — the frame
+    /// must be dropped before classification, for the sender's
+    /// retransmission to recover. Deterministic in the NIC's fault seed.
+    pub fn inject_rx_ring_exhausted(&self) -> bool {
+        let plan = &self.cfg.faults;
+        if plan.rx_ring_drop_prob <= 0.0 {
+            return false;
+        }
+        let mut st = self.faults.lock();
+        if st.rng.chance(plan.rx_ring_drop_prob) {
+            st.rx_ring_drops += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Injected-fault draw for one DMA completion: the extra latency (zero
+    /// when the fault does not fire) to add to the transfer.
+    pub fn inject_dma_delay(&self) -> SimDuration {
+        let plan = &self.cfg.faults;
+        if plan.dma_delay_prob <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let mut st = self.faults.lock();
+        if st.rng.chance(plan.dma_delay_prob) {
+            st.dma_delays += 1;
+            plan.dma_delay
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Injected-fault counters: `(rx_ring_drops, dma_delays)`.
+    pub fn fault_counts(&self) -> (u64, u64) {
+        let st = self.faults.lock();
+        (st.rx_ring_drops, st.dma_delays)
     }
 }
 

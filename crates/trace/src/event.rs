@@ -81,10 +81,23 @@ pub enum EventKind {
     RecvDeliver,
     /// A socket-level read returned data to the application. `a` = bytes.
     SockReadEnd,
+    // --- Fault injection (simnet/tigon-nic/emp-proto) ---
+    /// A frame was corrupted on the wire (occupied the link, failed FCS,
+    /// never delivered). `a` = payload bytes.
+    FrameCorrupt,
+    /// A frame was delayed by reorder/jitter injection past its natural
+    /// delivery time. `a` = payload bytes, `b` = extra delay ns.
+    FrameReorder,
+    /// A frame arrived while the link was in a scheduled down window. `a` = bytes.
+    LinkDown,
+    /// An injected NIC fault fired (rx-ring exhaustion or delayed DMA
+    /// completion). `a` = 0 for rx-ring drop, 1 for DMA delay; `b` = bytes
+    /// or delay ns respectively.
+    NicFault,
 }
 
 /// Number of distinct [`EventKind`]s (for per-kind counter arrays).
-pub(crate) const KIND_COUNT: usize = EventKind::SockReadEnd as usize + 1;
+pub(crate) const KIND_COUNT: usize = EventKind::NicFault as usize + 1;
 
 impl EventKind {
     /// Stable `layer/event` name used in metrics and trace exports.
@@ -118,6 +131,10 @@ impl EventKind {
             EventKind::NicRxStart => "path/nic_rx_start",
             EventKind::RecvDeliver => "path/recv_deliver",
             EventKind::SockReadEnd => "path/sock_read_end",
+            EventKind::FrameCorrupt => "wire/frame_corrupt",
+            EventKind::FrameReorder => "wire/frame_reorder",
+            EventKind::LinkDown => "wire/link_down",
+            EventKind::NicFault => "nic/fault",
         }
     }
 
@@ -164,6 +181,10 @@ pub(crate) const ALL_KINDS: [EventKind; KIND_COUNT] = [
     EventKind::NicRxStart,
     EventKind::RecvDeliver,
     EventKind::SockReadEnd,
+    EventKind::FrameCorrupt,
+    EventKind::FrameReorder,
+    EventKind::LinkDown,
+    EventKind::NicFault,
 ];
 
 /// One recorded event. Fixed-size and `Copy`: recording is a ring-buffer

@@ -204,11 +204,13 @@ proptest! {
     #[test]
     fn substrate_message_encoding_roundtrips(
         piggyback in any::<u16>(),
+        seq in any::<u32>(),
         payload in prop::collection::vec(any::<u8>(), 0..2048)
     ) {
         use sockets_over_emp::sockets_emp::proto::Msg;
         let m = Msg::Data {
             piggyback,
+            seq,
             payload: bytes::Bytes::from(payload),
         };
         let enc = m.encode();
