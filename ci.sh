@@ -35,6 +35,13 @@ step "cargo test (lossy suite)"
 cargo test -q -p sockets-emp --test lossy
 cargo test -q -p sockets-emp --test lossy --features sockets-emp/trace
 
+step "event-loop webserver smoke"
+# Readiness stage: one single-process poll()-driven server, 32 concurrent
+# clients, byte-exact responses asserted inside every client — on both
+# stacks, in both build modes.
+cargo test -q -p emp-apps --test event_loop
+cargo test -q -p emp-apps --test event_loop --features emp-apps/trace
+
 step "traced ping-pong smoke"
 # Must print a latency budget and a non-empty Chrome trace.
 out=$(cargo run -q --release -p emp-bench --bin figures --features trace -- --trace)

@@ -4,11 +4,11 @@ use std::any::Any;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use kernel_tcp::{TcpApi, TcpConn, TcpError, TcpListener};
-use simnet::{MacAddr, ProcessCtx, SimResult};
-use sockets_emp::{Connection, EmpSockets, Listener, SockAddr as EmpAddr, SockError};
+use kernel_tcp::{TcpApi, TcpConn, TcpError, TcpListener, TcpPollSource, TcpPollTarget};
+use simnet::{Event, MacAddr, ProcessCtx, SimDuration, SimResult};
+use sockets_emp::{Connection, EmpSockets, Listener, PollSet, SockAddr as EmpAddr, SockError};
 
-use crate::api::{Conn, NetApi, NetConn, NetError, NetListener};
+use crate::api::{Conn, NetApi, NetConn, NetError, NetListener, PollSource, PollTarget};
 
 // ---------------------------------------------------------------------
 // Sockets-over-EMP adapter
@@ -44,8 +44,26 @@ fn from_sock_err(e: SockError) -> NetError {
         SockError::Closed => NetError::Closed,
         SockError::PeerClosed => NetError::PeerClosed,
         SockError::MessageTooBig { .. } => NetError::TooBig,
+        SockError::WouldBlock => NetError::WouldBlock,
+        SockError::Invalid => NetError::Invalid,
         other => NetError::Other(other.to_string()),
     }
+}
+
+/// Downcast a facade connection to the substrate's.
+fn emp_conn(c: &Conn) -> &Connection {
+    &c.as_any()
+        .downcast_ref::<EmpConnAdapter>()
+        .expect("EMP api polls EMP connections")
+        .0
+}
+
+/// Downcast a facade listener to the substrate's.
+fn emp_listener(l: &dyn NetListener) -> &Listener {
+    &l.as_any()
+        .downcast_ref::<EmpListenerAdapter>()
+        .expect("EMP api polls EMP listeners")
+        .0
 }
 
 impl NetConn for EmpConnAdapter {
@@ -57,12 +75,24 @@ impl NetConn for EmpConnAdapter {
         Ok(self.0.read(ctx, max)?.map_err(from_sock_err))
     }
 
+    fn try_write(&self, ctx: &ProcessCtx, data: &[u8]) -> SimResult<Result<usize, NetError>> {
+        Ok(self.0.try_write(ctx, data)?.map_err(from_sock_err))
+    }
+
+    fn try_read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, NetError>> {
+        Ok(self.0.try_read(ctx, max)?.map_err(from_sock_err))
+    }
+
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
         self.0.close(ctx)
     }
 
     fn readable(&self) -> bool {
         self.0.readable()
+    }
+
+    fn writable(&self) -> bool {
+        self.0.writable()
     }
 
     fn peer_host(&self) -> MacAddr {
@@ -83,8 +113,20 @@ impl NetListener for EmpListenerAdapter {
             .map_err(from_sock_err))
     }
 
+    fn try_accept(&self, ctx: &ProcessCtx) -> SimResult<Result<Conn, NetError>> {
+        Ok(self
+            .0
+            .try_accept(ctx)?
+            .map(|c| Box::new(EmpConnAdapter(c)) as Conn)
+            .map_err(from_sock_err))
+    }
+
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
         self.0.close(ctx)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 }
 
@@ -115,17 +157,34 @@ impl NetApi for EmpNet {
             .map_err(from_sock_err))
     }
 
-    fn select_readable(&self, ctx: &ProcessCtx, conns: &[&Conn]) -> SimResult<usize> {
-        let inner: Vec<&Connection> = conns
-            .iter()
-            .map(|c| {
-                &c.as_any()
-                    .downcast_ref::<EmpConnAdapter>()
-                    .expect("EMP api selects EMP connections")
-                    .0
-            })
-            .collect();
-        self.sockets.select_readable(ctx, &inner)
+    fn poll(
+        &self,
+        ctx: &ProcessCtx,
+        sources: &[PollSource<'_>],
+        timeout: Option<SimDuration>,
+    ) -> SimResult<Result<Vec<Event>, NetError>> {
+        let mut set = PollSet::new();
+        for src in sources {
+            match &src.target {
+                PollTarget::Conn(c) => set.register_conn(emp_conn(c), src.token, src.interest),
+                PollTarget::Listener(l) => {
+                    set.register_listener(emp_listener(*l), src.token, src.interest);
+                }
+            }
+        }
+        Ok(set.poll(ctx, timeout)?.map_err(from_sock_err))
+    }
+
+    fn select_readable(
+        &self,
+        ctx: &ProcessCtx,
+        conns: &[&Conn],
+    ) -> SimResult<Result<usize, NetError>> {
+        let inner: Vec<&Connection> = conns.iter().map(|c| emp_conn(c)).collect();
+        Ok(self
+            .sockets
+            .select_readable(ctx, &inner)?
+            .map_err(from_sock_err))
     }
 
     fn local_host(&self) -> MacAddr {
@@ -171,7 +230,25 @@ fn from_tcp_err(e: TcpError) -> NetError {
         TcpError::ConnectionReset => NetError::PeerClosed,
         TcpError::Closed => NetError::Closed,
         TcpError::AddrInUse => NetError::Other("address in use".into()),
+        TcpError::WouldBlock => NetError::WouldBlock,
+        TcpError::Invalid => NetError::Invalid,
     }
+}
+
+/// Downcast a facade connection to the kernel stack's.
+fn tcp_conn(c: &Conn) -> &TcpConn {
+    &c.as_any()
+        .downcast_ref::<TcpConnAdapter>()
+        .expect("kernel api polls kernel connections")
+        .0
+}
+
+/// Downcast a facade listener to the kernel stack's.
+fn tcp_listener(l: &dyn NetListener) -> &TcpListener {
+    &l.as_any()
+        .downcast_ref::<TcpListenerAdapter>()
+        .expect("kernel api polls kernel listeners")
+        .0
 }
 
 impl NetConn for TcpConnAdapter {
@@ -183,12 +260,24 @@ impl NetConn for TcpConnAdapter {
         Ok(self.0.read(ctx, max)?.map_err(from_tcp_err))
     }
 
+    fn try_write(&self, ctx: &ProcessCtx, data: &[u8]) -> SimResult<Result<usize, NetError>> {
+        Ok(self.0.try_write(ctx, data)?.map_err(from_tcp_err))
+    }
+
+    fn try_read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, NetError>> {
+        Ok(self.0.try_read(ctx, max)?.map_err(from_tcp_err))
+    }
+
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
         self.0.close(ctx)
     }
 
     fn readable(&self) -> bool {
         self.0.readable()
+    }
+
+    fn writable(&self) -> bool {
+        self.0.writable()
     }
 
     fn peer_host(&self) -> MacAddr {
@@ -206,9 +295,21 @@ impl NetListener for TcpListenerAdapter {
         Ok(Ok(Box::new(TcpConnAdapter(conn)) as Conn))
     }
 
+    fn try_accept(&self, ctx: &ProcessCtx) -> SimResult<Result<Conn, NetError>> {
+        Ok(self
+            .0
+            .try_accept(ctx)?
+            .map(|c| Box::new(TcpConnAdapter(c)) as Conn)
+            .map_err(from_tcp_err))
+    }
+
     fn close(&self, _ctx: &ProcessCtx) -> SimResult<()> {
         self.0.unlisten();
         Ok(())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 }
 
@@ -239,17 +340,33 @@ impl NetApi for KernelNet {
             .map_err(from_tcp_err))
     }
 
-    fn select_readable(&self, ctx: &ProcessCtx, conns: &[&Conn]) -> SimResult<usize> {
-        let inner: Vec<&TcpConn> = conns
+    fn poll(
+        &self,
+        ctx: &ProcessCtx,
+        sources: &[PollSource<'_>],
+        timeout: Option<SimDuration>,
+    ) -> SimResult<Result<Vec<Event>, NetError>> {
+        let inner: Vec<TcpPollSource<'_>> = sources
             .iter()
-            .map(|c| {
-                &c.as_any()
-                    .downcast_ref::<TcpConnAdapter>()
-                    .expect("kernel api selects kernel connections")
-                    .0
+            .map(|src| TcpPollSource {
+                target: match &src.target {
+                    PollTarget::Conn(c) => TcpPollTarget::Conn(tcp_conn(c)),
+                    PollTarget::Listener(l) => TcpPollTarget::Listener(tcp_listener(*l)),
+                },
+                token: src.token,
+                interest: src.interest,
             })
             .collect();
-        self.api.select_readable(ctx, &inner)
+        Ok(self.api.poll(ctx, &inner, timeout)?.map_err(from_tcp_err))
+    }
+
+    fn select_readable(
+        &self,
+        ctx: &ProcessCtx,
+        conns: &[&Conn],
+    ) -> SimResult<Result<usize, NetError>> {
+        let inner: Vec<&TcpConn> = conns.iter().map(|c| tcp_conn(c)).collect();
+        Ok(self.api.select_readable(ctx, &inner)?.map_err(from_tcp_err))
     }
 
     fn local_host(&self) -> MacAddr {

@@ -9,7 +9,9 @@ use std::any::Any;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use simnet::{MacAddr, ProcessCtx, SimResult};
+use simnet::{MacAddr, ProcessCtx, SimDuration, SimResult};
+
+pub use simnet::{Event, Interest};
 
 /// Unified socket errors across stacks.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,6 +24,11 @@ pub enum NetError {
     PeerClosed,
     /// Message exceeds what the receiver accepts (datagram substrates).
     TooBig,
+    /// A nonblocking operation found nothing to do (EAGAIN); retry after
+    /// [`NetApi::poll`] reports readiness.
+    WouldBlock,
+    /// Invalid argument (EINVAL): e.g. a poll that could never wake.
+    Invalid,
     /// Anything else.
     Other(String),
 }
@@ -33,6 +40,8 @@ impl std::fmt::Display for NetError {
             NetError::Closed => write!(f, "socket closed"),
             NetError::PeerClosed => write!(f, "peer closed"),
             NetError::TooBig => write!(f, "message too big"),
+            NetError::WouldBlock => write!(f, "operation would block"),
+            NetError::Invalid => write!(f, "invalid argument"),
             NetError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -46,13 +55,21 @@ pub trait NetConn: Send + Sync + 'static {
     fn write(&self, ctx: &ProcessCtx, data: &[u8]) -> SimResult<Result<usize, NetError>>;
     /// Read up to `max` bytes; empty = EOF.
     fn read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, NetError>>;
+    /// Nonblocking write: accept what fits right now (a partial count);
+    /// [`NetError::WouldBlock`] when no byte could be taken.
+    fn try_write(&self, ctx: &ProcessCtx, data: &[u8]) -> SimResult<Result<usize, NetError>>;
+    /// Nonblocking read: serve what is already there; empty = EOF;
+    /// [`NetError::WouldBlock`] when a blocking read would park.
+    fn try_read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, NetError>>;
     /// Orderly close.
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()>;
     /// Would `read` return without blocking?
     fn readable(&self) -> bool;
+    /// Would `write` make progress without blocking?
+    fn writable(&self) -> bool;
     /// The remote station.
     fn peer_host(&self) -> MacAddr;
-    /// Downcast support for stack-specific `select()`.
+    /// Downcast support for stack-specific `select()`/`poll()`.
     fn as_any(&self) -> &dyn Any;
 
     /// Read exactly `n` bytes; `None` on premature EOF.
@@ -79,8 +96,31 @@ pub type Conn = Box<dyn NetConn>;
 pub trait NetListener: Send + Sync + 'static {
     /// Block for the next connection.
     fn accept(&self, ctx: &ProcessCtx) -> SimResult<Result<Conn, NetError>>;
+    /// Nonblocking accept: [`NetError::WouldBlock`] on an empty backlog.
+    fn try_accept(&self, ctx: &ProcessCtx) -> SimResult<Result<Conn, NetError>>;
     /// Stop listening.
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()>;
+    /// Downcast support for stack-specific `poll()`.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// What one [`PollSource`] watches: a connection or a listener.
+pub enum PollTarget<'a> {
+    /// An established connection (readable/writable interests).
+    Conn(&'a Conn),
+    /// A listening socket (acceptable interest).
+    Listener(&'a dyn NetListener),
+}
+
+/// One registration of a [`NetApi::poll`] call: target, caller-chosen
+/// token, and the interests to watch.
+pub struct PollSource<'a> {
+    /// The socket to watch.
+    pub target: PollTarget<'a>,
+    /// Token reported back in the matching [`Event`].
+    pub token: usize,
+    /// Interests to watch ([`Interest::ERROR`] is always reported).
+    pub interest: Interest,
 }
 
 /// One node's sockets interface.
@@ -99,8 +139,22 @@ pub trait NetApi: Send + Sync + 'static {
         port: u16,
         backlog: usize,
     ) -> SimResult<Result<Box<dyn NetListener>, NetError>>;
-    /// Block until one of `conns` is readable; returns its index.
-    fn select_readable(&self, ctx: &ProcessCtx, conns: &[&Conn]) -> SimResult<usize>;
+    /// Block until at least one source is ready (or the timeout expires —
+    /// then the empty vector), returning every ready one. The heart of an
+    /// event-loop server: connections and listeners in one wait.
+    fn poll(
+        &self,
+        ctx: &ProcessCtx,
+        sources: &[PollSource<'_>],
+        timeout: Option<SimDuration>,
+    ) -> SimResult<Result<Vec<Event>, NetError>>;
+    /// Block until one of `conns` is readable; returns its index. An
+    /// empty set is [`NetError::Invalid`].
+    fn select_readable(
+        &self,
+        ctx: &ProcessCtx,
+        conns: &[&Conn],
+    ) -> SimResult<Result<usize, NetError>>;
     /// This node's station address.
     fn local_host(&self) -> MacAddr;
     /// Short label for reports ("emp-ds", "tcp-16k", ...).

@@ -1,0 +1,144 @@
+//! A single-process event-loop server skeleton over [`NetApi::poll`].
+//!
+//! The readiness-first shape of the paper's substrate (one descriptor
+//! table, one poll wait) makes the classic single-process server — one
+//! `poll()` over the listener and every live connection, nonblocking
+//! reads and writes in between — expressible without threads or helper
+//! processes. This module is that skeleton: applications supply only the
+//! request framing (bytes in → bytes out) and get accept, flow-controlled
+//! writes, EOF, and error teardown for free.
+
+use simnet::{ProcessCtx, SimResult};
+
+use crate::api::{Conn, Interest, NetApi, NetError, NetListener, PollSource, PollTarget};
+
+/// Per-connection state of the event loop.
+struct ConnState {
+    conn: Conn,
+    /// Bytes received but not yet consumed by the service.
+    inbuf: Vec<u8>,
+    /// Bytes produced by the service but not yet accepted by the stack.
+    out: Vec<u8>,
+    /// How much of `out` the stack has taken.
+    sent: usize,
+}
+
+/// Accept `n_conns` connections from `l` and serve them all from the
+/// calling process: one [`NetApi::poll`] wait over the listener and every
+/// live connection, nonblocking calls everywhere else. Each accepted
+/// connection is greeted with `greeting` (empty for none); thereafter
+/// `service(inbuf, out)` runs whenever bytes arrive — it consumes any
+/// complete requests from `inbuf` and appends the responses to `out`,
+/// leaving partial requests in place. Returns when every connection has
+/// reached EOF (or errored) and been torn down.
+///
+/// While a response is pending the loop polls the connection for
+/// [`Interest::WRITABLE`] only (the stack's flow control — credits on the
+/// substrate, the send buffer on TCP — decides when more is accepted);
+/// otherwise it polls for [`Interest::READABLE`].
+pub fn serve_event_loop(
+    ctx: &ProcessCtx,
+    api: &dyn NetApi,
+    l: &dyn NetListener,
+    n_conns: u32,
+    greeting: &[u8],
+    mut service: impl FnMut(&mut Vec<u8>, &mut Vec<u8>),
+) -> SimResult<()> {
+    const LISTENER: usize = usize::MAX;
+    const READ_CHUNK: usize = 4096;
+
+    let mut conns: Vec<Option<ConnState>> = Vec::new();
+    let mut accepted = 0u32;
+    let mut open = 0u32;
+    while accepted < n_conns || open > 0 {
+        let events = {
+            let mut sources = Vec::new();
+            if accepted < n_conns {
+                sources.push(PollSource {
+                    target: PollTarget::Listener(l),
+                    token: LISTENER,
+                    interest: Interest::ACCEPTABLE,
+                });
+            }
+            for (i, slot) in conns.iter().enumerate() {
+                if let Some(st) = slot {
+                    let interest = if st.sent < st.out.len() {
+                        Interest::WRITABLE
+                    } else {
+                        Interest::READABLE
+                    };
+                    sources.push(PollSource {
+                        target: PollTarget::Conn(&st.conn),
+                        token: i,
+                        interest,
+                    });
+                }
+            }
+            api.poll(ctx, &sources, None)?.expect("poll")
+        };
+        for ev in events {
+            if ev.token == LISTENER {
+                // Drain the whole accept queue while we are here.
+                while accepted < n_conns {
+                    match l.try_accept(ctx)? {
+                        Ok(conn) => {
+                            accepted += 1;
+                            open += 1;
+                            conns.push(Some(ConnState {
+                                conn,
+                                inbuf: Vec::new(),
+                                out: greeting.to_vec(),
+                                sent: 0,
+                            }));
+                        }
+                        Err(NetError::WouldBlock) => break,
+                        Err(e) => panic!("event-loop accept failed: {e}"),
+                    }
+                }
+                continue;
+            }
+            let Some(st) = conns[ev.token].as_mut() else {
+                continue;
+            };
+            let mut dead = false;
+            // Flush pending output first; while a response is in flight
+            // the loop does not read (the client is waiting on us).
+            flush(ctx, st, &mut dead)?;
+            while !dead && st.out.is_empty() {
+                match st.conn.try_read(ctx, READ_CHUNK)? {
+                    Ok(chunk) if chunk.is_empty() => dead = true, // EOF
+                    Ok(chunk) => {
+                        st.inbuf.extend_from_slice(&chunk);
+                        service(&mut st.inbuf, &mut st.out);
+                    }
+                    Err(NetError::WouldBlock) => break,
+                    Err(_) => dead = true,
+                }
+            }
+            // Opportunistically push what the service just produced.
+            flush(ctx, st, &mut dead)?;
+            if dead {
+                let st = conns[ev.token].take().expect("live state");
+                let _ = st.conn.close(ctx);
+                open -= 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Write as much pending output as the stack will take right now.
+fn flush(ctx: &ProcessCtx, st: &mut ConnState, dead: &mut bool) -> SimResult<()> {
+    while !*dead && st.sent < st.out.len() {
+        match st.conn.try_write(ctx, &st.out[st.sent..])? {
+            Ok(n) => st.sent += n,
+            Err(NetError::WouldBlock) => break,
+            Err(_) => *dead = true,
+        }
+    }
+    if st.sent == st.out.len() {
+        st.out.clear();
+        st.sent = 0;
+    }
+    Ok(())
+}

@@ -19,7 +19,9 @@ use rand::{Rng, SeedableRng};
 use simnet::{Sim, SimAccess, SimTime};
 
 use crate::api::Conn;
+use crate::eventloop::serve_event_loop;
 use crate::testbed::Testbed;
+use crate::webserver::ServerModel;
 
 /// Server port.
 pub const KV_PORT: u16 = 111;
@@ -124,6 +126,66 @@ pub fn spawn_server(sim: &Sim, tb: &Testbed, server: usize, expected_conns: u32)
     });
 }
 
+/// Serve `expected_conns` clients from one single-process event loop on
+/// node `server`: the same GET/PUT protocol as [`spawn_server`], framed
+/// incrementally out of the loop's receive buffer (the 9-byte header
+/// first, then — for PUT — the value body), driven entirely by
+/// [`crate::api::NetApi::poll`] and the nonblocking calls.
+pub fn spawn_server_event_loop(sim: &Sim, tb: &Testbed, server: usize, expected_conns: u32) {
+    let api = Arc::clone(&tb.nodes[server].api);
+    sim.spawn("kv-event-loop", move |ctx| {
+        let l = api.listen(ctx, KV_PORT, 16)?.expect("port free");
+        // Single process: the store needs no lock.
+        let mut store: HashMap<u32, Bytes> = HashMap::new();
+        serve_event_loop(ctx, api.as_ref(), l.as_ref(), expected_conns, &[], {
+            let store = &mut store;
+            move |inbuf, out| serve_frames(store, inbuf, out)
+        })?;
+        l.close(ctx)?;
+        Ok(())
+    });
+}
+
+/// Consume every complete request in `inbuf` — leaving a partial frame
+/// (short header, or a PUT whose value is still in flight) for the next
+/// batch of bytes — and append the responses to `out`.
+fn serve_frames(store: &mut HashMap<u32, Bytes>, inbuf: &mut Vec<u8>, out: &mut Vec<u8>) {
+    loop {
+        if inbuf.len() < 9 {
+            return;
+        }
+        let op = inbuf[0];
+        let key = u32::from_le_bytes(inbuf[1..5].try_into().expect("4 bytes"));
+        let vlen = u32::from_le_bytes(inbuf[5..9].try_into().expect("4 bytes")) as usize;
+        match op {
+            OP_PUT => {
+                if inbuf.len() < 9 + vlen {
+                    return; // the value is still in flight
+                }
+                store.insert(key, Bytes::copy_from_slice(&inbuf[9..9 + vlen]));
+                inbuf.drain(..9 + vlen);
+                out.push(STATUS_OK);
+                out.extend_from_slice(&0u32.to_le_bytes());
+            }
+            OP_GET => {
+                inbuf.drain(..9);
+                match store.get(&key).cloned() {
+                    Some(v) => {
+                        out.push(STATUS_OK);
+                        out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                        out.extend_from_slice(&v);
+                    }
+                    None => {
+                        out.push(STATUS_MISS);
+                        out.extend_from_slice(&0u32.to_le_bytes());
+                    }
+                }
+            }
+            other => panic!("unknown kv op {other}"),
+        }
+    }
+}
+
 /// Run `n_clients` clients (on nodes 1..) against a server on node 0;
 /// each performs `ops_per_client` operations with the given value size
 /// and GET fraction. Deterministic for a given seed.
@@ -135,12 +197,36 @@ pub fn run_workload(
     get_fraction: f64,
     seed: u64,
 ) -> KvResults {
+    run_workload_with(
+        tb,
+        ServerModel::PerConnection,
+        n_clients,
+        ops_per_client,
+        value_size,
+        get_fraction,
+        seed,
+    )
+}
+
+/// As [`run_workload`], with the server structured per `model`.
+pub fn run_workload_with(
+    tb: &Testbed,
+    model: ServerModel,
+    n_clients: usize,
+    ops_per_client: u32,
+    value_size: usize,
+    get_fraction: f64,
+    seed: u64,
+) -> KvResults {
     assert!(
         tb.nodes.len() > n_clients,
         "need a node per client + server"
     );
     let sim = Sim::new();
-    spawn_server(&sim, tb, 0, n_clients as u32);
+    match model {
+        ServerModel::PerConnection => spawn_server(&sim, tb, 0, n_clients as u32),
+        ServerModel::EventLoop => spawn_server_event_loop(&sim, tb, 0, n_clients as u32),
+    }
     let acc = Arc::new(Mutex::new((0u64, 0u64, 0.0f64, SimTime::ZERO)));
 
     for c in 0..n_clients {
@@ -238,6 +324,17 @@ mod tests {
             tcp.mean_op_us
         );
         assert!(emp.ops_per_sec > tcp.ops_per_sec);
+    }
+
+    #[test]
+    fn event_loop_server_completes_the_same_workload() {
+        let tb = Testbed::emp_default(3);
+        let el = run_workload_with(&tb, ServerModel::EventLoop, 2, 30, 64, 0.5, 9);
+        assert_eq!(el.ops, 60);
+        assert!(el.hits > 0, "warmed keys must produce hits");
+        let tcp = Testbed::kernel_default(3);
+        let el = run_workload_with(&tcp, ServerModel::EventLoop, 2, 30, 64, 0.5, 9);
+        assert_eq!(el.ops, 60);
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod api;
 #[cfg(test)]
 mod api_tests;
 pub mod bandwidth;
+pub mod eventloop;
 pub mod ftp;
 pub mod kvstore;
 pub mod matmul;
@@ -31,5 +32,8 @@ pub mod testbed;
 pub mod webserver;
 
 pub use adapters::{EmpNet, KernelNet};
-pub use api::{Api, Conn, NetApi, NetConn, NetError, NetListener};
+pub use api::{
+    Api, Conn, Event, Interest, NetApi, NetConn, NetError, NetListener, PollSource, PollTarget,
+};
+pub use eventloop::serve_event_loop;
 pub use testbed::{AppNode, Testbed};

@@ -119,7 +119,7 @@ pub fn run(sim: &Sim, tb: &Testbed, n: usize) -> (f64, f64) {
                 .filter(|(i, _)| !done[*i])
                 .map(|(_, c)| c)
                 .collect();
-            let idx_in_watch = api.select_readable(ctx, &watch)?;
+            let idx_in_watch = api.select_readable(ctx, &watch)?.expect("live set");
             let w = conns
                 .iter()
                 .enumerate()

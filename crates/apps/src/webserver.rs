@@ -11,6 +11,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use simnet::{Sim, SimAccess, SimTime};
 
+use crate::eventloop::serve_event_loop;
 use crate::testbed::Testbed;
 
 /// The request message size (§7.4: "a request message (which can
@@ -140,6 +141,179 @@ pub fn run_once(tb: &Testbed, version: HttpVersion, response_size: usize, reqs: 
     average_response_us(&sim, tb, version, response_size, reqs)
 }
 
+// ---------------------------------------------------------------------
+// Concurrent connections: event loop vs process per connection
+// ---------------------------------------------------------------------
+
+/// Byte the server sends right after accepting, before the first request.
+/// Clients wait for it, so the measurement starts when the server has
+/// actually taken the connection, not while it sits in the backlog.
+const HELLO_BYTE: u8 = b'+';
+
+/// How the concurrent-connection server is structured.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServerModel {
+    /// A worker process per accepted connection, blocking calls.
+    PerConnection,
+    /// One process, one [`crate::api::NetApi::poll`] wait, nonblocking
+    /// calls ([`serve_event_loop`]).
+    EventLoop,
+}
+
+impl ServerModel {
+    /// Short name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServerModel::PerConnection => "per-conn",
+            ServerModel::EventLoop => "event-loop",
+        }
+    }
+}
+
+/// Aggregate result of one [`concurrent_throughput`] run.
+#[derive(Clone, Copy, Debug)]
+pub struct ConcurrencyRun {
+    /// Requests completed across all connections.
+    pub requests: u64,
+    /// First connect to last verified response, in µs.
+    pub elapsed_us: f64,
+    /// Aggregate request throughput.
+    pub reqs_per_sec: f64,
+}
+
+/// The expected `j`-th body byte of the response to request `req` on
+/// connection `conn`: every byte depends on the connection, the request,
+/// and the position, so interleaved connections cannot pass verification
+/// with each other's (or a stale) response.
+pub fn body_byte(conn: u32, req: u32, j: usize) -> u8 {
+    ((u64::from(conn) * 131 + u64::from(req) * 31 + j as u64 * 7 + 13) % 251) as u8
+}
+
+fn encode_request(conn: u32, req: u32) -> [u8; REQUEST_SIZE] {
+    let mut b = [b'.'; REQUEST_SIZE];
+    b[0] = b'G';
+    b[1..5].copy_from_slice(&conn.to_le_bytes());
+    b[5..9].copy_from_slice(&req.to_le_bytes());
+    b
+}
+
+fn decode_request(req: &[u8]) -> (u32, u32) {
+    debug_assert_eq!(req[0], b'G');
+    (
+        u32::from_le_bytes(req[1..5].try_into().expect("4 bytes")),
+        u32::from_le_bytes(req[5..9].try_into().expect("4 bytes")),
+    )
+}
+
+fn response_body(conn: u32, req: u32, size: usize) -> Vec<u8> {
+    (0..size).map(|j| body_byte(conn, req, j)).collect()
+}
+
+/// Run `n_conns` concurrent persistent connections (clients spread
+/// round-robin over nodes 1..) against one server on node 0 structured
+/// per `model`; each connection issues `reqs_per_conn` requests and
+/// byte-verifies every response. Returns the aggregate throughput.
+pub fn concurrent_throughput(
+    tb: &Testbed,
+    model: ServerModel,
+    n_conns: u32,
+    reqs_per_conn: u32,
+    response_size: usize,
+) -> ConcurrencyRun {
+    assert!(tb.nodes.len() >= 2, "need a server node and a client node");
+    assert!(n_conns >= 1 && reqs_per_conn >= 1);
+    let sim = Sim::new();
+    let api = Arc::clone(&tb.nodes[0].api);
+    let backlog = n_conns as usize + 8;
+    match model {
+        ServerModel::EventLoop => {
+            sim.spawn("http-event-loop", move |ctx| {
+                let l = api.listen(ctx, HTTP_PORT, backlog)?.expect("port free");
+                serve_event_loop(
+                    ctx,
+                    api.as_ref(),
+                    l.as_ref(),
+                    n_conns,
+                    &[HELLO_BYTE],
+                    |inbuf, out| {
+                        while inbuf.len() >= REQUEST_SIZE {
+                            let (cid, rid) = decode_request(&inbuf[..REQUEST_SIZE]);
+                            inbuf.drain(..REQUEST_SIZE);
+                            out.extend_from_slice(&response_body(cid, rid, response_size));
+                        }
+                    },
+                )?;
+                l.close(ctx)?;
+                Ok(())
+            });
+        }
+        ServerModel::PerConnection => {
+            sim.spawn("http-server", move |ctx| {
+                let l = api.listen(ctx, HTTP_PORT, backlog)?.expect("port free");
+                for _ in 0..n_conns {
+                    let conn = l.accept(ctx)?.expect("client");
+                    ctx.spawn("http-worker", move |ctx| {
+                        if conn.write(ctx, &[HELLO_BYTE])?.is_err() {
+                            return Ok(());
+                        }
+                        while let Ok(Some(req)) = conn.read_exact(ctx, REQUEST_SIZE)? {
+                            let (cid, rid) = decode_request(&req);
+                            let body = response_body(cid, rid, response_size);
+                            if conn.write(ctx, &body)?.is_err() {
+                                break;
+                            }
+                        }
+                        let _ = conn.close(ctx);
+                        Ok(())
+                    });
+                }
+                l.close(ctx)?;
+                Ok(())
+            });
+        }
+    }
+
+    let end = Arc::new(Mutex::new((SimTime::ZERO, 0u32)));
+    for k in 0..n_conns {
+        let node = 1 + (k as usize % (tb.nodes.len() - 1));
+        let api = Arc::clone(&tb.nodes[node].api);
+        let server_host = tb.nodes[0].api.local_host();
+        let end = Arc::clone(&end);
+        sim.spawn(format!("http-conc-client-{k}"), move |ctx| {
+            let conn = api.connect(ctx, server_host, HTTP_PORT)?.expect("connect");
+            let hello = conn
+                .read_exact(ctx, 1)?
+                .expect("hello")
+                .expect("hello byte");
+            assert_eq!(hello[0], HELLO_BYTE);
+            for r in 0..reqs_per_conn {
+                conn.write(ctx, &encode_request(k, r))?.expect("request");
+                let body = conn
+                    .read_exact(ctx, response_size)?
+                    .expect("response")
+                    .expect("body");
+                for (j, &byte) in body.iter().enumerate() {
+                    assert_eq!(byte, body_byte(k, r, j), "conn {k} req {r} byte {j}");
+                }
+            }
+            conn.close(ctx)?;
+            let mut e = end.lock();
+            e.0 = e.0.max(ctx.now());
+            e.1 += 1;
+            Ok(())
+        });
+    }
+    sim.run_until(SimTime::from_secs(600));
+    let (end, finished) = *end.lock();
+    assert_eq!(finished, n_conns, "every connection must finish");
+    let requests = u64::from(n_conns) * u64::from(reqs_per_conn);
+    ConcurrencyRun {
+        requests,
+        elapsed_us: end.as_secs_f64() * 1e6,
+        reqs_per_sec: requests as f64 / end.as_secs_f64(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +366,19 @@ mod tests {
         let small = run_once(&emp_tb(), HttpVersion::Http10, 4, 6);
         let large = run_once(&emp_tb(), HttpVersion::Http10, 8192, 6);
         assert!(large > small, "8K ({large:.0}) vs 4B ({small:.0})");
+    }
+
+    #[test]
+    fn event_loop_serves_concurrent_connections_byte_exact() {
+        // Byte-exactness is asserted inside every client; here both server
+        // models must complete the same workload on both stacks.
+        for tb in [Testbed::emp_default(4), Testbed::kernel_default(4)] {
+            let el = concurrent_throughput(&tb, ServerModel::EventLoop, 6, 4, 512);
+            let pc = concurrent_throughput(&tb, ServerModel::PerConnection, 6, 4, 512);
+            assert_eq!(el.requests, 24);
+            assert_eq!(pc.requests, 24);
+            assert!(el.reqs_per_sec > 0.0 && pc.reqs_per_sec > 0.0);
+        }
     }
 }
 

@@ -48,6 +48,7 @@ fn main() {
                 "ablation-nic-cpus" => figures::ablation_nic_cpus(profile),
                 "connect-time" => figures::connect_time(profile),
                 "datacenter-kv" => figures::datacenter_kv(profile),
+                "event-loop-concurrency" => figures::event_loop_concurrency(profile),
                 other => {
                     eprintln!("unknown figure '{other}'");
                     std::process::exit(2);

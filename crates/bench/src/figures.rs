@@ -435,6 +435,49 @@ pub fn datacenter_kv(profile: Profile) -> Figure {
     fig
 }
 
+/// Multi-connection scaling: aggregate request throughput against the
+/// number of concurrent persistent connections, for the single-process
+/// event-loop server (the readiness layer's `poll()` + nonblocking calls)
+/// and the process-per-connection server, over both stacks.
+pub fn event_loop_concurrency(profile: Profile) -> Figure {
+    let conns: &[u32] = match profile {
+        Profile::Quick => &[4, 16, 32],
+        Profile::Full => &[4, 8, 16, 32, 64],
+    };
+    let reqs_per_conn: u32 = match profile {
+        Profile::Quick => 4,
+        Profile::Full => 8,
+    };
+    let response = 1024usize;
+    let mut fig = Figure::new(
+        "event-loop-concurrency",
+        "Concurrent connections vs throughput: event loop vs process-per-connection",
+        "connections",
+        "reqs/s",
+    );
+    let models = [
+        webserver::ServerModel::EventLoop,
+        webserver::ServerModel::PerConnection,
+    ];
+    for model in models {
+        let pts = parallel_sweep(conns, |&n| {
+            let tb = emp_tb(SubstrateConfig::ds_da_uq().with_credits(4), "emp-c4", 5);
+            let r = webserver::concurrent_throughput(&tb, model, n, reqs_per_conn, response);
+            (f64::from(n), r.reqs_per_sec)
+        });
+        fig.push(format!("Substrate {}", model.label()), pts);
+    }
+    for model in models {
+        let pts = parallel_sweep(conns, |&n| {
+            let tb = tcp_tb(5, None, "tcp");
+            let r = webserver::concurrent_throughput(&tb, model, n, reqs_per_conn, response);
+            (f64::from(n), r.reqs_per_sec)
+        });
+        fig.push(format!("TCP {}", model.label()), pts);
+    }
+    fig
+}
+
 /// Connection-setup comparison (§7.4's quoted numbers): how long
 /// `connect()` blocks the caller, and how long until `accept()` holds
 /// the connection.
@@ -584,6 +627,7 @@ pub fn all_figures(profile: Profile) -> Vec<Figure> {
         fig17(profile),
         connect_time(profile),
         datacenter_kv(profile),
+        event_loop_concurrency(profile),
         ablation_commthread(profile),
         ablation_piggyback(profile),
         ablation_nic_cpus(profile),

@@ -185,6 +185,12 @@ pub(crate) struct SockInner {
     /// Pre-posted flow-control-ack descriptors, completion order (empty in
     /// unexpected-queue mode).
     pub(crate) fcack_handles: VecDeque<RecvHandle>,
+    /// One-shot fc-ack descriptor a `poll` with write interest arms in
+    /// unexpected-queue mode, where there is otherwise no completion to
+    /// watch for a credit return. Consumed or unposted before the poll
+    /// returns (see `disarm_poll_fcack`), so it never races the blocking
+    /// write path's own post.
+    pub(crate) poll_fcack: Option<RecvHandle>,
     /// Fire-and-forget sends not yet known complete.
     pub(crate) inflight_sends: Vec<SendHandle>,
     /// The connection request (client side) — checked for refusal.
@@ -296,6 +302,7 @@ impl SockShared {
             inner: Mutex::new(SockInner {
                 credits: credits_max,
                 fcack_handles: VecDeque::new(),
+                poll_fcack: None,
                 inflight_sends: Vec::new(),
                 conn_send: None,
                 data_slots: VecDeque::new(),
@@ -593,6 +600,7 @@ impl SockShared {
                 r.push(slot.range);
             }
             v.extend(i.fcack_handles.drain(..));
+            v.extend(i.poll_fcack.take());
             v.extend(i.rndv_handle.take());
             v.extend(i.ctrl_handle.take());
             if let Some(slot) = i.dgram_data.take() {

@@ -221,6 +221,113 @@ impl SockShared {
         }
     }
 
+    /// Nonblocking datagram send. Eager-sized messages are fire-and-forget
+    /// already, so they go out as the blocking path would; larger messages
+    /// need the §5.2 rendezvous round trip, which cannot complete without
+    /// parking — those return [`SockError::Invalid`] (use the blocking
+    /// `write` for rendezvous-sized datagrams).
+    pub(crate) fn dgram_try_send(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
+        if data.len() > self.proc_.cfg.dgram_eager_max {
+            return Ok(Err(SockError::Invalid));
+        }
+        self.dgram_send(ctx, data)
+    }
+
+    /// Nonblocking datagram receive: serve a parked or landed datagram,
+    /// answer pending rendezvous requests, post the user-buffer descriptor
+    /// so a later poll has something to wake on, and report
+    /// [`SockError::WouldBlock`] when nothing is deliverable yet.
+    pub(crate) fn dgram_try_recv(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
+        ctx.delay(self.proc_.cfg.dgram_overhead)?;
+        loop {
+            let parked = {
+                let mut i = self.inner.lock();
+                if i.closed {
+                    return Ok(Err(SockError::Closed));
+                }
+                let next = i.rx_next_seq;
+                match i.rx_ooo.remove(&next) {
+                    Some(p) => {
+                        i.rx_next_seq += 1;
+                        i.stats.bytes_received += p.len() as u64;
+                        i.stats.msgs_received += 1;
+                        Some(p)
+                    }
+                    None => None,
+                }
+            };
+            if let Some(payload) = parked {
+                self.trace(ctx, EventKind::SockReadEnd, payload.len() as u64, 0);
+                return Ok(Ok(payload));
+            }
+            if self.inner.lock().dgram_data.is_none() {
+                let range = self.inner.lock().user_range;
+                let handle = self.proc_.ep.post_recv(
+                    ctx,
+                    self.rx_data_tag(),
+                    Some(self.peer),
+                    max + DATA_HEADER,
+                    range,
+                )?;
+                self.inner.lock().dgram_data = Some(DataSlot { handle, range });
+            }
+            let data_done = {
+                let i = self.inner.lock();
+                i.dgram_data.as_ref().is_some_and(|d| d.handle.is_done())
+            };
+            if data_done {
+                let slot = self.inner.lock().dgram_data.take().expect("checked");
+                let Some(msg) = self.proc_.ep.wait_recv(ctx, &slot.handle)? else {
+                    return Ok(Err(SockError::Closed));
+                };
+                let parsed = ok_or_return!(Msg::decode(&msg.data));
+                let Msg::Data { seq, payload, .. } = parsed else {
+                    return Ok(Err(SockError::protocol("non-data message on data tag")));
+                };
+                let deliver = {
+                    let mut i = self.inner.lock();
+                    if seq == i.rx_next_seq {
+                        i.rx_next_seq += 1;
+                        i.stats.bytes_received += payload.len() as u64;
+                        i.stats.msgs_received += 1;
+                        true
+                    } else {
+                        if seq > i.rx_next_seq {
+                            i.rx_ooo.insert(seq, payload.clone());
+                        }
+                        false
+                    }
+                };
+                if deliver {
+                    self.trace(ctx, EventKind::SockReadEnd, payload.len() as u64, 0);
+                    return Ok(Ok(payload));
+                }
+                continue;
+            }
+            let rndv_done = {
+                let i = self.inner.lock();
+                i.rndv_handle.as_ref().is_some_and(|h| h.is_done())
+            };
+            if rndv_done {
+                ok_or_return!(self.serve_rndv_request(ctx, max)?);
+                continue;
+            }
+            // Drain a close notification a poll may not have consumed yet.
+            ok_or_return!(self.poll_ctrl(ctx)?);
+            {
+                let i = self.inner.lock();
+                if i.peer_drained() {
+                    return Ok(Ok(Bytes::new()));
+                }
+                let ctrl_pending = i.ctrl_handle.as_ref().is_some_and(|h| h.is_done());
+                let data_landed = i.dgram_data.as_ref().is_some_and(|d| d.handle.is_done());
+                if !ctrl_pending && !data_landed {
+                    return Ok(Err(SockError::WouldBlock));
+                }
+            }
+        }
+    }
+
     /// Answer a rendezvous request while a receive of capacity `max` is
     /// posted: grant if it fits, refuse otherwise; repost the request
     /// descriptor either way.

@@ -31,6 +31,14 @@ pub enum SockError {
     /// peer said goodbye; a gone peer just vanished (crashed process,
     /// unplugged station).
     PeerGone,
+    /// A nonblocking operation found nothing to do: no data buffered or
+    /// landed (`try_read`), no credits left (`try_write`), or an empty
+    /// backlog (`try_accept`). The EAGAIN of the substrate — retry after
+    /// the next [`crate::PollSet::poll`] wake.
+    WouldBlock,
+    /// Invalid argument (EINVAL): e.g. `select`/`poll` over an empty set
+    /// with no timeout, which could never wake.
+    Invalid,
     /// Malformed substrate message or protocol violation.
     Protocol(String),
 }
@@ -53,6 +61,8 @@ impl std::fmt::Display for SockError {
             SockError::AddrInUse => write!(f, "address in use"),
             SockError::Timeout => write!(f, "operation timed out"),
             SockError::PeerGone => write!(f, "peer vanished (ack starvation)"),
+            SockError::WouldBlock => write!(f, "operation would block"),
+            SockError::Invalid => write!(f, "invalid argument"),
             SockError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }

@@ -15,15 +15,23 @@ use std::sync::Arc;
 use bytes::Bytes;
 use hostsim::{FileHandle, RamDisk};
 use parking_lot::Mutex;
-use simnet::{ProcessCtx, SimResult};
+use simnet::{Interest, ProcessCtx, SimDuration, SimResult};
 
 use crate::error::SockError;
+use crate::poll::PollSet;
 use crate::socket::{Connection, EmpSockets, Listener, SockAddr};
 
 enum FdEntry {
     File(FileHandle),
     Socket(Arc<Connection>),
     Listener(Arc<Listener>),
+}
+
+/// One descriptor-table slot: what the fd names, plus its `O_NONBLOCK`
+/// flag.
+struct FdSlot {
+    entry: FdEntry,
+    nonblocking: bool,
 }
 
 /// A per-process descriptor table routing POSIX-style calls to the
@@ -36,7 +44,7 @@ pub struct FdTable {
 }
 
 struct FdState {
-    entries: HashMap<i32, FdEntry>,
+    entries: HashMap<i32, FdSlot>,
     next_fd: i32,
 }
 
@@ -48,6 +56,10 @@ pub enum FdError {
     /// The operation does not apply to this descriptor kind (e.g. `read`
     /// on a listener).
     WrongKind,
+    /// A nonblocking descriptor (`set_nonblocking`) had nothing to do —
+    /// the EAGAIN of the fd layer. Retry after [`FdTable::poll`] reports
+    /// readiness.
+    WouldBlock,
     /// Socket-layer failure.
     Sock(SockError),
     /// Filesystem failure.
@@ -59,6 +71,7 @@ impl std::fmt::Display for FdError {
         match self {
             FdError::BadFd => write!(f, "bad file descriptor"),
             FdError::WrongKind => write!(f, "operation not supported on this descriptor"),
+            FdError::WouldBlock => write!(f, "operation would block"),
             FdError::Sock(e) => write!(f, "{e}"),
             FdError::Fs(e) => write!(f, "{e}"),
         }
@@ -69,7 +82,33 @@ impl std::error::Error for FdError {}
 
 impl From<SockError> for FdError {
     fn from(e: SockError) -> Self {
-        FdError::Sock(e)
+        match e {
+            SockError::WouldBlock => FdError::WouldBlock,
+            other => FdError::Sock(other),
+        }
+    }
+}
+
+/// One entry of an [`FdTable::poll`] call, `struct pollfd`-shaped: the
+/// descriptor, the interests to watch, and the readiness reported back.
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The descriptor to watch.
+    pub fd: i32,
+    /// Requested interests ([`Interest::ERROR`] is always reported).
+    pub events: Interest,
+    /// Readiness reported by the poll (empty when not ready).
+    pub revents: Interest,
+}
+
+impl PollFd {
+    /// Watch `fd` for `events`.
+    pub fn new(fd: i32, events: Interest) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: Interest::EMPTY,
+        }
     }
 }
 
@@ -107,8 +146,29 @@ impl FdTable {
         let mut st = self.inner.lock();
         let fd = st.next_fd;
         st.next_fd += 1;
-        st.entries.insert(fd, entry);
+        st.entries.insert(
+            fd,
+            FdSlot {
+                entry,
+                nonblocking: false,
+            },
+        );
         fd
+    }
+
+    /// `fcntl(F_SETFL, O_NONBLOCK)`: toggle nonblocking mode on a
+    /// descriptor. A nonblocking socket fd makes `read`/`write`/`accept`
+    /// return [`FdError::WouldBlock`] instead of parking; file fds accept
+    /// the flag but never block anyway (the RAM disk is synchronous).
+    pub fn set_nonblocking(&self, fd: i32, on: bool) -> Result<(), FdError> {
+        let mut st = self.inner.lock();
+        match st.entries.get_mut(&fd) {
+            Some(slot) => {
+                slot.nonblocking = on;
+                Ok(())
+            }
+            None => Err(FdError::BadFd),
+        }
     }
 
     /// `open(2)` on the RAM disk.
@@ -135,61 +195,76 @@ impl FdTable {
         Ok(Ok(self.install(FdEntry::Listener(Arc::new(l)))))
     }
 
-    /// `accept(2)` on a listener fd; returns the connection's fd.
+    /// `accept(2)` on a listener fd; returns the connection's fd. On a
+    /// nonblocking listener fd an empty backlog is [`FdError::WouldBlock`].
     pub fn accept(&self, ctx: &ProcessCtx, fd: i32) -> FdResult<i32> {
-        let l = {
+        let (l, nonblocking) = {
             let st = self.inner.lock();
             match st.entries.get(&fd) {
-                Some(FdEntry::Listener(l)) => Arc::clone(l),
+                Some(FdSlot {
+                    entry: FdEntry::Listener(l),
+                    nonblocking,
+                }) => (Arc::clone(l), *nonblocking),
                 Some(_) => return Ok(Err(FdError::WrongKind)),
                 None => return Ok(Err(FdError::BadFd)),
             }
         };
-        let conn = fd_try!(l.accept(ctx)?);
+        let conn = if nonblocking {
+            fd_try!(l.try_accept(ctx)?)
+        } else {
+            fd_try!(l.accept(ctx)?)
+        };
         Ok(Ok(self.install(FdEntry::Socket(Arc::new(conn)))))
     }
 
-    /// Generic `read(2)`: dispatches on what the descriptor names.
+    /// Look up a socket/file fd for a data operation.
+    fn data_entry(&self, fd: i32) -> Result<(Result<FileHandle, Arc<Connection>>, bool), FdError> {
+        let st = self.inner.lock();
+        match st.entries.get(&fd) {
+            Some(slot) => match &slot.entry {
+                FdEntry::File(fh) => Ok((Ok(*fh), slot.nonblocking)),
+                FdEntry::Socket(c) => Ok((Err(Arc::clone(c)), slot.nonblocking)),
+                FdEntry::Listener(_) => Err(FdError::WrongKind),
+            },
+            None => Err(FdError::BadFd),
+        }
+    }
+
+    /// Generic `read(2)`: dispatches on what the descriptor names. On a
+    /// nonblocking socket fd, nothing deliverable is
+    /// [`FdError::WouldBlock`].
     pub fn read(&self, ctx: &ProcessCtx, fd: i32, max: usize) -> FdResult<Bytes> {
-        let entry = {
-            let st = self.inner.lock();
-            match st.entries.get(&fd) {
-                Some(FdEntry::File(fh)) => Ok(*fh),
-                Some(FdEntry::Socket(c)) => Err(Arc::clone(c)),
-                Some(FdEntry::Listener(_)) => return Ok(Err(FdError::WrongKind)),
-                None => return Ok(Err(FdError::BadFd)),
-            }
-        };
-        match entry {
-            Ok(fh) => {
+        match fd_try!(self.data_entry(fd)) {
+            (Ok(fh), _) => {
                 let data = fd_try!(self.fs.read(ctx, fh, max)?.map_err(FdError::Fs));
                 Ok(Ok(data))
             }
-            Err(conn) => {
-                let data = fd_try!(conn.read(ctx, max)?);
+            (Err(conn), nonblocking) => {
+                let data = if nonblocking {
+                    fd_try!(conn.try_read(ctx, max)?)
+                } else {
+                    fd_try!(conn.read(ctx, max)?)
+                };
                 Ok(Ok(data))
             }
         }
     }
 
-    /// Generic `write(2)`.
+    /// Generic `write(2)`. On a nonblocking socket fd the write accepts
+    /// what the credits in hand allow (a partial count), or
+    /// [`FdError::WouldBlock`] when no byte could be taken.
     pub fn write(&self, ctx: &ProcessCtx, fd: i32, data: &[u8]) -> FdResult<usize> {
-        let entry = {
-            let st = self.inner.lock();
-            match st.entries.get(&fd) {
-                Some(FdEntry::File(fh)) => Ok(*fh),
-                Some(FdEntry::Socket(c)) => Err(Arc::clone(c)),
-                Some(FdEntry::Listener(_)) => return Ok(Err(FdError::WrongKind)),
-                None => return Ok(Err(FdError::BadFd)),
-            }
-        };
-        match entry {
-            Ok(fh) => {
+        match fd_try!(self.data_entry(fd)) {
+            (Ok(fh), _) => {
                 let n = fd_try!(self.fs.write(ctx, fh, data)?.map_err(FdError::Fs));
                 Ok(Ok(n))
             }
-            Err(conn) => {
-                let n = fd_try!(conn.write(ctx, data)?);
+            (Err(conn), nonblocking) => {
+                let n = if nonblocking {
+                    fd_try!(conn.try_write(ctx, data)?)
+                } else {
+                    fd_try!(conn.write(ctx, data)?)
+                };
                 Ok(Ok(n))
             }
         }
@@ -197,14 +272,14 @@ impl FdTable {
 
     /// Generic `close(2)`.
     pub fn close(&self, ctx: &ProcessCtx, fd: i32) -> FdResult<()> {
-        let entry = {
+        let slot = {
             let mut st = self.inner.lock();
             match st.entries.remove(&fd) {
                 Some(e) => e,
                 None => return Ok(Err(FdError::BadFd)),
             }
         };
-        match entry {
+        match slot.entry {
             FdEntry::File(fh) => {
                 fd_try!(self.fs.close(ctx, fh)?.map_err(FdError::Fs));
             }
@@ -212,6 +287,75 @@ impl FdTable {
             FdEntry::Listener(l) => l.close(ctx)?,
         }
         Ok(Ok(()))
+    }
+
+    /// `poll(2)` over descriptors of any kind. Socket and listener fds go
+    /// through the substrate's [`PollSet`]; file fds are always ready for
+    /// whatever data interests were asked (the RAM disk never blocks);
+    /// unknown fds report [`Interest::ERROR`] (POSIX `POLLNVAL`). Each
+    /// entry's `revents` is filled in and the count of ready entries
+    /// returned — zero only on timeout.
+    ///
+    /// A listener fd watched for [`Interest::READABLE`] reports
+    /// [`Interest::ACCEPTABLE`], the way `POLLIN` covers accept on a real
+    /// listening socket.
+    pub fn poll(
+        &self,
+        ctx: &ProcessCtx,
+        fds: &mut [PollFd],
+        timeout: Option<SimDuration>,
+    ) -> FdResult<usize> {
+        let mut set = PollSet::new();
+        let mut already_ready = false;
+        for (idx, p) in fds.iter_mut().enumerate() {
+            p.revents = Interest::EMPTY;
+            let st = self.inner.lock();
+            match st.entries.get(&p.fd) {
+                Some(slot) => match &slot.entry {
+                    FdEntry::File(_) => {
+                        p.revents = p.events & (Interest::READABLE | Interest::WRITABLE);
+                        already_ready |= !p.revents.is_empty();
+                    }
+                    FdEntry::Socket(c) => {
+                        let c = Arc::clone(c);
+                        drop(st);
+                        set.register_conn(&c, idx, p.events);
+                    }
+                    FdEntry::Listener(l) => {
+                        let l = Arc::clone(l);
+                        drop(st);
+                        let mut interest = p.events;
+                        if interest.intersects(Interest::READABLE) {
+                            interest |= Interest::ACCEPTABLE;
+                        }
+                        set.register_listener(&l, idx, interest);
+                    }
+                },
+                None => {
+                    p.revents = Interest::ERROR;
+                    already_ready = true;
+                }
+            }
+        }
+        if !set.is_empty() || timeout.is_some() {
+            // With a file/unknown fd already ready, only sweep the socket
+            // entries without parking.
+            let effective = if already_ready {
+                Some(SimDuration::ZERO)
+            } else {
+                timeout
+            };
+            if !(set.is_empty() && already_ready) {
+                let events = fd_try!(set.poll(ctx, effective)?);
+                for ev in events {
+                    fds[ev.token].revents |= ev.ready;
+                }
+            }
+        } else if !already_ready {
+            // Nothing pollable and no timeout: the wait could never wake.
+            return Ok(Err(FdError::Sock(SockError::Invalid)));
+        }
+        Ok(Ok(fds.iter().filter(|p| !p.revents.is_empty()).count()))
     }
 
     /// Number of live descriptors (diagnostics; the ftp tests assert no

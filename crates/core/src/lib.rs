@@ -32,6 +32,7 @@ pub mod conn;
 pub mod dgram;
 pub mod error;
 pub mod fdtable;
+pub mod poll;
 pub mod proto;
 pub mod socket;
 pub mod stream;
@@ -40,7 +41,9 @@ pub mod tags;
 pub use config::{RecvMode, SocketType, SubstrateConfig};
 pub use conn::ConnStats;
 pub use error::SockError;
-pub use fdtable::{FdError, FdTable};
+pub use fdtable::{FdError, FdTable, PollFd};
+pub use poll::PollSet;
+pub use simnet::{Event, Interest};
 pub use socket::{
     ConnDebugState, Connection, EmpSockets, Listener, SlotDebug, SockAddr, SubstrateStats,
 };

@@ -1,0 +1,320 @@
+//! The unified readiness layer: [`PollSet`].
+//!
+//! A `PollSet` holds registrations — connections and listeners, each with
+//! a caller-chosen token and an [`Interest`] mask — and its [`PollSet::poll`]
+//! blocks until at least one registration is actionable, returning every
+//! ready one as an [`Event`]. The blocking sockets API layers on top:
+//! `select_readable` is a one-shot `PollSet` with `READABLE` interests,
+//! and an application event loop keeps one `PollSet` alive across
+//! iterations so the descriptor-completion watch lists are collected once
+//! per registration and reused, not rebuilt on every wake.
+//!
+//! Readiness sources per kind:
+//!
+//! * **readable** — buffered stream bytes, a completed data/rendezvous
+//!   descriptor, or a drained peer close (EOF counts as readable);
+//! * **writable** — stream credits in hand (§6.1; credit returns arrive
+//!   on the flow-control-ack channel, piggy-backed returns apply when a
+//!   read consumes the carrying message), or always for datagrams (eager
+//!   sends are fire-and-forget);
+//! * **acceptable** — a completed connection-request descriptor at the
+//!   head of a listener's backlog;
+//! * **error** — local close, a failed send (refused connection, vanished
+//!   peer), or a protocol violation; reported regardless of the mask.
+//!
+//! In unexpected-queue mode (§6.4) there is no pre-posted fc-ack
+//! descriptor to watch, so a poll with write interest on a credit-starved
+//! stream arms a one-shot fc-ack descriptor and disarms it (consuming or
+//! unposting) before returning — see `SockShared::arm_poll_fcack`.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use emp_proto::RecvHandle;
+use parking_lot::Mutex;
+use simnet::{
+    wait_any, Completion, Event, Interest, ProcessCtx, SimAccessExt, SimDuration, SimResult,
+};
+
+use crate::config::SocketType;
+use crate::conn::SockShared;
+use crate::error::SockError;
+use crate::socket::{Connection, Listener};
+use crate::stream::{ok_or_return, OpResult};
+
+enum Target {
+    Conn(Arc<SockShared>),
+    /// A listener's backlog queue (shared with the `Listener` itself).
+    Listener(Arc<Mutex<VecDeque<RecvHandle>>>),
+}
+
+struct Entry {
+    token: usize,
+    interest: Interest,
+    target: Target,
+    /// Completions to wait on for this entry, collected lazily and kept
+    /// until one of them fires (then invalidated and re-collected) — the
+    /// watch list is built once per registration per park, not rebuilt on
+    /// every wake.
+    watch: Option<Vec<Completion>>,
+}
+
+/// A registered set of poll targets; see the module docs.
+#[derive(Default)]
+pub struct PollSet {
+    entries: Vec<Entry>,
+}
+
+impl PollSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        PollSet::default()
+    }
+
+    /// Number of registrations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Register a connection under `token` with the given interests.
+    pub fn register_conn(&mut self, conn: &Connection, token: usize, interest: Interest) {
+        self.entries.push(Entry {
+            token,
+            interest,
+            target: Target::Conn(Arc::clone(&conn.sock)),
+            watch: None,
+        });
+    }
+
+    /// Register a listener under `token` (usually with
+    /// [`Interest::ACCEPTABLE`]).
+    pub fn register_listener(&mut self, l: &Listener, token: usize, interest: Interest) {
+        self.entries.push(Entry {
+            token,
+            interest,
+            target: Target::Listener(Arc::clone(&l.pending)),
+            watch: None,
+        });
+    }
+
+    /// Change the interest mask of the registration made under `token`
+    /// (the first one, if several share it). Returns false when no such
+    /// registration exists. The entry's watch list is invalidated so the
+    /// next poll waits on the right sources.
+    pub fn set_interest(&mut self, token: usize, interest: Interest) -> bool {
+        for e in &mut self.entries {
+            if e.token == token {
+                e.interest = interest;
+                e.watch = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove every registration made under `token`; returns how many
+    /// were removed.
+    pub fn deregister(&mut self, token: usize) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.token != token);
+        before - self.entries.len()
+    }
+
+    /// Drop all registrations.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Block until at least one registration is ready (or the timeout
+    /// expires — then the empty vector), returning every ready one.
+    ///
+    /// * `Err(SockError::Invalid)` for a wait that could never wake: an
+    ///   empty set, or one whose interests watch nothing, with no timeout.
+    /// * Error states ([`Interest::ERROR`]) are reported regardless of
+    ///   the registered mask, like POSIX `POLLERR`.
+    pub fn poll(&mut self, ctx: &ProcessCtx, timeout: Option<SimDuration>) -> OpResult<Vec<Event>> {
+        if self.entries.is_empty() && timeout.is_none() {
+            return Ok(Err(SockError::Invalid));
+        }
+        let deadline = timeout.map(|d| {
+            let c = Completion::new();
+            let c2 = c.clone();
+            ctx.schedule_after(d, move |s| c2.complete(s));
+            c
+        });
+        loop {
+            // 1. Compute readiness (consuming landed control traffic and
+            // credit returns along the way).
+            let mut events = Vec::new();
+            for e in &self.entries {
+                let ready = match &e.target {
+                    Target::Conn(s) => ok_or_return!(conn_ready(ctx, s, e.interest)?),
+                    Target::Listener(p) => listener_ready(p, e.interest),
+                };
+                if !ready.is_empty() {
+                    events.push(Event {
+                        token: e.token,
+                        ready,
+                    });
+                }
+            }
+            if !events.is_empty() {
+                ok_or_return!(self.finish(ctx)?);
+                return Ok(Ok(events));
+            }
+            if deadline.as_ref().is_some_and(Completion::is_done) {
+                ok_or_return!(self.finish(ctx)?);
+                return Ok(Ok(Vec::new()));
+            }
+            // 2. (Re)collect watch lists where invalidated, arming the
+            // unexpected-queue fc-ack descriptor when write interest
+            // needs it.
+            for e in &mut self.entries {
+                if e.watch.is_none() {
+                    e.watch = Some(collect_watch(ctx, &e.target, e.interest)?);
+                }
+            }
+            let mut refs: Vec<&Completion> = Vec::new();
+            for e in &self.entries {
+                refs.extend(e.watch.as_deref().unwrap_or(&[]));
+            }
+            if let Some(d) = &deadline {
+                refs.push(d);
+            }
+            if refs.is_empty() {
+                // Nothing registered can ever produce a wake.
+                return Ok(Err(SockError::Invalid));
+            }
+            wait_any(ctx, &refs)?;
+            // 3. Invalidate watch lists that fired: a done completion left
+            // in the wait set would spin this loop at one instant of
+            // simulated time. The next iteration consumes whatever landed
+            // and re-collects only the invalidated lists.
+            for e in &mut self.entries {
+                if e.watch
+                    .as_ref()
+                    .is_some_and(|w| w.iter().any(Completion::is_done))
+                {
+                    e.watch = None;
+                }
+            }
+        }
+    }
+
+    /// Pre-return cleanup: disarm any one-shot fc-ack descriptor this
+    /// poll armed (consuming a landed credit return, unposting an idle
+    /// descriptor) and invalidate the watch lists that referenced it.
+    fn finish(&mut self, ctx: &ProcessCtx) -> OpResult<()> {
+        for e in &mut self.entries {
+            if let Target::Conn(s) = &e.target {
+                if s.inner.lock().poll_fcack.is_some() {
+                    e.watch = None;
+                    ok_or_return!(s.disarm_poll_fcack(ctx)?);
+                }
+            }
+        }
+        Ok(Ok(()))
+    }
+}
+
+/// Compute a connection's ready mask for the given interests.
+fn conn_ready(ctx: &ProcessCtx, sock: &SockShared, interest: Interest) -> OpResult<Interest> {
+    let mut ready = Interest::EMPTY;
+    // Drain landed control traffic (close notifications, rendezvous
+    // replies) so readiness reflects it; surface hard failures as ERROR.
+    if sock.poll_ctrl(ctx)?.is_err() || sock.reap_sends().is_err() {
+        ready |= Interest::ERROR;
+    }
+    if sock.inner.lock().closed {
+        ready |= Interest::ERROR;
+    }
+    if interest.intersects(Interest::READABLE) && sock.readable_now() {
+        ready |= Interest::READABLE;
+    }
+    if interest.intersects(Interest::WRITABLE) {
+        match sock.socket_type {
+            SocketType::Stream => {
+                // Collect credit returns that already landed — pre-posted
+                // descriptors, the unexpected pool, or the one-shot
+                // descriptor a previous iteration armed.
+                sock.reap_fcacks(ctx)?;
+                if sock
+                    .inner
+                    .lock()
+                    .poll_fcack
+                    .as_ref()
+                    .is_some_and(RecvHandle::is_done)
+                {
+                    ok_or_return!(sock.disarm_poll_fcack(ctx)?);
+                }
+                if sock.stream_writable_now() {
+                    ready |= Interest::WRITABLE;
+                }
+            }
+            // Eager datagram sends are fire-and-forget: always writable.
+            SocketType::Datagram => ready |= Interest::WRITABLE,
+        }
+    }
+    Ok(Ok(ready))
+}
+
+/// Compute a listener's ready mask: head-of-backlog completion means
+/// acceptable; a drained backlog means the listener was closed.
+fn listener_ready(pending: &Mutex<VecDeque<RecvHandle>>, interest: Interest) -> Interest {
+    let p = pending.lock();
+    match p.front() {
+        None => Interest::ERROR,
+        Some(h) if h.is_done() && interest.intersects(Interest::ACCEPTABLE) => Interest::ACCEPTABLE,
+        Some(_) => Interest::EMPTY,
+    }
+}
+
+/// Collect the completions that can make this entry ready, scoped to its
+/// interests — watching a completion whose firing cannot change the
+/// entry's readiness would wake (and re-park) the poll for nothing, or
+/// worse, spin it when the completion is already done.
+fn collect_watch(
+    ctx: &ProcessCtx,
+    target: &Target,
+    interest: Interest,
+) -> SimResult<Vec<Completion>> {
+    let mut v = Vec::new();
+    match target {
+        Target::Conn(s) => {
+            if interest.intersects(Interest::READABLE) {
+                // Data front, datagram slot, rendezvous request, control.
+                v.extend(s.watch_completions());
+            }
+            if interest.intersects(Interest::WRITABLE) && s.socket_type == SocketType::Stream {
+                if s.proc_.cfg.acks_in_unexpected_queue {
+                    // §6.4: arm the one-shot fc-ack descriptor (no-op with
+                    // credits in hand) and watch it.
+                    s.arm_poll_fcack(ctx)?;
+                    if let Some(h) = &s.inner.lock().poll_fcack {
+                        v.push(h.completion().clone());
+                    }
+                } else if let Some(h) = s.inner.lock().fcack_handles.front() {
+                    v.push(h.completion().clone());
+                }
+                if !interest.intersects(Interest::READABLE) {
+                    // Write-only interest still needs close notifications
+                    // (a closing peer makes the write fail fast = ready).
+                    v.push(s.ctrl_completion());
+                }
+            }
+        }
+        Target::Listener(p) => {
+            if interest.intersects(Interest::ACCEPTABLE) {
+                if let Some(h) = p.lock().front() {
+                    v.push(h.completion().clone());
+                }
+            }
+        }
+    }
+    Ok(v)
+}

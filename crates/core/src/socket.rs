@@ -223,27 +223,19 @@ impl EmpSockets {
     }
 
     /// `select()` for readability across connections: blocks until one
-    /// would not block on `read`, returning its index.
-    pub fn select_readable(&self, ctx: &ProcessCtx, conns: &[&Connection]) -> SimResult<usize> {
-        assert!(!conns.is_empty(), "select on an empty set");
-        loop {
-            for (idx, c) in conns.iter().enumerate() {
-                if c.sock.readable_now() {
-                    return Ok(idx);
-                }
-            }
-            let completions: Vec<simnet::Completion> = conns
-                .iter()
-                .flat_map(|c| c.sock.watch_completions())
-                .collect();
-            let refs: Vec<&simnet::Completion> = completions.iter().collect();
-            wait_any(ctx, &refs)?;
-            for c in conns {
-                // Drain control channels so close notifications mark
-                // readability (EOF counts as readable).
-                let _ = c.sock.poll_ctrl(ctx)?;
-            }
+    /// would not block on `read`, returning its index. A one-shot
+    /// [`crate::PollSet`] with `READABLE` interests underneath; an empty
+    /// set is [`SockError::Invalid`] (it could never wake), not a panic.
+    pub fn select_readable(&self, ctx: &ProcessCtx, conns: &[&Connection]) -> OpResult<usize> {
+        if conns.is_empty() {
+            return Ok(Err(SockError::Invalid));
         }
+        let mut set = crate::poll::PollSet::new();
+        for (idx, c) in conns.iter().enumerate() {
+            set.register_conn(c, idx, simnet::Interest::READABLE);
+        }
+        let events = ok_or_return!(set.poll(ctx, None)?);
+        Ok(Ok(events[0].token))
     }
 }
 
@@ -251,8 +243,9 @@ impl EmpSockets {
 pub struct Listener {
     proc_: Arc<ProcShared>,
     port: u16,
-    /// Pre-posted connection descriptors, completion order.
-    pending: Arc<Mutex<VecDeque<RecvHandle>>>,
+    /// Pre-posted connection descriptors, completion order (shared with
+    /// [`crate::PollSet`] registrations).
+    pub(crate) pending: Arc<Mutex<VecDeque<RecvHandle>>>,
     range: hostsim::VirtRange,
 }
 
@@ -315,6 +308,26 @@ impl Listener {
         Ok(Ok(Connection { sock }))
     }
 
+    /// Nonblocking accept: build the connection when a request already
+    /// landed at the head of the backlog; [`SockError::WouldBlock`] when
+    /// an `accept` would park, [`SockError::Closed`] on a closed
+    /// listener. Poll with [`simnet::Interest::ACCEPTABLE`] to learn when
+    /// to retry.
+    pub fn try_accept(&self, ctx: &ProcessCtx) -> OpResult<Connection> {
+        let front_done = {
+            let p = self.pending.lock();
+            match p.front() {
+                Some(h) => h.is_done(),
+                None => return Ok(Err(SockError::Closed)),
+            }
+        };
+        if !front_done {
+            return Ok(Err(SockError::WouldBlock));
+        }
+        // The head descriptor is complete: `accept` will not block.
+        self.accept(ctx)
+    }
+
     /// Stop listening: unpost the backlog descriptors and free the port.
     pub fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
         let handles: Vec<RecvHandle> = self.pending.lock().drain(..).collect();
@@ -330,7 +343,7 @@ impl Listener {
 
 /// An established substrate connection (one side).
 pub struct Connection {
-    sock: Arc<SockShared>,
+    pub(crate) sock: Arc<SockShared>,
 }
 
 impl Connection {
@@ -398,9 +411,47 @@ impl Connection {
         Ok(Ok(Some(Bytes::from(buf))))
     }
 
+    /// Nonblocking write: accept what can be sent with the credits (or
+    /// eager budget) in hand right now.
+    ///
+    /// * Stream sockets: sends up to `data.len()` bytes as credits allow
+    ///   and returns the count accepted; [`SockError::WouldBlock`] when
+    ///   the credits are exhausted before any byte is taken.
+    /// * Datagram sockets: eager-sized messages go out as usual (they are
+    ///   fire-and-forget); rendezvous-sized ones are
+    ///   [`SockError::Invalid`] — the round trip cannot complete without
+    ///   blocking.
+    pub fn try_write(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
+        match self.sock.socket_type {
+            SocketType::Stream => self.sock.stream_try_write(ctx, data),
+            SocketType::Datagram => self.sock.dgram_try_send(ctx, data),
+        }
+    }
+
+    /// Nonblocking read: serve whatever is buffered or already landed;
+    /// [`SockError::WouldBlock`] when a blocking `read` would park. Empty
+    /// bytes = EOF. Poll with [`simnet::Interest::READABLE`] to learn
+    /// when to retry.
+    pub fn try_read(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
+        match self.sock.socket_type {
+            SocketType::Stream => self.sock.stream_try_read(ctx, max),
+            SocketType::Datagram => self.sock.dgram_try_recv(ctx, max),
+        }
+    }
+
     /// Would `read` return without blocking?
     pub fn readable(&self) -> bool {
         self.sock.readable_now()
+    }
+
+    /// Would `write` make progress without blocking? True with stream
+    /// credits in hand or in any error state (the write fails fast —
+    /// POSIX `POLLOUT` semantics); always true for datagrams.
+    pub fn writable(&self) -> bool {
+        match self.sock.socket_type {
+            SocketType::Stream => self.sock.stream_writable_now(),
+            SocketType::Datagram => true,
+        }
     }
 
     /// Half-close the write side (`shutdown(SHUT_WR)`): the peer sees EOF

@@ -88,6 +88,54 @@ impl SockShared {
         Ok(Ok(data.len()))
     }
 
+    /// Serve up to `max` buffered stream bytes if any are waiting, paying
+    /// the §6.2 temp-buffer-to-user copy. `None` means nothing buffered.
+    /// Shared by the blocking and nonblocking read paths.
+    fn serve_buffered(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Option<Bytes>> {
+        let served = {
+            let mut i = self.inner.lock();
+            if i.closed {
+                return Ok(Err(SockError::Closed));
+            }
+            if i.stream_len > 0 {
+                let mut out = Vec::with_capacity(max.min(i.stream_len));
+                while out.len() < max {
+                    let Some(mut chunk) = i.stream_chunks.pop_front() else {
+                        break;
+                    };
+                    let want = max - out.len();
+                    if chunk.len() > want {
+                        let rest = chunk.split_off(want);
+                        i.stream_chunks.push_front(rest);
+                    }
+                    out.extend_from_slice(&chunk);
+                }
+                i.stream_len -= out.len();
+                Some(Bytes::from(out))
+            } else {
+                None
+            }
+        };
+        if let Some(out) = served {
+            // The data-streaming copy from the substrate's temporary
+            // buffer into the caller's buffer (§6.2).
+            let copy = self.proc_.ep.host().cost().memcpy(out.len());
+            ctx.delay(copy)?;
+            if emp_trace::ENABLED {
+                self.trace(
+                    ctx,
+                    EventKind::SubstrateCopy,
+                    out.len() as u64,
+                    copy.nanos(),
+                );
+                self.trace(ctx, EventKind::SockReadEnd, out.len() as u64, 0);
+            }
+            self.inner.lock().stats.bytes_received += out.len() as u64;
+            return Ok(Ok(Some(out)));
+        }
+        Ok(Ok(None))
+    }
+
     /// Blocking stream read: up to `max` bytes, at least one (or an empty
     /// buffer at EOF). Pays the §6.2 temp-buffer-to-user copy.
     pub(crate) fn stream_read(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
@@ -96,45 +144,7 @@ impl SockShared {
         }
         loop {
             // 1. Serve buffered bytes.
-            let served = {
-                let mut i = self.inner.lock();
-                if i.closed {
-                    return Ok(Err(SockError::Closed));
-                }
-                if i.stream_len > 0 {
-                    let mut out = Vec::with_capacity(max.min(i.stream_len));
-                    while out.len() < max {
-                        let Some(mut chunk) = i.stream_chunks.pop_front() else {
-                            break;
-                        };
-                        let want = max - out.len();
-                        if chunk.len() > want {
-                            let rest = chunk.split_off(want);
-                            i.stream_chunks.push_front(rest);
-                        }
-                        out.extend_from_slice(&chunk);
-                    }
-                    i.stream_len -= out.len();
-                    Some(Bytes::from(out))
-                } else {
-                    None
-                }
-            };
-            if let Some(out) = served {
-                // The data-streaming copy from the substrate's temporary
-                // buffer into the caller's buffer (§6.2).
-                let copy = self.proc_.ep.host().cost().memcpy(out.len());
-                ctx.delay(copy)?;
-                if emp_trace::ENABLED {
-                    self.trace(
-                        ctx,
-                        EventKind::SubstrateCopy,
-                        out.len() as u64,
-                        copy.nanos(),
-                    );
-                    self.trace(ctx, EventKind::SockReadEnd, out.len() as u64, 0);
-                }
-                self.inner.lock().stats.bytes_received += out.len() as u64;
+            if let Some(out) = ok_or_return!(self.serve_buffered(ctx, max)?) {
                 return Ok(Ok(out));
             }
             // 2. Pull any completed message into the stream.
@@ -165,6 +175,116 @@ impl SockShared {
             };
             ok_or_return!(self.wait_data_or_ctrl(ctx, &data_completion)?);
         }
+    }
+
+    /// Nonblocking stream read: serve whatever is buffered or already
+    /// landed; [`SockError::WouldBlock`] when a blocking read would park.
+    pub(crate) fn stream_try_read(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
+        if max == 0 {
+            return Ok(Ok(Bytes::new()));
+        }
+        loop {
+            if let Some(out) = ok_or_return!(self.serve_buffered(ctx, max)?) {
+                return Ok(Ok(out));
+            }
+            let front_done = {
+                let i = self.inner.lock();
+                i.data_slots.front().is_some_and(|s| s.handle.is_done())
+            };
+            if front_done {
+                ok_or_return!(self.pull_stream_msg(ctx)?);
+                continue;
+            }
+            // Notice a close notification that landed but was never
+            // drained (nonblocking readers never park in
+            // `wait_data_or_ctrl`, which is where blocking reads drain it).
+            ok_or_return!(self.poll_ctrl(ctx)?);
+            let (front_done, drained) = {
+                let i = self.inner.lock();
+                (
+                    i.data_slots.front().is_some_and(|s| s.handle.is_done()),
+                    i.peer_drained(),
+                )
+            };
+            if front_done {
+                continue;
+            }
+            if drained {
+                return Ok(Ok(Bytes::new()));
+            }
+            return Ok(Err(SockError::WouldBlock));
+        }
+    }
+
+    /// Nonblocking stream write: send as many credit-sized fragments as
+    /// available credits allow and report the bytes accepted —
+    /// [`SockError::WouldBlock`] when the credits are exhausted before any
+    /// byte is taken. Always uses the buffered-send path (copy into a
+    /// registered staging buffer, fire and forget): the zero-copy path
+    /// must pin the caller's buffer until the NIC acknowledges, which is
+    /// exactly the blocking a nonblocking write must not do.
+    pub(crate) fn stream_try_write(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
+        self.trace(ctx, EventKind::SockWriteStart, data.len() as u64, 0);
+        let mut off = 0;
+        loop {
+            ok_or_return!(self.check_writable());
+            // Collect any credit returns that already landed; never park.
+            self.reap_fcacks(ctx)?;
+            let got_credit = {
+                let mut i = self.inner.lock();
+                if i.credits > 0 {
+                    i.credits -= 1;
+                    true
+                } else {
+                    false
+                }
+            };
+            if !got_credit {
+                if self.inner.lock().peer_closed {
+                    return Ok(Err(SockError::PeerClosed));
+                }
+                if off == 0 && !data.is_empty() {
+                    return Ok(Err(SockError::WouldBlock));
+                }
+                return Ok(Ok(off));
+            }
+            let chunk = (data.len() - off).min(self.buf_size);
+            let piggyback = self.take_due_ack();
+            if emp_trace::ENABLED && piggyback > 0 {
+                self.trace(ctx, EventKind::AckPiggybacked, u64::from(piggyback), 0);
+            }
+            let seq = {
+                let mut i = self.inner.lock();
+                i.stats.bytes_sent += chunk as u64;
+                i.stats.msgs_sent += 1;
+                i.stats.piggybacked_credits += u64::from(piggyback);
+                i.claim_tx_seq()
+            };
+            let msg = Msg::Data {
+                piggyback,
+                seq,
+                payload: Bytes::copy_from_slice(&data[off..off + chunk]),
+            };
+            ctx.delay(self.proc_.cfg.stream_overhead)?;
+            self.comm_thread_penalty(ctx)?;
+            let copy = self.proc_.ep.host().cost().memcpy(chunk);
+            ctx.delay(copy)?;
+            self.trace(ctx, EventKind::SubstrateCopy, chunk as u64, copy.nanos());
+            let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
+            self.inner.lock().inflight_sends.push(h);
+            off += chunk;
+            if off >= data.len() {
+                return Ok(Ok(data.len()));
+            }
+        }
+    }
+
+    /// Would a stream `write` make progress without blocking right now?
+    /// True with credits in hand, and true in every error state (the
+    /// write returns the error immediately — POSIX `POLLOUT` semantics).
+    pub(crate) fn stream_writable_now(&self) -> bool {
+        let i = self.inner.lock();
+        i.credits > 0 || i.peer_closed || i.write_closed || i.closed
     }
 
     /// Consume the head data descriptor (which must be complete), append
@@ -371,6 +491,50 @@ impl SockShared {
                 self.inner.lock().fcack_handles.push_back(h);
             }
         }
+    }
+
+    /// Arm a one-shot fc-ack descriptor for a `poll` with write interest
+    /// in unexpected-queue mode (§6.4): with no pre-posted fc-ack
+    /// descriptors there, a credit return parks silently in the
+    /// unexpected pool and nothing would wake the poll. No-op outside UQ
+    /// mode, with credits in hand, or when one is already armed.
+    pub(crate) fn arm_poll_fcack(&self, ctx: &ProcessCtx) -> SimResult<()> {
+        if !self.proc_.cfg.acks_in_unexpected_queue {
+            return Ok(());
+        }
+        {
+            let i = self.inner.lock();
+            if i.poll_fcack.is_some() || i.credits > 0 || i.closed || i.peer_closed {
+                return Ok(());
+            }
+        }
+        let range = self.inner.lock().fcack_range;
+        let h = self.proc_.ep.post_recv(
+            ctx,
+            self.rx_fcack_tag(),
+            Some(self.peer),
+            crate::proto::HEADER,
+            range,
+        )?;
+        self.inner.lock().poll_fcack = Some(h);
+        Ok(())
+    }
+
+    /// Consume (if completed) or unpost the poll-armed fc-ack descriptor.
+    /// Must run before a poll returns: a descriptor left posted would
+    /// steal the next ack from the blocking write path's own post.
+    pub(crate) fn disarm_poll_fcack(&self, ctx: &ProcessCtx) -> OpResult<()> {
+        let Some(h) = self.inner.lock().poll_fcack.take() else {
+            return Ok(Ok(()));
+        };
+        if h.is_done() {
+            if let Some(msg) = self.proc_.ep.wait_recv(ctx, &h)? {
+                ok_or_return!(self.apply_fcack(ctx, &msg.data));
+            }
+        } else {
+            self.proc_.ep.unpost_recv(ctx, &h)?;
+        }
+        Ok(Ok(()))
     }
 
     fn apply_fcack(&self, ctx: &ProcessCtx, raw: &Bytes) -> Result<(), SockError> {

@@ -561,7 +561,7 @@ fn select_readable_picks_the_live_connection() {
         let c1 = l.accept(ctx)?.expect("conn 1");
         let c2 = l.accept(ctx)?.expect("conn 2");
         let conns = [&c1, &c2];
-        let idx = server2.select_readable(ctx, &conns)?;
+        let idx = server2.select_readable(ctx, &conns)?.expect("nonempty set");
         let d = conns[idx].read(ctx, 64)?.expect("data");
         assert_eq!(&d[..], b"from-2");
         assert_eq!(conns[idx].peer(), simnet::MacAddr(2));

@@ -8,12 +8,31 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use simnet::{ProcessCtx, SimResult};
+use simnet::{Event, Interest, ProcessCtx, SimAccess, SimAccessExt, SimDuration, SimResult};
 
 use crate::stack::{ListenerState, TcpStack};
 use crate::tcp::{TcpError, TcpSocket};
 use crate::udp::{self, UdpPort};
 use crate::wire::SockAddr;
+
+/// What one [`TcpPollSource`] watches: a connection or a listener.
+pub enum TcpPollTarget<'a> {
+    /// An established connection (readable/writable interests).
+    Conn(&'a TcpConn),
+    /// A listening socket (acceptable interest).
+    Listener(&'a TcpListener),
+}
+
+/// One registration of a [`TcpApi::poll`] call: target, caller-chosen
+/// token, and the interests to watch.
+pub struct TcpPollSource<'a> {
+    /// The socket to watch.
+    pub target: TcpPollTarget<'a>,
+    /// Token reported back in the matching [`Event`].
+    pub token: usize,
+    /// Interests to watch ([`Interest::ERROR`] is always reported).
+    pub interest: Interest,
+}
 
 /// Entry point for processes on a host: make connections, listen, bind UDP.
 #[derive(Clone)]
@@ -71,17 +90,95 @@ impl TcpApi {
         }))
     }
 
-    /// `select()` over connections for readability: blocks until at least
-    /// one is readable and returns its index.
-    pub fn select_readable(&self, ctx: &ProcessCtx, conns: &[&TcpConn]) -> SimResult<usize> {
+    /// `poll()` over mixed sockets: blocks until at least one source is
+    /// ready (or the timeout expires — then the empty vector), returning
+    /// every ready one. One syscall charged on entry; every wait parks on
+    /// the stack's activity condvar, which `sock_on_segment` notifies on
+    /// each segment (data, acks opening the send window, accept-queue
+    /// deliveries, resets), so all readiness kinds share one wake source.
+    ///
+    /// An empty source list with no timeout is [`TcpError::Invalid`]
+    /// (the wait could never wake).
+    pub fn poll(
+        &self,
+        ctx: &ProcessCtx,
+        sources: &[TcpPollSource<'_>],
+        timeout: Option<SimDuration>,
+    ) -> SimResult<Result<Vec<Event>, TcpError>> {
+        if sources.is_empty() && timeout.is_none() {
+            return Ok(Err(TcpError::Invalid));
+        }
         ctx.delay(self.stack.host().cost().syscall)?;
+        let give_up_at = timeout.map(|d| ctx.now() + d);
+        if let Some(at) = give_up_at {
+            // The deadline rides the same wake source as the sockets.
+            let cv = self.stack.activity.clone();
+            ctx.schedule_at(at, move |s| cv.notify_all(s));
+        }
         loop {
-            for (idx, c) in conns.iter().enumerate() {
-                if c.readable() {
-                    return Ok(idx);
+            let mut events = Vec::new();
+            for src in sources {
+                let ready = match &src.target {
+                    TcpPollTarget::Conn(c) => {
+                        let i = c.sock.inner.lock();
+                        let mut r = Interest::EMPTY;
+                        if i.reset {
+                            r |= Interest::ERROR;
+                        }
+                        if src.interest.intersects(Interest::READABLE) && i.readable() {
+                            r |= Interest::READABLE;
+                        }
+                        if src.interest.intersects(Interest::WRITABLE) && i.writable() {
+                            r |= Interest::WRITABLE;
+                        }
+                        r
+                    }
+                    TcpPollTarget::Listener(l) => {
+                        if src.interest.intersects(Interest::ACCEPTABLE) && !l.l.queue.is_empty() {
+                            Interest::ACCEPTABLE
+                        } else {
+                            Interest::EMPTY
+                        }
+                    }
+                };
+                if !ready.is_empty() {
+                    events.push(Event {
+                        token: src.token,
+                        ready,
+                    });
                 }
             }
+            if !events.is_empty() {
+                return Ok(Ok(events));
+            }
+            if give_up_at.is_some_and(|at| ctx.now() >= at) {
+                return Ok(Ok(Vec::new()));
+            }
             self.stack.activity.wait(ctx)?;
+        }
+    }
+
+    /// `select()` over connections for readability: blocks until at least
+    /// one is readable and returns its index. A readable-only
+    /// [`TcpApi::poll`] underneath; an empty set is [`TcpError::Invalid`]
+    /// (it could never wake), not an endless park.
+    pub fn select_readable(
+        &self,
+        ctx: &ProcessCtx,
+        conns: &[&TcpConn],
+    ) -> SimResult<Result<usize, TcpError>> {
+        let sources: Vec<TcpPollSource<'_>> = conns
+            .iter()
+            .enumerate()
+            .map(|(idx, c)| TcpPollSource {
+                target: TcpPollTarget::Conn(c),
+                token: idx,
+                interest: Interest::READABLE,
+            })
+            .collect();
+        match self.poll(ctx, &sources, None)? {
+            Ok(events) => Ok(Ok(events[0].token)),
+            Err(e) => Ok(Err(e)),
         }
     }
 
@@ -139,6 +236,19 @@ impl TcpConn {
         self.stack.write(ctx, &self.sock, data)
     }
 
+    /// Nonblocking read: serve what the receive buffer holds;
+    /// [`TcpError::WouldBlock`] when a blocking read would park.
+    pub fn try_read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, TcpError>> {
+        self.stack.try_read(ctx, &self.sock, max)
+    }
+
+    /// Nonblocking write: copy what fits the send buffer and report the
+    /// count accepted; [`TcpError::WouldBlock`] when it is full before
+    /// any byte is taken.
+    pub fn try_write(&self, ctx: &ProcessCtx, data: &[u8]) -> SimResult<Result<usize, TcpError>> {
+        self.stack.try_write(ctx, &self.sock, data)
+    }
+
     /// Orderly close (FIN behind buffered data).
     pub fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
         self.stack.close(ctx, &self.sock)
@@ -147,6 +257,12 @@ impl TcpConn {
     /// Would `read` return without blocking?
     pub fn readable(&self) -> bool {
         self.sock.inner.lock().readable()
+    }
+
+    /// Would `write` make progress without blocking? (Send-buffer space,
+    /// or an error state the write reports immediately.)
+    pub fn writable(&self) -> bool {
+        self.sock.inner.lock().writable()
     }
 }
 
@@ -164,6 +280,16 @@ impl TcpListener {
             stack: Arc::clone(&self.stack),
             sock,
         })
+    }
+
+    /// Nonblocking accept: pop an established connection if one is
+    /// queued; [`TcpError::WouldBlock`] otherwise. Poll with
+    /// [`Interest::ACCEPTABLE`] to learn when to retry.
+    pub fn try_accept(&self, ctx: &ProcessCtx) -> SimResult<Result<TcpConn, TcpError>> {
+        Ok(self.stack.try_accept(ctx, &self.l)?.map(|sock| TcpConn {
+            stack: Arc::clone(&self.stack),
+            sock,
+        }))
     }
 
     /// Stop listening (the port frees; queued connections stay valid).

@@ -22,9 +22,10 @@ pub mod testbed;
 pub mod udp;
 pub mod wire;
 
-pub use api::{TcpApi, TcpConn, TcpListener, UdpSock};
+pub use api::{TcpApi, TcpConn, TcpListener, TcpPollSource, TcpPollTarget, UdpSock};
 pub use config::TcpConfig;
 pub use nic::AcenicNic;
+pub use simnet::{Event, Interest};
 pub use stack::TcpStack;
 pub use tcp::TcpError;
 pub use testbed::{build_tcp_cluster, TcpCluster, TcpNode};

@@ -657,6 +657,92 @@ impl TcpStack {
         Ok(Ok(data.len()))
     }
 
+    /// Nonblocking read: serve what the receive buffer holds right now;
+    /// [`TcpError::WouldBlock`] when a blocking read would park. Same
+    /// syscall/copy/window-update accounting as [`TcpStack::read`], minus
+    /// the wakeup path.
+    pub(crate) fn try_read(
+        &self,
+        ctx: &ProcessCtx,
+        sock: &Arc<TcpSocket>,
+        max: usize,
+    ) -> SimResult<Result<Bytes, TcpError>> {
+        ctx.delay(self.host.cost().syscall)?;
+        let taken = {
+            let mut i = sock.inner.lock();
+            if i.reset {
+                return Ok(Err(TcpError::ConnectionReset));
+            }
+            if !i.rcv_buf.is_empty() {
+                let n = max.min(i.rcv_buf.len());
+                let data: Vec<u8> = i.rcv_buf.drain(..n).collect();
+                let adv = i.advertised_window(&self.cfg);
+                let update = adv >= i.last_advertised + 2 * self.cfg.mss;
+                (Bytes::from(data), update)
+            } else if i.fin_received {
+                return Ok(Ok(Bytes::new()));
+            } else if i.state == TcpState::Closed {
+                return Ok(Err(TcpError::Closed));
+            } else {
+                return Ok(Err(TcpError::WouldBlock));
+            }
+        };
+        let (data, update) = taken;
+        ctx.delay(self.host.cost().memcpy(data.len()))?;
+        if update {
+            self.send_ack(ctx, sock);
+        }
+        Ok(Ok(data))
+    }
+
+    /// Nonblocking write: copy what fits the send buffer right now and
+    /// report the count accepted; [`TcpError::WouldBlock`] when the
+    /// buffer is full before any byte is taken.
+    pub(crate) fn try_write(
+        &self,
+        ctx: &ProcessCtx,
+        sock: &Arc<TcpSocket>,
+        data: &[u8],
+    ) -> SimResult<Result<usize, TcpError>> {
+        ctx.delay(self.host.cost().syscall)?;
+        let copied = {
+            let mut i = sock.inner.lock();
+            if i.reset {
+                return Ok(Err(TcpError::ConnectionReset));
+            }
+            if i.fin_queued || matches!(i.state, TcpState::Closed | TcpState::FinWait) {
+                return Ok(Err(TcpError::Closed));
+            }
+            let space = i.snd_cap - i.snd_buf.len();
+            if space == 0 && !data.is_empty() {
+                return Ok(Err(TcpError::WouldBlock));
+            }
+            let n = space.min(data.len());
+            i.snd_buf.extend(data[..n].iter().copied());
+            n
+        };
+        ctx.delay(self.host.cost().memcpy(copied))?;
+        self.try_output(ctx, sock);
+        Ok(Ok(copied))
+    }
+
+    /// Nonblocking accept: pop an established connection if one is
+    /// queued; [`TcpError::WouldBlock`] otherwise.
+    pub(crate) fn try_accept(
+        &self,
+        ctx: &ProcessCtx,
+        l: &Arc<ListenerState>,
+    ) -> SimResult<Result<Arc<TcpSocket>, TcpError>> {
+        ctx.delay(self.host.cost().syscall)?;
+        match l.queue.try_pop() {
+            Some(sock) => {
+                ctx.delay(self.host.cost().process_wakeup + self.host.cost().context_switch)?;
+                Ok(Ok(sock))
+            }
+            None => Ok(Err(TcpError::WouldBlock)),
+        }
+    }
+
     /// Orderly close: queue a FIN behind any buffered data.
     pub(crate) fn close(&self, ctx: &ProcessCtx, sock: &Arc<TcpSocket>) -> SimResult<()> {
         ctx.delay(self.host.cost().syscall)?;

@@ -46,6 +46,12 @@ pub enum TcpError {
     Closed,
     /// Listen port already taken.
     AddrInUse,
+    /// A nonblocking operation found nothing to do (EAGAIN): empty
+    /// receive buffer, full send buffer, or empty accept queue.
+    WouldBlock,
+    /// Invalid argument (EINVAL): e.g. `select`/`poll` over an empty set
+    /// with no timeout, which could never wake.
+    Invalid,
 }
 
 impl std::fmt::Display for TcpError {
@@ -55,6 +61,8 @@ impl std::fmt::Display for TcpError {
             TcpError::ConnectionReset => write!(f, "connection reset by peer"),
             TcpError::Closed => write!(f, "socket closed"),
             TcpError::AddrInUse => write!(f, "address in use"),
+            TcpError::WouldBlock => write!(f, "operation would block"),
+            TcpError::Invalid => write!(f, "invalid argument"),
         }
     }
 }
@@ -151,6 +159,16 @@ impl TcpInner {
     /// True when `read()` would not block.
     pub(crate) fn readable(&self) -> bool {
         !self.rcv_buf.is_empty() || self.fin_received || self.reset
+    }
+
+    /// True when `write()` would make progress without blocking: send
+    /// buffer space available, or an error/closed state the write reports
+    /// immediately (POSIX `POLLOUT` semantics).
+    pub(crate) fn writable(&self) -> bool {
+        self.reset
+            || self.fin_queued
+            || matches!(self.state, TcpState::Closed | TcpState::FinWait)
+            || self.snd_cap > self.snd_buf.len()
     }
 
     /// May the socket transmit data in its current state?

@@ -335,7 +335,7 @@ fn select_wakes_on_the_readable_connection() {
         let c2 = l.accept(ctx)?;
         // Identify connections by peer host.
         let conns = [&c1, &c2];
-        let idx = api_s.select_readable(ctx, &conns)?;
+        let idx = api_s.select_readable(ctx, &conns)?.expect("nonempty set");
         let data = conns[idx].read(ctx, 64)?.expect("data");
         assert_eq!(&data[..], b"from-2");
         assert_eq!(conns[idx].peer_addr().host, simnet::MacAddr(2));

@@ -34,6 +34,7 @@ pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod process;
+pub mod readiness;
 pub mod stats;
 pub mod switch;
 pub mod sync;
@@ -46,6 +47,7 @@ pub use fault::{FaultDecision, FaultPlan, FaultState, XorShift64};
 pub use frame::{EtherType, Frame, MacAddr, Payload, MTU};
 pub use link::{FrameSink, LinkConfig, LinkTx};
 pub use process::{ProcId, ProcessCtx};
+pub use readiness::{Event, Interest};
 pub use stats::{Histogram, LinkStats, RunningStats, Throughput};
 pub use switch::{Switch, SwitchConfig, BROADCAST};
 pub use sync::{wait_any, Completion, SimCondvar, SimQueue, SimSemaphore};
