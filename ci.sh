@@ -56,4 +56,50 @@ events=$(echo "$out" | sed -n 's/^(\([0-9]\+\) events.*/\1/p')
 echo "$out" | grep -q "fault counters: wire_drops=" \
     || { echo "FAIL: no fault-counter report in traced run"; exit 1; }
 
+step "data-path fast-path perf smoke"
+# Perf stage: the two fast-path figures must show coalescing collapsing
+# the 64-byte substrate message count (and with it a bandwidth win) and
+# direct delivery actually skipping temp-buffer copies — in the default
+# build and, because trace hooks ride the same code paths, the traced one.
+perf_smoke() {
+    local features=() label="$1"
+    [[ "$label" == trace ]] && features=(--features emp-bench/trace)
+    local out
+    out=$(cargo run -q --release -p emp-bench --bin figures "${features[@]}" \
+        -- --quick small-message-throughput copy-avoidance)
+    echo "$out" | grep -E '^(small-message-throughput|copy-avoidance):'
+    echo "$out" | awk -v label="$label" '
+        /^small-message-throughput: 64B/ {
+            split($0, f); smt = 1
+            for (i in f) {
+                if (f[i] ~ /^coalesce_off=/) { sub(/.*=/, "", f[i]); off = f[i] + 0 }
+                if (f[i] ~ /^coalesce_on=/)  { sub(/.*=/, "", f[i]); on  = f[i] + 0 }
+            }
+            if (!(on > 0 && on < off)) {
+                printf "FAIL(%s): coalescing did not cut 64B msgs_sent (off=%d on=%d)\n", label, off, on
+                bad = 1
+            }
+        }
+        /^copy-avoidance:/ {
+            ca = 1
+            for (i = 1; i <= NF; i++) {
+                if ($i ~ /^copies_avoided=/) { v = $i; sub(/.*=/, "", v); avoided += v + 0 }
+                if ($i ~ /^bytes_direct=/)   { v = $i; sub(/.*=/, "", v); direct += v + 0 }
+                if ($i ~ /^bytes_received=/) { v = $i; sub(/.*=/, "", v); recvd += v + 0 }
+            }
+        }
+        END {
+            if (!smt) { printf "FAIL(%s): no 64B small-message summary line\n", label; bad = 1 }
+            if (!ca)  { printf "FAIL(%s): no copy-avoidance summary lines\n", label; bad = 1 }
+            if (ca && !(avoided > 0)) { printf "FAIL(%s): copies_avoided == 0\n", label; bad = 1 }
+            if (ca && direct != recvd) {
+                printf "FAIL(%s): posted-reader sweep still copied %d bytes\n", label, recvd - direct
+                bad = 1
+            }
+            exit bad
+        }' || { echo "FAIL: perf smoke ($label build)"; exit 1; }
+}
+perf_smoke default
+perf_smoke trace
+
 printf '\nci.sh: all checks passed\n'

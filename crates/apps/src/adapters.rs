@@ -99,6 +99,14 @@ impl NetConn for EmpConnAdapter {
         self.0.peer()
     }
 
+    fn flush(&self, ctx: &ProcessCtx) -> SimResult<Result<(), NetError>> {
+        Ok(self.0.flush(ctx)?.map_err(from_sock_err))
+    }
+
+    fn substrate_stats(&self) -> Option<sockets_emp::ConnStats> {
+        Some(self.0.stats())
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -72,6 +72,19 @@ pub trait NetConn: Send + Sync + 'static {
     /// Downcast support for stack-specific `select()`/`poll()`.
     fn as_any(&self) -> &dyn Any;
 
+    /// Flush any writes the stack buffered for aggregation (the EMP
+    /// substrate's small-write coalescing). No-op on stacks without a
+    /// staging buffer.
+    fn flush(&self, _ctx: &ProcessCtx) -> SimResult<Result<(), NetError>> {
+        Ok(Ok(()))
+    }
+
+    /// The EMP substrate's per-connection counters, when this connection
+    /// runs over it (`None` on other stacks).
+    fn substrate_stats(&self) -> Option<sockets_emp::ConnStats> {
+        None
+    }
+
     /// Read exactly `n` bytes; `None` on premature EOF.
     fn read_exact(&self, ctx: &ProcessCtx, n: usize) -> SimResult<Result<Option<Bytes>, NetError>> {
         let mut buf = Vec::with_capacity(n);

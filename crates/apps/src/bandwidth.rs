@@ -11,9 +11,23 @@ use crate::testbed::Testbed;
 /// Stream `total_bytes` from node 0 to node 1 in `msg_size` writes;
 /// returns goodput in Mbps.
 pub fn throughput_mbps(sim: &Sim, tb: &Testbed, msg_size: usize, total_bytes: usize) -> f64 {
+    throughput_with_stats(sim, tb, msg_size, total_bytes).0
+}
+
+/// [`throughput_mbps`], also returning both connections' substrate
+/// counters summed (sender + receiver, sampled just before close). All
+/// zeros on stacks that expose none (kernel TCP).
+pub fn throughput_with_stats(
+    sim: &Sim,
+    tb: &Testbed,
+    msg_size: usize,
+    total_bytes: usize,
+) -> (f64, sockets_emp::ConnStats) {
     assert!(tb.nodes.len() >= 2, "bandwidth test needs two nodes");
     let out = Arc::new(Mutex::new(f64::NAN));
     let out2 = Arc::clone(&out);
+    let stats = Arc::new(Mutex::new(sockets_emp::ConnStats::default()));
+    let (stats_rx, stats_tx) = (Arc::clone(&stats), Arc::clone(&stats));
     let server_api = Arc::clone(&tb.nodes[1].api);
     let client_api = Arc::clone(&tb.nodes[0].api);
     let server_host = server_api.local_host();
@@ -36,6 +50,9 @@ pub fn throughput_mbps(sim: &Sim, tb: &Testbed, msg_size: usize, total_bytes: us
         }
         let elapsed = ctx.now() - t0.expect("received something");
         *out2.lock() = got as f64 * 8.0 / elapsed.as_secs_f64() / 1e6;
+        if let Some(s) = conn.substrate_stats() {
+            *stats_rx.lock() += s;
+        }
         let _ = conn.close(ctx);
         l.close(ctx)?;
         Ok(())
@@ -51,14 +68,19 @@ pub fn throughput_mbps(sim: &Sim, tb: &Testbed, msg_size: usize, total_bytes: us
             conn.write(ctx, &buf[..n])?.expect("write");
             sent += n;
         }
+        conn.flush(ctx)?.expect("flush");
         ctx.delay(SimDuration::from_millis(2))?;
+        if let Some(s) = conn.substrate_stats() {
+            *stats_tx.lock() += s;
+        }
         conn.close(ctx)?;
         Ok(())
     });
     sim.run();
     let mbps = *out.lock();
     assert!(mbps.is_finite(), "bandwidth test did not complete");
-    mbps
+    let totals = *stats.lock();
+    (mbps, totals)
 }
 
 /// Simultaneous bulk transfer in both directions between nodes 0 and 1;

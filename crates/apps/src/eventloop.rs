@@ -139,6 +139,12 @@ fn flush(ctx: &ProcessCtx, st: &mut ConnState, dead: &mut bool) -> SimResult<()>
     if st.sent == st.out.len() {
         st.out.clear();
         st.sent = 0;
+        // The response is fully handed to the stack: push out anything it
+        // staged for aggregation before going back to the poll (the
+        // client is waiting on these bytes).
+        if !*dead && st.conn.flush(ctx)?.is_err() {
+            *dead = true;
+        }
     }
     Ok(())
 }

@@ -11,7 +11,25 @@ use crate::testbed::Testbed;
 /// Measure one-way latency for `msg_size`-byte messages over `iters`
 /// round trips on nodes 0 and 1 of `tb`. Returns microseconds.
 pub fn one_way_latency_us(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32) -> f64 {
-    pingpong_run(sim, tb, msg_size, iters, false)
+    pingpong_run(sim, tb, msg_size, iters, false, None)
+}
+
+/// [`one_way_latency_us`], also returning both connections' substrate
+/// counters summed (sampled just before close; all zeros on kernel TCP).
+/// The ping-pong is the posted-reader case: each side is parked in
+/// `read()` when its message arrives, so with
+/// `SubstrateConfig::with_direct_delivery` every delivery should bypass
+/// the temp-buffer copy (`copies_avoided`/`bytes_direct` account it).
+pub fn pingpong_with_stats(
+    sim: &Sim,
+    tb: &Testbed,
+    msg_size: usize,
+    iters: u32,
+) -> (f64, sockets_emp::ConnStats) {
+    let stats = Arc::new(Mutex::new(sockets_emp::ConnStats::default()));
+    let us = pingpong_run(sim, tb, msg_size, iters, false, Some(Arc::clone(&stats)));
+    let s = *stats.lock();
+    (us, s)
 }
 
 /// A ping-pong run captured for analysis: the measured latency plus the
@@ -34,7 +52,7 @@ pub struct TracedPingpong {
 /// `emp_trace::Breakdown::compute` for the §7-style latency budget or to
 /// `emp_trace::chrome_trace_json` for a Perfetto-loadable timeline.
 pub fn traced_pingpong(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32) -> TracedPingpong {
-    let one_way_us = pingpong_run(sim, tb, msg_size, iters, true);
+    let one_way_us = pingpong_run(sim, tb, msg_size, iters, true, None);
     let tracer = sim.tracer();
     TracedPingpong {
         one_way_us,
@@ -43,11 +61,19 @@ pub fn traced_pingpong(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32) -> 
     }
 }
 
-fn pingpong_run(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32, traced: bool) -> f64 {
+fn pingpong_run(
+    sim: &Sim,
+    tb: &Testbed,
+    msg_size: usize,
+    iters: u32,
+    traced: bool,
+    stats: Option<Arc<Mutex<sockets_emp::ConnStats>>>,
+) -> f64 {
     assert!(tb.nodes.len() >= 2, "ping-pong needs two nodes");
     assert!(msg_size >= 1);
     let out = Arc::new(Mutex::new(f64::NAN));
     let out2 = Arc::clone(&out);
+    let (stats_srv, stats_cli) = (stats.clone(), stats);
     let server_api = Arc::clone(&tb.nodes[1].api);
     let client_api = Arc::clone(&tb.nodes[0].api);
     let server_host = server_api.local_host();
@@ -65,6 +91,9 @@ fn pingpong_run(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32, traced: bo
             if conn.write(ctx, &m)?.is_err() {
                 break;
             }
+        }
+        if let (Some(acc), Some(s)) = (&stats_srv, conn.substrate_stats()) {
+            *acc.lock() += s;
         }
         let _ = conn.close(ctx);
         l.close(ctx)?;
@@ -97,6 +126,9 @@ fn pingpong_run(sim: &Sim, tb: &Testbed, msg_size: usize, iters: u32, traced: bo
         let rtt = (ctx.now() - t0) / u64::from(iters);
         *out2.lock() = rtt.as_micros_f64() / 2.0;
         ctx.delay(SimDuration::from_micros(50))?;
+        if let (Some(acc), Some(s)) = (&stats_cli, conn.substrate_stats()) {
+            *acc.lock() += s;
+        }
         conn.close(ctx)?;
         Ok(())
     });

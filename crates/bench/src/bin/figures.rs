@@ -8,6 +8,10 @@
 //! ```
 //!
 //! Tables print to stdout; JSON lands in `target/figures/<id>.json`.
+//! `--json <path>` additionally writes every generated figure into one
+//! combined machine-readable file. The `small-message-throughput` and
+//! `copy-avoidance` figures also print one `key=value` summary line per
+//! swept size (the perf-smoke stage of `ci.sh` asserts on these).
 //! `--trace` (requires the `trace` feature) runs a traced ping-pong
 //! instead, printing the §7-style latency budget and writing a
 //! Perfetto-loadable Chrome trace to `target/figures/pingpong_trace.json`.
@@ -21,18 +25,33 @@ fn main() {
         run_traced_pingpong();
         return;
     }
-    let profile = if args.iter().any(|a| a == "--quick") {
-        Profile::Quick
-    } else {
-        Profile::Full
-    };
-    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut profile = Profile::Full;
+    let mut json_path: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => profile = Profile::Quick,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("--json needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+            _ => wanted.push(a),
+        }
+    }
 
     let figures: Vec<Figure> = if wanted.is_empty() {
         figures::all_figures(profile)
     } else {
         let mut out = Vec::new();
-        for name in wanted {
+        for name in &wanted {
             let fig = match name.as_str() {
                 "fig11" => figures::fig11(profile),
                 "fig12" => figures::fig12(profile),
@@ -49,6 +68,8 @@ fn main() {
                 "connect-time" => figures::connect_time(profile),
                 "datacenter-kv" => figures::datacenter_kv(profile),
                 "event-loop-concurrency" => figures::event_loop_concurrency(profile),
+                "small-message-throughput" => small_message_with_summary(profile),
+                "copy-avoidance" => copy_avoidance_with_summary(profile),
                 other => {
                     eprintln!("unknown figure '{other}'");
                     std::process::exit(2);
@@ -67,6 +88,40 @@ fn main() {
         std::fs::write(&path, fig.to_json()).expect("write figure json");
     }
     println!("(json written to target/figures/)");
+    if let Some(path) = json_path {
+        let body: Vec<String> = figures.iter().map(|f| f.to_json()).collect();
+        let combined = format!("{{\"figures\": [\n{}]}}\n", body.join(","));
+        std::fs::write(&path, combined).expect("write combined json");
+        println!("(combined json written to {path})");
+    }
+}
+
+/// Generate the small-message figure, printing one machine-parsable line
+/// per swept write size for the perf-smoke stage.
+fn small_message_with_summary(profile: Profile) -> Figure {
+    let pts = figures::small_message_sweep(profile);
+    for p in &pts {
+        println!(
+            "small-message-throughput: {}B msgs_sent coalesce_off={} coalesce_on={} \
+             mbps_off={:.1} mbps_on={:.1} mbps_tcp={:.1}",
+            p.size, p.msgs_off, p.msgs_on, p.mbps_off, p.mbps_on, p.mbps_tcp
+        );
+    }
+    figures::small_message_figure(&pts)
+}
+
+/// Generate the copy-avoidance figure, printing one machine-parsable line
+/// per swept message size for the perf-smoke stage.
+fn copy_avoidance_with_summary(profile: Profile) -> Figure {
+    let pts = figures::copy_avoidance_sweep(profile);
+    for p in &pts {
+        println!(
+            "copy-avoidance: {}B copies_avoided={} bytes_direct={} bytes_received={} \
+             us_off={:.2} us_on={:.2}",
+            p.size, p.copies_avoided, p.bytes_direct, p.bytes_received, p.us_off, p.us_on
+        );
+    }
+    figures::copy_avoidance_figure(&pts)
 }
 
 /// Run a 4-byte ping-pong with the event tracer on, print the latency

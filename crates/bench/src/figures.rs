@@ -614,6 +614,171 @@ fn run_tcp_bulk(sim: &Sim, cluster: &kernel_tcp::TcpCluster, total: usize) {
     sim.run();
 }
 
+/// One point of the small-write coalescing sweep: goodput with and
+/// without coalescing (plus kernel TCP for scale) and the substrate
+/// message counts that explain the gap. `ci.sh` asserts on the counters;
+/// the figure plots the Mbps columns.
+pub struct SmallMsgPoint {
+    /// Application write size in bytes.
+    pub size: usize,
+    /// Goodput, DS_DA_UQ with coalescing off.
+    pub mbps_off: f64,
+    /// Goodput, DS_DA_UQ with coalescing on.
+    pub mbps_on: f64,
+    /// Goodput, kernel TCP (256K socket buffers).
+    pub mbps_tcp: f64,
+    /// Substrate data messages sent, coalescing off.
+    pub msgs_off: u64,
+    /// Substrate data messages sent, coalescing on.
+    pub msgs_on: u64,
+}
+
+/// Run the small-message bandwidth sweep behind
+/// [`small_message_throughput`], returning the per-point counters too.
+pub fn small_message_sweep(profile: Profile) -> Vec<SmallMsgPoint> {
+    let sizes: &[usize] = match profile {
+        Profile::Quick => &[64, 256],
+        Profile::Full => &[16, 64, 256, 1024],
+    };
+    let total: usize = match profile {
+        Profile::Quick => 64 * 1024,
+        Profile::Full => 256 * 1024,
+    };
+    parallel_sweep(sizes, |&size| {
+        let run = |cfg: SubstrateConfig, label: &str| {
+            let sim = Sim::new();
+            let tb = emp_tb(cfg, label, 2);
+            bandwidth::throughput_with_stats(&sim, &tb, size, total)
+        };
+        let (mbps_off, st_off) = run(SubstrateConfig::ds_da_uq(), "ds-da-uq");
+        let (mbps_on, st_on) = run(SubstrateConfig::ds_da_uq().with_coalescing(), "ds-coalesce");
+        let sim = Sim::new();
+        let tb = tcp_tb(2, Some(256 * 1024), "tcp-256k");
+        let mbps_tcp = bandwidth::throughput_mbps(&sim, &tb, size, total);
+        SmallMsgPoint {
+            size,
+            mbps_off,
+            mbps_on,
+            mbps_tcp,
+            msgs_off: st_off.msgs_sent,
+            msgs_on: st_on.msgs_sent,
+        }
+    })
+}
+
+/// Shape a finished sweep into the plotted figure.
+pub fn small_message_figure(points: &[SmallMsgPoint]) -> Figure {
+    let mut fig = Figure::new(
+        "small-message-throughput",
+        "Small-message bandwidth: write coalescing vs plain substrate vs TCP",
+        "msg bytes",
+        "Mbps",
+    );
+    fig.push(
+        "DS_DA_UQ",
+        points.iter().map(|p| (p.size as f64, p.mbps_off)).collect(),
+    );
+    fig.push(
+        "DS_DA_UQ+coal",
+        points.iter().map(|p| (p.size as f64, p.mbps_on)).collect(),
+    );
+    fig.push(
+        "TCP 256K",
+        points.iter().map(|p| (p.size as f64, p.mbps_tcp)).collect(),
+    );
+    fig
+}
+
+/// Small-message bandwidth with and without write coalescing.
+pub fn small_message_throughput(profile: Profile) -> Figure {
+    small_message_figure(&small_message_sweep(profile))
+}
+
+/// One point of the direct-delivery sweep: ping-pong latency with and
+/// without receiver-posted direct delivery, plus the delivery counters.
+/// The ping-pong reader is always parked in `read()` when its message
+/// lands, so with the knob on every in-sequence delivery should bypass
+/// the §6.2 temp-buffer copy.
+pub struct CopyAvoidPoint {
+    /// Message size in bytes.
+    pub size: usize,
+    /// One-way latency, direct delivery off (µs).
+    pub us_off: f64,
+    /// One-way latency, direct delivery on (µs).
+    pub us_on: f64,
+    /// Temp-buffer copies skipped (both ends summed), knob on.
+    pub copies_avoided: u64,
+    /// Bytes delivered straight into posted reader buffers, knob on.
+    pub bytes_direct: u64,
+    /// Total bytes received (both ends summed), knob on.
+    pub bytes_received: u64,
+}
+
+/// Run the direct-delivery ping-pong sweep behind [`copy_avoidance`].
+pub fn copy_avoidance_sweep(profile: Profile) -> Vec<CopyAvoidPoint> {
+    let sizes = profile.latency_sizes();
+    let iters = profile.iters();
+    parallel_sweep(sizes, |&size| {
+        let run = |cfg: SubstrateConfig, label: &str| {
+            let sim = Sim::new();
+            let tb = emp_tb(cfg, label, 2);
+            pingpong::pingpong_with_stats(&sim, &tb, size, iters)
+        };
+        let (us_off, _) = run(SubstrateConfig::ds_da_uq(), "ds-da-uq");
+        let (us_on, st_on) = run(
+            SubstrateConfig::ds_da_uq().with_direct_delivery(),
+            "ds-direct",
+        );
+        CopyAvoidPoint {
+            size,
+            us_off,
+            us_on,
+            copies_avoided: st_on.copies_avoided,
+            bytes_direct: st_on.bytes_direct,
+            bytes_received: st_on.bytes_received,
+        }
+    })
+}
+
+/// Shape a finished sweep into the plotted figure.
+pub fn copy_avoidance_figure(points: &[CopyAvoidPoint]) -> Figure {
+    let mut fig = Figure::new(
+        "copy-avoidance",
+        "Posted-reader direct delivery: latency and share of bytes copied",
+        "msg bytes",
+        "one-way us (copy % on right series)",
+    );
+    fig.push(
+        "DS_DA_UQ",
+        points.iter().map(|p| (p.size as f64, p.us_off)).collect(),
+    );
+    fig.push(
+        "DS_DA_UQ+direct",
+        points.iter().map(|p| (p.size as f64, p.us_on)).collect(),
+    );
+    fig.push(
+        "copied %",
+        points
+            .iter()
+            .map(|p| {
+                let copied = p.bytes_received.saturating_sub(p.bytes_direct) as f64;
+                let pct = if p.bytes_received == 0 {
+                    0.0
+                } else {
+                    copied / p.bytes_received as f64 * 100.0
+                };
+                (p.size as f64, pct)
+            })
+            .collect(),
+    );
+    fig
+}
+
+/// Ping-pong latency and copy share with receiver-posted direct delivery.
+pub fn copy_avoidance(profile: Profile) -> Figure {
+    copy_avoidance_figure(&copy_avoidance_sweep(profile))
+}
+
 /// Every figure, in paper order.
 pub fn all_figures(profile: Profile) -> Vec<Figure> {
     vec![
@@ -632,5 +797,7 @@ pub fn all_figures(profile: Profile) -> Vec<Figure> {
         ablation_piggyback(profile),
         ablation_nic_cpus(profile),
         cpu_utilization(profile),
+        small_message_throughput(profile),
+        copy_avoidance(profile),
     ]
 }

@@ -86,6 +86,29 @@ pub struct SubstrateConfig {
     /// deadlocked peer blocks the caller indefinitely (Figure 7 relies on
     /// this).
     pub peer_gone_after: Option<SimDuration>,
+    /// Receiver-posted direct delivery: a stream read that finds its
+    /// buffered data empty and an in-order message completed in a data
+    /// descriptor takes the payload straight into the user's buffer,
+    /// skipping the §6.2 temp-buffer copy — the receive counts as posted
+    /// from the moment the reader enters `read()`/`try_read()`. Off by
+    /// default: the Figure 11/13 presets measure the always-copy eager
+    /// path.
+    pub direct_delivery: bool,
+    /// Small-write coalescing: consecutive stream writes no larger than
+    /// [`Self::coalesce_threshold`] are staged in a registered buffer and
+    /// flushed as one substrate message, spending one credit and one
+    /// `stream_overhead` for many writes. Off by default for the same
+    /// calibration reason as `direct_delivery`.
+    pub coalesce_writes: bool,
+    /// A write at most this large is eligible for coalescing.
+    pub coalesce_threshold: usize,
+    /// Staged bytes that force a flush (clamped to `temp_buf_size`).
+    pub coalesce_max: usize,
+    /// Aggregation deadline: once the oldest staged byte has waited this
+    /// long, the next substrate call on the socket flushes before doing
+    /// anything else. `None` leaves staleness bounded only by the other
+    /// flush triggers (buffer-full, credit pressure, read/poll/flush).
+    pub coalesce_deadline: Option<SimDuration>,
 }
 
 impl Default for SubstrateConfig {
@@ -113,6 +136,11 @@ impl SubstrateConfig {
             dgram_overhead: SimDuration::from_nanos(300),
             connect_timeout: None,
             peer_gone_after: None,
+            direct_delivery: false,
+            coalesce_writes: false,
+            coalesce_threshold: 1024,
+            coalesce_max: 8 * 1024,
+            coalesce_deadline: Some(SimDuration::from_micros(50)),
         }
     }
 
@@ -181,6 +209,32 @@ impl SubstrateConfig {
         assert!(!patience.is_zero(), "a zero watchdog always fires");
         self.peer_gone_after = Some(patience);
         self
+    }
+
+    /// Enable receiver-posted direct delivery (skip the §6.2 temp-buffer
+    /// copy when a read is posted as the in-order message is consumed).
+    pub fn with_direct_delivery(mut self) -> Self {
+        self.direct_delivery = true;
+        self
+    }
+
+    /// Enable small-write coalescing with the default thresholds.
+    pub fn with_coalescing(mut self) -> Self {
+        self.coalesce_writes = true;
+        self
+    }
+
+    /// Override the aggregation deadline (see
+    /// [`Self::coalesce_deadline`]); `None` disables the deadline trigger.
+    pub fn with_coalesce_deadline(mut self, deadline: Option<SimDuration>) -> Self {
+        self.coalesce_deadline = deadline;
+        self
+    }
+
+    /// Effective staging-buffer capacity: `coalesce_max` can never exceed
+    /// one substrate message.
+    pub fn coalesce_capacity(&self) -> usize {
+        self.coalesce_max.min(self.temp_buf_size).max(1)
     }
 
     /// Messages consumed before a flow-control ack is due.
@@ -264,12 +318,26 @@ mod tests {
         ] {
             assert_eq!(cfg.connect_timeout, None);
             assert_eq!(cfg.peer_gone_after, None);
+            assert!(!cfg.direct_delivery, "direct delivery must default off");
+            assert!(!cfg.coalesce_writes, "coalescing must default off");
         }
         let armed = SubstrateConfig::ds()
             .with_connect_timeout(SimDuration::from_millis(5))
             .with_peer_watchdog(SimDuration::from_millis(20));
         assert_eq!(armed.connect_timeout, Some(SimDuration::from_millis(5)));
         assert_eq!(armed.peer_gone_after, Some(SimDuration::from_millis(20)));
+    }
+
+    #[test]
+    fn fast_path_builders_flip_only_their_knob() {
+        let d = SubstrateConfig::ds_da_uq().with_direct_delivery();
+        assert!(d.direct_delivery && !d.coalesce_writes);
+        let c = SubstrateConfig::ds_da_uq().with_coalescing();
+        assert!(c.coalesce_writes && !c.direct_delivery);
+        assert!(c.coalesce_threshold <= c.coalesce_capacity());
+        assert!(c.coalesce_capacity() <= c.temp_buf_size);
+        let no_deadline = c.with_coalesce_deadline(None);
+        assert_eq!(no_deadline.coalesce_deadline, None);
     }
 
     #[test]

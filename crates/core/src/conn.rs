@@ -154,6 +154,14 @@ pub struct ConnStats {
     pub credit_stalls: u64,
     /// Rendezvous round trips performed (datagram large sends).
     pub rendezvous: u64,
+    /// §6.2 temp-buffer copies skipped by receiver-posted direct delivery.
+    pub copies_avoided: u64,
+    /// User bytes delivered straight into the reader's buffer.
+    pub bytes_direct: u64,
+    /// Writes absorbed into the coalescing staging buffer.
+    pub writes_coalesced: u64,
+    /// Coalesced flushes (substrate messages carrying staged writes).
+    pub coalesce_flushes: u64,
 }
 
 impl std::ops::AddAssign for ConnStats {
@@ -166,6 +174,10 @@ impl std::ops::AddAssign for ConnStats {
         self.piggybacked_credits += o.piggybacked_credits;
         self.credit_stalls += o.credit_stalls;
         self.rendezvous += o.rendezvous;
+        self.copies_avoided += o.copies_avoided;
+        self.bytes_direct += o.bytes_direct;
+        self.writes_coalesced += o.writes_coalesced;
+        self.coalesce_flushes += o.coalesce_flushes;
     }
 }
 
@@ -203,6 +215,13 @@ pub(crate) struct SockInner {
     pub(crate) stream_len: usize,
     /// Messages consumed since the last credit return.
     pub(crate) consumed: u32,
+    // ---- small-write coalescing ----
+    /// Staged sub-threshold writes awaiting one flush.
+    pub(crate) coalesce_buf: Vec<u8>,
+    /// Writes currently staged in `coalesce_buf`.
+    pub(crate) coalesce_count: u64,
+    /// When the oldest staged byte was written (deadline trigger).
+    pub(crate) coalesce_since: Option<simnet::SimTime>,
     // ---- receive (datagram) ----
     pub(crate) rndv_handle: Option<RecvHandle>,
     pub(crate) dgram_data: Option<DataSlot>,
@@ -309,6 +328,9 @@ impl SockShared {
                 stream_chunks: VecDeque::new(),
                 stream_len: 0,
                 consumed: 0,
+                coalesce_buf: Vec::new(),
+                coalesce_count: 0,
+                coalesce_since: None,
                 rndv_handle: None,
                 dgram_data: None,
                 rndv_granted: false,
@@ -342,16 +364,20 @@ impl SockShared {
         match socket_type {
             SocketType::Stream => {
                 // N data descriptors into temp buffers (§5.2 eager w/ flow
-                // control), each with its own stable staging range.
+                // control), each with its own stable staging range — posted
+                // as one batch behind a single doorbell.
+                let mut posts = Vec::with_capacity(credits_max as usize);
                 for _ in 0..credits_max {
                     let range = proc_.alloc_range(buf_size + DATA_HEADER);
-                    let h = ep.post_recv(
-                        ctx,
+                    posts.push((
                         sock.rx_data_tag(),
                         Some(peer),
                         buf_size + DATA_HEADER,
                         range,
-                    )?;
+                    ));
+                }
+                let handles = ep.post_recv_batch(ctx, &posts)?;
+                for (h, (_, _, _, range)) in handles.into_iter().zip(posts) {
                     sock.inner
                         .lock()
                         .data_slots
@@ -359,10 +385,11 @@ impl SockShared {
                 }
                 // Flow-control-ack descriptors: pre-posted, or routed via
                 // the unexpected queue (§6.4).
-                let n_acks = cfg.fcack_descriptors();
-                for _ in 0..n_acks {
-                    let range = sock.inner.lock().fcack_range;
-                    let h = ep.post_recv(ctx, sock.rx_fcack_tag(), Some(peer), HEADER, range)?;
+                let fcack_range = sock.inner.lock().fcack_range;
+                let posts: Vec<_> = (0..cfg.fcack_descriptors())
+                    .map(|_| (sock.rx_fcack_tag(), Some(peer), HEADER, fcack_range))
+                    .collect();
+                for h in ep.post_recv_batch(ctx, &posts)? {
                     sock.inner.lock().fcack_handles.push_back(h);
                 }
                 let quota = cfg.unexpected_quota();
@@ -442,6 +469,25 @@ impl SockShared {
         self.proc_
             .ep
             .post_send(ctx, self.peer, tag, msg.encode(), range)
+    }
+
+    /// Send a data message as a header + payload pair: the NIC gathers the
+    /// two segments itself, so the payload is never assembled into a fresh
+    /// host buffer. The wire bytes are identical to
+    /// `send_msg(.., &Msg::Data { .. })`.
+    pub(crate) fn send_data_msg(
+        &self,
+        ctx: &ProcessCtx,
+        tag: emp_proto::Tag,
+        piggyback: u16,
+        seq: u32,
+        payload: Bytes,
+    ) -> SimResult<SendHandle> {
+        let range = self.inner.lock().send_range;
+        let header = Msg::data_header(piggyback, seq, payload.len());
+        self.proc_
+            .ep
+            .post_send_split(ctx, self.peer, tag, header, payload, range)
     }
 
     /// Drain the control descriptor if it completed: handles `Close` and
@@ -554,6 +600,9 @@ impl SockShared {
         if already {
             return Ok(());
         }
+        // Staged coalesced writes must precede the Close (which carries
+        // the final sequence count); an undeliverable flush is moot.
+        let _ = self.flush_coalesced(ctx)?;
         let (peer_closed, final_seq) = {
             let i = self.inner.lock();
             (i.peer_closed, i.tx_seq)
@@ -576,6 +625,8 @@ impl SockShared {
         if already {
             return Ok(());
         }
+        // As in shutdown_write: staged writes go out before the Close.
+        let _ = self.flush_coalesced(ctx)?;
         let (peer_closed, already_shut, final_seq) = {
             let i = self.inner.lock();
             (i.peer_closed, i.write_closed, i.tx_seq)

@@ -225,6 +225,11 @@ impl PollSet {
 /// Compute a connection's ready mask for the given interests.
 fn conn_ready(ctx: &ProcessCtx, sock: &SockShared, interest: Interest) -> OpResult<Interest> {
     let mut ready = Interest::EMPTY;
+    // Flush-on-poll: staged coalesced writes go out before the poll
+    // parks — a peer waiting on them would never make us readable.
+    if sock.socket_type == SocketType::Stream {
+        ok_or_return!(sock.try_flush_coalesced(ctx)?);
+    }
     // Drain landed control traffic (close notifications, rendezvous
     // replies) so readiness reflects it; surface hard failures as ERROR.
     if sock.poll_ctrl(ctx)?.is_err() || sock.reap_sends().is_err() {

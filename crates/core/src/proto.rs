@@ -161,6 +161,20 @@ impl Msg {
         b.freeze()
     }
 
+    /// The header bytes of a data message alone — the wire form of
+    /// `Msg::Data` is exactly `data_header(..) ++ payload`, which lets the
+    /// send path hand header and payload to the NIC as separate segments
+    /// instead of assembling (copying) them into one buffer.
+    pub fn data_header(piggyback: u16, seq: u32, payload_len: usize) -> Bytes {
+        let mut b = BytesMut::with_capacity(DATA_HEADER);
+        b.put_u8(KIND_DATA);
+        b.put_u8(0);
+        b.put_u16_le(piggyback);
+        b.put_u32_le(payload_len as u32);
+        b.put_u32_le(seq);
+        b.freeze()
+    }
+
     /// Parse a wire message.
     pub fn decode(raw: &Bytes) -> Result<Msg, SockError> {
         if raw.len() < HEADER {
@@ -263,6 +277,24 @@ mod tests {
         roundtrip(Msg::RndvNak { limit: 4096 });
         roundtrip(Msg::Close { final_seq: 0 });
         roundtrip(Msg::Close { final_seq: 9_999 });
+    }
+
+    #[test]
+    fn data_header_plus_payload_equals_encode() {
+        for payload in [
+            Bytes::new(),
+            Bytes::from_static(b"x"),
+            Bytes::from(vec![0xA5u8; 3000]),
+        ] {
+            let m = Msg::Data {
+                piggyback: 9,
+                seq: 77,
+                payload: payload.clone(),
+            };
+            let mut split = Msg::data_header(9, 77, payload.len()).to_vec();
+            split.extend_from_slice(&payload);
+            assert_eq!(Bytes::from(split), m.encode());
+        }
     }
 
     #[test]

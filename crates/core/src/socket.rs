@@ -82,16 +82,9 @@ impl EmpSockets {
             st.listeners.insert(port, ());
         }
         let range = self.proc_.alloc_range(HEADER + 4);
-        let mut pending = VecDeque::with_capacity(backlog);
-        for _ in 0..backlog.max(1) {
-            pending.push_back(self.proc_.ep.post_recv(
-                ctx,
-                tags::conn_tag(port),
-                None,
-                HEADER + 4,
-                range,
-            )?);
-        }
+        // The whole backlog goes down behind one doorbell.
+        let posts = vec![(tags::conn_tag(port), None, HEADER + 4, range); backlog.max(1)];
+        let pending: VecDeque<RecvHandle> = self.proc_.ep.post_recv_batch(ctx, &posts)?.into();
         Ok(Ok(Listener {
             proc_: Arc::clone(&self.proc_),
             port,
@@ -451,6 +444,17 @@ impl Connection {
         match self.sock.socket_type {
             SocketType::Stream => self.sock.stream_writable_now(),
             SocketType::Datagram => true,
+        }
+    }
+
+    /// Flush writes staged by small-write coalescing
+    /// ([`SubstrateConfig::with_coalescing`]) as one substrate message,
+    /// blocking for a credit if none is in hand. No-op when coalescing is
+    /// off, nothing is staged, or on a datagram socket.
+    pub fn flush(&self, ctx: &ProcessCtx) -> OpResult<()> {
+        match self.sock.socket_type {
+            SocketType::Stream => self.sock.flush_coalesced(ctx),
+            SocketType::Datagram => Ok(Ok(())),
         }
     }
 

@@ -10,7 +10,7 @@
 
 use bytes::Bytes;
 use simnet::emp_trace::{self, EventKind};
-use simnet::{ProcessCtx, SimResult};
+use simnet::{ProcessCtx, SimAccess, SimResult};
 
 use crate::config::RecvMode;
 use crate::conn::{DataSlot, SockShared};
@@ -39,6 +39,21 @@ impl SockShared {
     /// (the buffer is the application's to reuse again).
     pub(crate) fn stream_write(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
         self.trace(ctx, EventKind::SockWriteStart, data.len() as u64, 0);
+        if self.coalesce_due(ctx) {
+            ok_or_return!(self.flush_coalesced(ctx)?);
+        }
+        let cfg = &self.proc_.cfg;
+        if cfg.coalesce_writes && !data.is_empty() && data.len() <= cfg.coalesce_threshold {
+            ok_or_return!(self.check_writable());
+            return self.coalesce_append(ctx, data);
+        }
+        // A larger write must not overtake bytes already staged.
+        ok_or_return!(self.flush_coalesced(ctx)?);
+        // One harness-side copy models handing the NIC the user buffer:
+        // each fragment below is a cheap refcounted slice of it, not a
+        // fresh allocation-and-copy per chunk.
+        let whole = Bytes::copy_from_slice(data);
+        let mut zc_sends = Vec::new();
         let mut off = 0;
         while off < data.len() || (data.is_empty() && off == 0) {
             ok_or_return!(self.check_writable());
@@ -55,11 +70,7 @@ impl SockShared {
                 i.stats.piggybacked_credits += u64::from(piggyback);
                 i.claim_tx_seq()
             };
-            let msg = Msg::Data {
-                piggyback,
-                seq,
-                payload: Bytes::copy_from_slice(&data[off..off + chunk]),
-            };
+            let payload = whole.slice(off..off + chunk);
             ctx.delay(self.proc_.cfg.stream_overhead)?;
             self.comm_thread_penalty(ctx)?;
             if chunk <= self.proc_.cfg.send_copy_threshold {
@@ -68,24 +79,159 @@ impl SockShared {
                 let copy = self.proc_.ep.host().cost().memcpy(chunk);
                 ctx.delay(copy)?;
                 self.trace(ctx, EventKind::SubstrateCopy, chunk as u64, copy.nanos());
-                let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
+                let h = self.send_data_msg(ctx, self.tx_data_tag(), piggyback, seq, payload)?;
                 self.inner.lock().inflight_sends.push(h);
             } else {
                 // Zero-copy send: the user buffer is pinned and handed to
-                // the NIC; block until every frame is acknowledged.
-                let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
-                let acked = self.proc_.ep.wait_send(ctx, &h)?;
-                if !acked {
-                    self.inner.lock().peer_closed = true;
-                    return Ok(Err(SockError::PeerClosed));
-                }
+                // the NIC. Fragments pipeline — the doorbells go out
+                // back-to-back and the batch is reaped once below.
+                let h = self.send_data_msg(ctx, self.tx_data_tag(), piggyback, seq, payload)?;
+                zc_sends.push(h);
             }
             off += chunk;
             if data.is_empty() {
                 break;
             }
         }
+        if !zc_sends.is_empty() {
+            // Block until every zero-copy fragment is acknowledged (the
+            // buffer is the application's to reuse again) — one completion
+            // reap for the whole batch.
+            let acked = self.proc_.ep.wait_sends(ctx, &zc_sends)?;
+            if !acked {
+                self.inner.lock().peer_closed = true;
+                return Ok(Err(SockError::PeerClosed));
+            }
+        }
         Ok(Ok(data.len()))
+    }
+
+    /// Stage a sub-threshold write in the coalescing buffer (§6.2-style
+    /// staging copy, but shared by many writes), flushing first when it
+    /// would overflow and immediately after when the buffer fills or the
+    /// last credits are in hand.
+    fn coalesce_append(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
+        let cap = self.proc_.cfg.coalesce_capacity();
+        let overflow = {
+            let i = self.inner.lock();
+            i.coalesce_buf.len() + data.len() > cap
+        };
+        if overflow {
+            ok_or_return!(self.flush_coalesced(ctx)?);
+        }
+        self.stage_bytes(ctx, data)?;
+        let (full, pressure) = {
+            let i = self.inner.lock();
+            (i.coalesce_buf.len() >= cap, i.credits <= 1)
+        };
+        if full || pressure {
+            // Credit pressure: never sit on staged bytes when the peer is
+            // about to stop granting credits — a staged-but-unsendable
+            // buffer would turn a visible write stall into a silent one.
+            ok_or_return!(self.flush_coalesced(ctx)?);
+        }
+        Ok(Ok(data.len()))
+    }
+
+    /// Copy `data` into the coalescing staging buffer — the one copy a
+    /// coalesced write pays — and account for it.
+    fn stage_bytes(&self, ctx: &ProcessCtx, data: &[u8]) -> SimResult<()> {
+        let copy = self.proc_.ep.host().cost().memcpy(data.len());
+        ctx.delay(copy)?;
+        self.trace(
+            ctx,
+            EventKind::SubstrateCopy,
+            data.len() as u64,
+            copy.nanos(),
+        );
+        let staged = {
+            let mut i = self.inner.lock();
+            i.coalesce_buf.extend_from_slice(data);
+            i.coalesce_count += 1;
+            i.stats.writes_coalesced += 1;
+            i.stats.bytes_sent += data.len() as u64;
+            if i.coalesce_since.is_none() {
+                i.coalesce_since = Some(ctx.now());
+            }
+            i.coalesce_buf.len()
+        };
+        self.trace(
+            ctx,
+            EventKind::CoalesceAppend,
+            data.len() as u64,
+            staged as u64,
+        );
+        Ok(())
+    }
+
+    /// True when the aggregation deadline has expired for staged bytes.
+    /// Checked lazily at substrate entry points (the simulation has no
+    /// timers firing behind the application's back).
+    fn coalesce_due(&self, ctx: &ProcessCtx) -> bool {
+        let Some(deadline) = self.proc_.cfg.coalesce_deadline else {
+            return false;
+        };
+        let i = self.inner.lock();
+        i.coalesce_since.is_some_and(|t| ctx.now() - t >= deadline)
+    }
+
+    /// Flush staged coalesced writes as one substrate message, blocking
+    /// for a credit when none is in hand. No-op when nothing is staged.
+    pub(crate) fn flush_coalesced(&self, ctx: &ProcessCtx) -> OpResult<()> {
+        if self.inner.lock().coalesce_buf.is_empty() {
+            return Ok(Ok(()));
+        }
+        ok_or_return!(self.acquire_credit(ctx)?);
+        self.flush_staged(ctx)
+    }
+
+    /// Nonblocking flush: sends the staged message only with a credit
+    /// already in hand. Returns whether the staging buffer is now empty.
+    pub(crate) fn try_flush_coalesced(&self, ctx: &ProcessCtx) -> OpResult<bool> {
+        if self.inner.lock().coalesce_buf.is_empty() {
+            return Ok(Ok(true));
+        }
+        self.reap_fcacks(ctx)?;
+        let got_credit = {
+            let mut i = self.inner.lock();
+            if i.credits > 0 {
+                i.credits -= 1;
+                true
+            } else {
+                false
+            }
+        };
+        if !got_credit {
+            return Ok(Ok(false));
+        }
+        ok_or_return!(self.flush_staged(ctx)?);
+        Ok(Ok(true))
+    }
+
+    /// Send the staged bytes (credit already spent) as one data message.
+    /// The staging copy was paid per-append, so the flush itself hands
+    /// the NIC the buffer without another copy.
+    fn flush_staged(&self, ctx: &ProcessCtx) -> OpResult<()> {
+        let piggyback = self.take_due_ack();
+        if emp_trace::ENABLED && piggyback > 0 {
+            self.trace(ctx, EventKind::AckPiggybacked, u64::from(piggyback), 0);
+        }
+        let (payload, writes, seq) = {
+            let mut i = self.inner.lock();
+            let payload = Bytes::from(std::mem::take(&mut i.coalesce_buf));
+            let writes = std::mem::take(&mut i.coalesce_count);
+            i.coalesce_since = None;
+            i.stats.msgs_sent += 1;
+            i.stats.coalesce_flushes += 1;
+            i.stats.piggybacked_credits += u64::from(piggyback);
+            (payload, writes, i.claim_tx_seq())
+        };
+        self.trace(ctx, EventKind::CoalesceFlush, payload.len() as u64, writes);
+        ctx.delay(self.proc_.cfg.stream_overhead)?;
+        self.comm_thread_penalty(ctx)?;
+        let h = self.send_data_msg(ctx, self.tx_data_tag(), piggyback, seq, payload)?;
+        self.inner.lock().inflight_sends.push(h);
+        Ok(Ok(()))
     }
 
     /// Serve up to `max` buffered stream bytes if any are waiting, paying
@@ -142,18 +288,27 @@ impl SockShared {
         if max == 0 {
             return Ok(Ok(Bytes::new()));
         }
+        // Flush-on-read: staged coalesced writes go out before this side
+        // parks waiting for a response (keeps request/response latency
+        // flat under coalescing).
+        ok_or_return!(self.try_flush_coalesced(ctx)?);
+        let direct_max = self.proc_.cfg.direct_delivery.then_some(max);
         loop {
             // 1. Serve buffered bytes.
             if let Some(out) = ok_or_return!(self.serve_buffered(ctx, max)?) {
                 return Ok(Ok(out));
             }
-            // 2. Pull any completed message into the stream.
+            // 2. Pull completed messages into the stream — or, with the
+            // reader's buffer posted and the stream empty, straight into
+            // the reader's hands.
             let front_done = {
                 let i = self.inner.lock();
                 i.data_slots.front().is_some_and(|s| s.handle.is_done())
             };
             if front_done {
-                ok_or_return!(self.pull_stream_msg(ctx)?);
+                if let Some(out) = ok_or_return!(self.pull_stream_msgs(ctx, direct_max)?) {
+                    return Ok(Ok(out));
+                }
                 continue;
             }
             // 3. EOF once the peer closed and every data message it
@@ -183,6 +338,9 @@ impl SockShared {
         if max == 0 {
             return Ok(Ok(Bytes::new()));
         }
+        // Flush-on-read, as in the blocking path.
+        ok_or_return!(self.try_flush_coalesced(ctx)?);
+        let direct_max = self.proc_.cfg.direct_delivery.then_some(max);
         loop {
             if let Some(out) = ok_or_return!(self.serve_buffered(ctx, max)?) {
                 return Ok(Ok(out));
@@ -192,7 +350,9 @@ impl SockShared {
                 i.data_slots.front().is_some_and(|s| s.handle.is_done())
             };
             if front_done {
-                ok_or_return!(self.pull_stream_msg(ctx)?);
+                if let Some(out) = ok_or_return!(self.pull_stream_msgs(ctx, direct_max)?) {
+                    return Ok(Ok(out));
+                }
                 continue;
             }
             // Notice a close notification that landed but was never
@@ -225,6 +385,21 @@ impl SockShared {
     /// exactly the blocking a nonblocking write must not do.
     pub(crate) fn stream_try_write(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
         self.trace(ctx, EventKind::SockWriteStart, data.len() as u64, 0);
+        if self.coalesce_due(ctx) {
+            // Deadline expired: best-effort flush; without a credit the
+            // staged bytes simply keep waiting (never park here).
+            ok_or_return!(self.try_flush_coalesced(ctx)?);
+        }
+        let cfg = &self.proc_.cfg;
+        if cfg.coalesce_writes && !data.is_empty() && data.len() <= cfg.coalesce_threshold {
+            ok_or_return!(self.check_writable());
+            return self.try_coalesce_append(ctx, data);
+        }
+        // A larger write must not overtake bytes already staged.
+        if !ok_or_return!(self.try_flush_coalesced(ctx)?) {
+            return Ok(Err(SockError::WouldBlock));
+        }
+        let whole = Bytes::copy_from_slice(data);
         let mut off = 0;
         loop {
             ok_or_return!(self.check_writable());
@@ -260,23 +435,54 @@ impl SockShared {
                 i.stats.piggybacked_credits += u64::from(piggyback);
                 i.claim_tx_seq()
             };
-            let msg = Msg::Data {
-                piggyback,
-                seq,
-                payload: Bytes::copy_from_slice(&data[off..off + chunk]),
-            };
+            let payload = whole.slice(off..off + chunk);
             ctx.delay(self.proc_.cfg.stream_overhead)?;
             self.comm_thread_penalty(ctx)?;
             let copy = self.proc_.ep.host().cost().memcpy(chunk);
             ctx.delay(copy)?;
             self.trace(ctx, EventKind::SubstrateCopy, chunk as u64, copy.nanos());
-            let h = self.send_msg(ctx, self.tx_data_tag(), &msg)?;
+            let h = self.send_data_msg(ctx, self.tx_data_tag(), piggyback, seq, payload)?;
             self.inner.lock().inflight_sends.push(h);
             off += chunk;
             if off >= data.len() {
                 return Ok(Ok(data.len()));
             }
         }
+    }
+
+    /// Nonblocking [`SockShared::coalesce_append`]: never parks. Staging
+    /// requires a credit in hand (reaped, not awaited) so staged bytes
+    /// are always flushable without blocking — otherwise a coalesced
+    /// `try_write` could silently accept bytes nothing can send.
+    fn try_coalesce_append(&self, ctx: &ProcessCtx, data: &[u8]) -> OpResult<usize> {
+        let cap = self.proc_.cfg.coalesce_capacity();
+        let overflow = {
+            let i = self.inner.lock();
+            i.coalesce_buf.len() + data.len() > cap
+        };
+        if overflow && !ok_or_return!(self.try_flush_coalesced(ctx)?) {
+            return Ok(Err(SockError::WouldBlock));
+        }
+        self.reap_fcacks(ctx)?;
+        {
+            let i = self.inner.lock();
+            if i.credits == 0 {
+                return Ok(Err(if i.peer_closed {
+                    SockError::PeerClosed
+                } else {
+                    SockError::WouldBlock
+                }));
+            }
+        }
+        self.stage_bytes(ctx, data)?;
+        let (full, pressure) = {
+            let i = self.inner.lock();
+            (i.coalesce_buf.len() >= cap, i.credits <= 1)
+        };
+        if full || pressure {
+            ok_or_return!(self.try_flush_coalesced(ctx)?);
+        }
+        Ok(Ok(data.len()))
     }
 
     /// Would a stream `write` make progress without blocking right now?
@@ -287,87 +493,134 @@ impl SockShared {
         i.credits > 0 || i.peer_closed || i.write_closed || i.closed
     }
 
-    /// Consume the head data descriptor (which must be complete), append
-    /// its payload to the stream, repost the descriptor, and run the
-    /// credit-return policy (§6.1/§6.3).
-    pub(crate) fn pull_stream_msg(&self, ctx: &ProcessCtx) -> OpResult<()> {
-        let slot = {
-            let mut i = self.inner.lock();
-            i.data_slots.pop_front().expect("caller checked front")
-        };
-        self.comm_thread_penalty(ctx)?;
-        let Some(msg) = self.proc_.ep.wait_recv(ctx, &slot.handle)? else {
-            return Ok(Ok(())); // unposted during close
-        };
-        let parsed = ok_or_return!(Msg::decode(&msg.data));
-        let Msg::Data {
-            piggyback,
-            seq,
-            payload,
-        } = parsed
-        else {
-            return Ok(Err(SockError::protocol("non-data message on data tag")));
-        };
-        ctx.delay(self.proc_.cfg.stream_overhead)?;
-        // Repost the descriptor to the same staging range.
-        let handle = self.proc_.ep.post_recv(
-            ctx,
-            self.rx_data_tag(),
-            Some(self.peer),
-            self.buf_size + crate::proto::DATA_HEADER,
-            slot.range,
-        )?;
-        let send_explicit = {
-            let mut i = self.inner.lock();
-            i.credits += u32::from(piggyback);
-            i.stats.msgs_received += 1;
-            // The descriptor is consumed (and reposted below) regardless of
-            // arrival order; only the *byte stream* is sequenced. An
-            // ahead-of-sequence payload parks in the reorder buffer until
-            // the retransmitting gap message lands.
-            if seq == i.rx_next_seq {
-                i.rx_next_seq += 1;
-                i.stream_len += payload.len();
-                i.stream_chunks.push_back(payload);
-                loop {
-                    let next = i.rx_next_seq;
-                    let Some(parked) = i.rx_ooo.remove(&next) else {
-                        break;
-                    };
+    /// Drain every completed head data descriptor: append payloads to the
+    /// stream, batch-repost the consumed descriptors behind one doorbell,
+    /// and run the credit-return policy (§6.1/§6.3) per message.
+    ///
+    /// With `direct_max` set (a reader is parked here with a posted buffer
+    /// of that size), the first in-sequence payload that fits while the
+    /// stream is empty is handed straight back — skipping the §6.2
+    /// temp-buffer-to-user copy entirely.
+    pub(crate) fn pull_stream_msgs(
+        &self,
+        ctx: &ProcessCtx,
+        direct_max: Option<usize>,
+    ) -> OpResult<Option<Bytes>> {
+        let mut direct: Option<Bytes> = None;
+        let mut reposts = Vec::new();
+        let mut explicit_acks = Vec::new();
+        loop {
+            let slot = {
+                let mut i = self.inner.lock();
+                match i.data_slots.front() {
+                    Some(s) if s.handle.is_done() => i.data_slots.pop_front().unwrap(),
+                    _ => break,
+                }
+            };
+            self.comm_thread_penalty(ctx)?;
+            let Some(msg) = self.proc_.ep.wait_recv(ctx, &slot.handle)? else {
+                continue; // unposted during close: consumed, nothing to repost
+            };
+            let parsed = ok_or_return!(Msg::decode(&msg.data));
+            let Msg::Data {
+                piggyback,
+                seq,
+                payload,
+            } = parsed
+            else {
+                return Ok(Err(SockError::protocol("non-data message on data tag")));
+            };
+            ctx.delay(self.proc_.cfg.stream_overhead)?;
+            reposts.push(slot.range);
+            let (send_explicit, delivered_direct) = {
+                let mut i = self.inner.lock();
+                i.credits += u32::from(piggyback);
+                i.stats.msgs_received += 1;
+                // The descriptor is consumed (and reposted below) regardless
+                // of arrival order; only the *byte stream* is sequenced. An
+                // ahead-of-sequence payload parks in the reorder buffer
+                // until the retransmitting gap message lands.
+                let mut delivered = 0;
+                if seq == i.rx_next_seq {
+                    // Direct delivery is only sound for the very next bytes
+                    // of the stream with nothing buffered ahead of them,
+                    // and only once per pull (the reader posted one buffer).
+                    let take_direct = direct.is_none()
+                        && i.stream_len == 0
+                        && !payload.is_empty()
+                        && direct_max.is_some_and(|m| payload.len() <= m);
                     i.rx_next_seq += 1;
-                    i.stream_len += parked.len();
-                    i.stream_chunks.push_back(parked);
+                    if take_direct {
+                        delivered = payload.len();
+                        i.stats.copies_avoided += 1;
+                        i.stats.bytes_direct += delivered as u64;
+                        i.stats.bytes_received += delivered as u64;
+                        direct = Some(payload);
+                    } else {
+                        i.stream_len += payload.len();
+                        i.stream_chunks.push_back(payload);
+                    }
+                    loop {
+                        let next = i.rx_next_seq;
+                        let Some(parked) = i.rx_ooo.remove(&next) else {
+                            break;
+                        };
+                        i.rx_next_seq += 1;
+                        i.stream_len += parked.len();
+                        i.stream_chunks.push_back(parked);
+                    }
+                } else if seq > i.rx_next_seq {
+                    i.rx_ooo.insert(seq, payload);
                 }
-            } else if seq > i.rx_next_seq {
-                i.rx_ooo.insert(seq, payload);
+                // seq < rx_next_seq would be a duplicate; EMP's
+                // message-level dedup makes that unreachable, so it is
+                // silently ignored.
+                i.consumed += 1;
+                // §6.3: with delayed acks the return is due only after half
+                // the credits are consumed. Piggy-backing rides on writes
+                // that happen to occur before the threshold (§6.1: "when a
+                // message is available to be sent... we cannot always rely
+                // on this approach and need an explicit acknowledgment
+                // mechanism too"); at the threshold, with no write in hand,
+                // the ack goes out explicitly.
+                let threshold = self.proc_.cfg.ack_threshold();
+                let explicit = if i.consumed >= threshold {
+                    Some(std::mem::take(&mut i.consumed) as u16)
+                } else {
+                    if emp_trace::ENABLED && self.proc_.cfg.piggyback_acks && i.consumed > 0 {
+                        let accrued = u64::from(i.consumed);
+                        drop(i);
+                        self.trace(ctx, EventKind::AckDelayed, accrued, 0);
+                    }
+                    None
+                };
+                (explicit, delivered)
+            };
+            if delivered_direct > 0 && emp_trace::ENABLED {
+                self.trace(ctx, EventKind::DirectDeliver, delivered_direct as u64, 0);
+                self.trace(ctx, EventKind::SockReadEnd, delivered_direct as u64, 0);
             }
-            // seq < rx_next_seq would be a duplicate; EMP's message-level
-            // dedup makes that unreachable, so it is silently ignored.
-            i.data_slots.push_back(DataSlot {
-                handle,
-                range: slot.range,
-            });
-            i.consumed += 1;
-            // §6.3: with delayed acks the return is due only after half
-            // the credits are consumed. Piggy-backing rides on writes that
-            // happen to occur before the threshold (§6.1: "when a message
-            // is available to be sent... we cannot always rely on this
-            // approach and need an explicit acknowledgment mechanism too");
-            // at the threshold, with no write in hand, the ack goes out
-            // explicitly.
-            let threshold = self.proc_.cfg.ack_threshold();
-            if i.consumed >= threshold {
-                Some(std::mem::take(&mut i.consumed) as u16)
-            } else {
-                if emp_trace::ENABLED && self.proc_.cfg.piggyback_acks && i.consumed > 0 {
-                    let accrued = u64::from(i.consumed);
-                    drop(i);
-                    self.trace(ctx, EventKind::AckDelayed, accrued, 0);
-                }
-                None
+            if let Some(credits) = send_explicit {
+                explicit_acks.push(credits);
             }
-        };
-        if let Some(credits) = send_explicit {
+        }
+        // Batch-repost every consumed descriptor to its staging range
+        // behind a single doorbell, *before* the explicit acks go out:
+        // the credits those acks grant must never race ahead of the
+        // descriptors that will catch the messages they pay for.
+        if !reposts.is_empty() {
+            let cap = self.buf_size + crate::proto::DATA_HEADER;
+            let posts: Vec<_> = reposts
+                .iter()
+                .map(|range| (self.rx_data_tag(), Some(self.peer), cap, *range))
+                .collect();
+            let handles = self.proc_.ep.post_recv_batch(ctx, &posts)?;
+            let mut i = self.inner.lock();
+            for (handle, range) in handles.into_iter().zip(reposts) {
+                i.data_slots.push_back(DataSlot { handle, range });
+            }
+        }
+        for credits in explicit_acks {
             if emp_trace::ENABLED {
                 self.trace(ctx, EventKind::CreditReturn, u64::from(credits), 0);
                 self.trace(ctx, EventKind::AckSent, u64::from(credits), 0);
@@ -377,7 +630,7 @@ impl SockShared {
             i.stats.fcacks_sent += 1;
             i.inflight_sends.push(h);
         }
-        Ok(Ok(()))
+        Ok(Ok(direct))
     }
 
     /// Take whatever credit return is pending and ride it on an outgoing

@@ -1,0 +1,368 @@
+//! The adaptive zero-copy data path: receiver-posted direct delivery and
+//! small-write coalescing, exercised on a clean fabric where the exact
+//! counter values are deterministic — direct vs temp-buffer interleaving
+//! with partial reads, `try_read` racing arrivals, and coalesced
+//! request/response traffic that must not deadlock or inflate latency.
+
+use emp_proto::{build_cluster, EmpCluster, EmpConfig};
+use simnet::{Completion, Sim, SimDuration, SwitchConfig};
+use sockets_emp::{ConnStats, EmpSockets, SockAddr, SockError, SubstrateConfig};
+
+fn cluster(n: usize) -> EmpCluster {
+    build_cluster(n, EmpConfig::default(), SwitchConfig::default())
+}
+
+fn substrate(cl: &EmpCluster, node: usize, cfg: SubstrateConfig) -> EmpSockets {
+    EmpSockets::new(cl.nodes[node].endpoint(), cfg)
+}
+
+fn pat(i: usize) -> u8 {
+    ((i * 31 + 3) % 251) as u8
+}
+
+fn pattern(len: usize) -> Vec<u8> {
+    (0..len).map(pat).collect()
+}
+
+/// A posted reader (parked in `read()` with a big-enough buffer) must
+/// take every message through the direct path: zero temp-buffer copies,
+/// every received byte accounted as direct.
+#[test]
+fn posted_reader_takes_every_message_directly() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let cfg = SubstrateConfig::ds_da_uq().with_direct_delivery();
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+    const MSG: usize = 1024;
+    const ROUNDS: usize = 20;
+
+    sim.spawn("echoer", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        loop {
+            let m = conn.read(ctx, MSG)?.expect("data");
+            if m.is_empty() {
+                break;
+            }
+            conn.write(ctx, &m)?.expect("echo");
+        }
+        let s = conn.stats();
+        assert_eq!(s.copies_avoided, ROUNDS as u64, "every ping direct");
+        assert_eq!(s.bytes_direct, (ROUNDS * MSG) as u64);
+        assert_eq!(s.bytes_received, s.bytes_direct, "no temp-buffer bytes");
+        conn.close(ctx)?;
+        l.close(ctx)?;
+        Ok(())
+    });
+    sim.spawn("pinger", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        let payload = pattern(MSG);
+        for _ in 0..ROUNDS {
+            conn.write(ctx, &payload)?.expect("ping");
+            let echo = conn.read_exact(ctx, MSG)?.expect("read").expect("pong");
+            assert_eq!(&echo[..], &payload[..]);
+        }
+        let s = conn.stats();
+        assert_eq!(s.copies_avoided, ROUNDS as u64, "every pong direct");
+        assert_eq!(s.bytes_direct, (ROUNDS * MSG) as u64);
+        conn.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+/// Direct delivery must interleave correctly with the §6.2 temp-buffer
+/// path: a partial read (buffer smaller than the message) takes the
+/// buffered path and leaves a remainder; a fully-posted read takes the
+/// direct path; bytes stay exact throughout.
+#[test]
+fn partial_reads_interleave_with_direct_delivery() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let cfg = SubstrateConfig::ds_da_uq().with_direct_delivery();
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+    let gap = SimDuration::from_millis(1);
+
+    sim.spawn("reader", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        let mut got = Vec::new();
+        // Message 1 (1000 B) read with a 400 B buffer: too big for the
+        // posted buffer, so it must take the temp-buffer path and serve
+        // partial reads.
+        let m = conn.read(ctx, 400)?.expect("data");
+        assert_eq!(m.len(), 400, "partial read from the buffered stream");
+        got.extend_from_slice(&m);
+        let m = conn.read(ctx, 8192)?.expect("data");
+        assert_eq!(m.len(), 600, "the rest of message 1, still buffered");
+        got.extend_from_slice(&m);
+        assert_eq!(conn.stats().copies_avoided, 0, "nothing direct yet");
+        // Message 2 (500 B) read with the stream drained and a big
+        // posted buffer: the direct path.
+        let m = conn.read(ctx, 8192)?.expect("data");
+        assert_eq!(m.len(), 500, "message 2 whole");
+        got.extend_from_slice(&m);
+        let s = conn.stats();
+        assert_eq!(s.copies_avoided, 1, "exactly message 2 went direct");
+        assert_eq!(s.bytes_direct, 500);
+        // Message 3 (200 B) read with a 100 B buffer: buffered again.
+        let m = conn.read(ctx, 100)?.expect("data");
+        assert_eq!(m.len(), 100);
+        got.extend_from_slice(&m);
+        let m = conn.read(ctx, 8192)?.expect("data");
+        assert_eq!(m.len(), 100);
+        got.extend_from_slice(&m);
+        let s = conn.stats();
+        assert_eq!(s.copies_avoided, 1, "message 3 must not count as direct");
+        assert_eq!(s.bytes_received, 1700);
+        assert_eq!(&got[..], &pattern(1700)[..], "stream bytes exact in order");
+        let eof = conn.read(ctx, 8192)?.expect("eof");
+        assert!(eof.is_empty());
+        conn.close(ctx)?;
+        l.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("writer", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        let all = pattern(1700);
+        // Gaps keep each message a separate arrival at the receiver.
+        conn.write(ctx, &all[..1000])?.expect("msg 1");
+        ctx.delay(gap)?;
+        conn.write(ctx, &all[1000..1500])?.expect("msg 2");
+        ctx.delay(gap)?;
+        conn.write(ctx, &all[1500..])?.expect("msg 3");
+        ctx.delay(gap)?;
+        conn.close(ctx)?;
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+/// `try_read` passes its posted buffer to the direct path too: arrivals
+/// that land between polls are handed over copy-free, while a too-small
+/// `try_read` falls back to the buffered path — and WouldBlock never
+/// loses data.
+#[test]
+fn try_read_races_arrivals_through_the_direct_path() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let cfg = SubstrateConfig::ds_da_uq().with_direct_delivery();
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+    const MSGS: usize = 8;
+    const MSG: usize = 600;
+
+    sim.spawn("poller", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        let mut got = Vec::new();
+        loop {
+            match conn.try_read(ctx, 8192)? {
+                Ok(m) if m.is_empty() => break,
+                Ok(m) => got.extend_from_slice(&m),
+                Err(SockError::WouldBlock) => ctx.delay(SimDuration::from_micros(20))?,
+                Err(e) => panic!("try_read failed: {e:?}"),
+            }
+        }
+        assert_eq!(got.len(), MSGS * MSG);
+        assert_eq!(&got[..], &pattern(MSGS * MSG)[..]);
+        let s = conn.stats();
+        assert!(
+            s.copies_avoided >= 1,
+            "some arrivals must land in a spinning try_read: {s:?}"
+        );
+        assert_eq!(
+            s.bytes_direct + copied_bytes(&s),
+            (MSGS * MSG) as u64,
+            "every byte is either direct or buffered"
+        );
+        conn.close(ctx)?;
+        l.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("writer", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        let all = pattern(MSGS * MSG);
+        for c in all.chunks(MSG) {
+            conn.write(ctx, c)?.expect("send");
+            ctx.delay(SimDuration::from_micros(200))?;
+        }
+        conn.close(ctx)?;
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+/// Bytes that went through the temp buffer (everything received that was
+/// not direct).
+fn copied_bytes(s: &ConnStats) -> u64 {
+    s.bytes_received - s.bytes_direct
+}
+
+/// Request/response traffic with coalescing on both ends: flush-on-read
+/// pushes each side's staged request out before it parks for the reply,
+/// so the exchange completes (no deadlock) with every write staged and
+/// every message a flush.
+#[test]
+fn coalesced_pingpong_flushes_on_read_and_completes() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let cfg = SubstrateConfig::ds_da_uq().with_coalescing();
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+    const MSG: usize = 64;
+    const ROUNDS: usize = 25;
+
+    sim.spawn("echoer", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        loop {
+            let Some(m) = conn.read_exact(ctx, MSG)?.expect("read") else {
+                break;
+            };
+            conn.write(ctx, &m)?.expect("echo");
+        }
+        let s = conn.stats();
+        assert_eq!(s.writes_coalesced, ROUNDS as u64, "every echo staged");
+        assert!(s.coalesce_flushes >= 1, "staged echoes were flushed");
+        conn.close(ctx)?;
+        l.close(ctx)?;
+        Ok(())
+    });
+    sim.spawn("pinger", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        let payload = pattern(MSG);
+        for _ in 0..ROUNDS {
+            conn.write(ctx, &payload)?.expect("ping");
+            let echo = conn.read_exact(ctx, MSG)?.expect("read").expect("pong");
+            assert_eq!(&echo[..], &payload[..]);
+        }
+        let s = conn.stats();
+        assert_eq!(s.writes_coalesced, ROUNDS as u64, "every ping staged");
+        // Each staged ping goes out on the very next read (flush-on-read):
+        // one message per round trip, nothing aggregated across rounds.
+        assert_eq!(s.coalesce_flushes, ROUNDS as u64);
+        assert_eq!(s.msgs_sent, ROUNDS as u64);
+        conn.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+/// Bulk small writes under coalescing collapse into far fewer substrate
+/// messages, and an explicit `flush()` plus `close()` push out the tail
+/// byte-exactly.
+#[test]
+fn coalescing_collapses_small_writes_into_few_messages() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let cfg = SubstrateConfig::ds_da_uq().with_coalescing();
+    let server = substrate(&cl, 1, cfg.clone());
+    let client = substrate(&cl, 0, cfg);
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+    const WRITES: usize = 512;
+    const MSG: usize = 64;
+    const TOTAL: usize = WRITES * MSG;
+
+    sim.spawn("sink", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        let mut got = Vec::with_capacity(TOTAL);
+        while got.len() < TOTAL {
+            let m = conn.read(ctx, 8192)?.expect("data");
+            assert!(!m.is_empty(), "premature EOF at {}", got.len());
+            got.extend_from_slice(&m);
+        }
+        assert_eq!(&got[..], &pattern(TOTAL)[..]);
+        let eof = conn.read(ctx, 8192)?.expect("eof");
+        assert!(eof.is_empty());
+        conn.close(ctx)?;
+        l.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("source", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        let all = pattern(TOTAL);
+        for c in all.chunks(MSG) {
+            conn.write(ctx, c)?.expect("write");
+        }
+        conn.flush(ctx)?.expect("flush");
+        let s = conn.stats();
+        assert_eq!(s.writes_coalesced, WRITES as u64);
+        assert_eq!(s.bytes_sent, TOTAL as u64);
+        assert!(
+            s.msgs_sent <= (WRITES / 8) as u64,
+            "512 × 64 B writes must collapse at least 8:1, sent {} messages",
+            s.msgs_sent
+        );
+        conn.close(ctx)?;
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+/// With both knobs off (every Figure-11 preset's default), the new
+/// counters stay zero: the fast paths are strictly opt-in.
+#[test]
+fn fast_paths_are_off_by_default() {
+    let sim = Sim::new();
+    let cl = cluster(2);
+    let server = substrate(&cl, 1, SubstrateConfig::ds_da_uq());
+    let client = substrate(&cl, 0, SubstrateConfig::ds_da_uq());
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("server", move |ctx| {
+        let l = server.listen(ctx, 80, 4)?.expect("port free");
+        let conn = l.accept(ctx)?.expect("connection");
+        let m = conn.read_exact(ctx, 256)?.expect("read").expect("data");
+        conn.write(ctx, &m)?.expect("echo");
+        let s = conn.stats();
+        assert_eq!(s.copies_avoided, 0);
+        assert_eq!(s.bytes_direct, 0);
+        assert_eq!(s.writes_coalesced, 0);
+        assert_eq!(s.coalesce_flushes, 0);
+        conn.close(ctx)?;
+        l.close(ctx)?;
+        Ok(())
+    });
+    sim.spawn("client", move |ctx| {
+        let conn = client.connect(ctx, addr)?.expect("connect");
+        conn.write(ctx, &pattern(256))?.expect("send");
+        let _ = conn.read_exact(ctx, 256)?.expect("read").expect("echo");
+        let s = conn.stats();
+        assert_eq!(s.copies_avoided + s.writes_coalesced, 0);
+        conn.close(ctx)?;
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}

@@ -229,6 +229,74 @@ fn dg_moves_a_megabyte_at_twenty_percent_loss() {
     dgram_exchange(acceptance_plan(14), vec![8192; 128]);
 }
 
+// ---- data-path fast paths under chaos: the adaptive zero-copy knobs
+// must never trade bytes for speed ----
+
+#[test]
+fn coalesced_writes_survive_the_loss_sweep() {
+    // Sub-threshold writes aggregate in the staging buffer; flushes (on
+    // buffer-full and credit pressure) are full-size messages exposed to
+    // the same loss and reordering as everything else.
+    for plan in sweep_plans() {
+        stream_exchange(
+            SubstrateConfig::ds_da_uq().with_coalescing(),
+            plan,
+            SWEEP_BYTES,
+            700,
+        );
+    }
+}
+
+#[test]
+fn coalescing_with_delayed_acks_survives_the_loss_sweep() {
+    // Coalescing × §6.3 delayed acks on the pre-posted fc-ack descriptor
+    // path (non-UQ): flush-time piggy-backing rides the aggregate.
+    for plan in sweep_plans() {
+        stream_exchange(
+            SubstrateConfig::ds_da().with_coalescing(),
+            plan,
+            SWEEP_BYTES,
+            700,
+        );
+    }
+}
+
+#[test]
+fn direct_delivery_survives_the_loss_sweep() {
+    // Reordering forces constant interleaving of the direct path (next
+    // in-sequence message, reader posted) with the reorder-buffer path.
+    for plan in sweep_plans() {
+        stream_exchange(
+            SubstrateConfig::ds_da_uq().with_direct_delivery(),
+            plan,
+            SWEEP_BYTES,
+            7919,
+        );
+    }
+}
+
+#[test]
+fn coalescing_moves_a_megabyte_at_twenty_percent_loss() {
+    stream_exchange(
+        SubstrateConfig::ds_da_uq().with_coalescing(),
+        acceptance_plan(21),
+        MEGABYTE,
+        600,
+    );
+}
+
+#[test]
+fn both_fast_paths_move_a_megabyte_at_twenty_percent_loss() {
+    stream_exchange(
+        SubstrateConfig::ds_da_uq()
+            .with_coalescing()
+            .with_direct_delivery(),
+        acceptance_plan(22),
+        MEGABYTE,
+        900,
+    );
+}
+
 // ---- vanished peers: Timeout and PeerGone instead of hangs ----
 
 #[test]

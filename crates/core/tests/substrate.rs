@@ -499,6 +499,9 @@ fn close_releases_descriptors() {
     sim.spawn("server", move |ctx| {
         let l = server.listen(ctx, 80, 2)?.expect("port free");
         let conn = l.accept(ctx)?.expect("request");
+        // Descriptors are batch-posted behind one doorbell; give the rx
+        // CPU's insert task time to run before sampling.
+        ctx.delay(SimDuration::from_micros(100))?;
         let before = server_nic.preposted_len();
         assert!(before >= 32, "N data descriptors + control posted");
         let d = conn.read(ctx, 64)?.expect("data");

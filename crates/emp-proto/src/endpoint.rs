@@ -15,7 +15,7 @@ use hostsim::{Host, VirtRange};
 use simnet::emp_trace::{self, EventKind};
 use simnet::{MacAddr, ProcessCtx, SimAccess, SimResult};
 
-use crate::nic::{DescId, EmpNic, RecvState, SendState};
+use crate::nic::{DescId, EmpNic, RecvState, SendState, TxBuf};
 use crate::wire::{RecvMsg, Tag};
 
 /// Handle to an in-flight send.
@@ -131,6 +131,32 @@ impl EmpEndpoint {
         data: Bytes,
         buf: VirtRange,
     ) -> SimResult<SendHandle> {
+        self.post_send_buf(ctx, dst, tag, TxBuf::one(data), buf)
+    }
+
+    /// [`EmpEndpoint::post_send`] with the message as a header + payload
+    /// pair: the NIC gathers the two segments itself, so the host never
+    /// assembles (copies) them into one buffer.
+    pub fn post_send_split(
+        &self,
+        ctx: &ProcessCtx,
+        dst: MacAddr,
+        tag: Tag,
+        header: Bytes,
+        payload: Bytes,
+        buf: VirtRange,
+    ) -> SimResult<SendHandle> {
+        self.post_send_buf(ctx, dst, tag, TxBuf::pair(header, payload), buf)
+    }
+
+    fn post_send_buf(
+        &self,
+        ctx: &ProcessCtx,
+        dst: MacAddr,
+        tag: Tag,
+        data: TxBuf,
+        buf: VirtRange,
+    ) -> SimResult<SendHandle> {
         let cfg = self.nic.cfg();
         let (pin, _) = self.host.memory().lock().register(buf, self.host.cost());
         ctx.delay(cfg.desc_build + pin + self.host.cost().doorbell_write)?;
@@ -145,6 +171,23 @@ impl EmpEndpoint {
         h.state.completion.wait(ctx)?;
         ctx.delay(self.host.cost().poll_completion)?;
         Ok(h.state.ok.lock().expect("completed send has a status"))
+    }
+
+    /// Block until *every* send in the batch completed, then reap them
+    /// with a single completion poll. Returns true only when all were
+    /// acknowledged. A batch of one costs exactly one
+    /// [`EmpEndpoint::wait_send`].
+    pub fn wait_sends(&self, ctx: &ProcessCtx, hs: &[SendHandle]) -> SimResult<bool> {
+        if hs.is_empty() {
+            return Ok(true);
+        }
+        for h in hs {
+            h.state.completion.wait(ctx)?;
+        }
+        ctx.delay(self.host.cost().poll_completion)?;
+        Ok(hs
+            .iter()
+            .all(|h| h.state.ok.lock().expect("completed send has a status")))
     }
 
     /// True once the send completed (either way); never blocks.
@@ -173,6 +216,38 @@ impl EmpEndpoint {
         ctx.delay(cfg.desc_build + pin + self.host.cost().doorbell_write)?;
         let (id, state) = self.nic.post_descriptor(ctx, tag, src, capacity);
         Ok(RecvHandle { id, state })
+    }
+
+    /// Post a batch of receive descriptors behind one doorbell: each entry
+    /// pays its descriptor build and (first-touch) pin, but the PCI
+    /// doorbell write and the firmware's unexpected-pool rescan are paid
+    /// once for the whole batch. A batch of one costs exactly one
+    /// [`EmpEndpoint::post_recv`].
+    pub fn post_recv_batch(
+        &self,
+        ctx: &ProcessCtx,
+        posts: &[(Tag, Option<MacAddr>, usize, VirtRange)],
+    ) -> SimResult<Vec<RecvHandle>> {
+        if posts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let cfg = self.nic.cfg();
+        let mut cost = self.host.cost().doorbell_write;
+        for (_, _, _, buf) in posts {
+            let (pin, _) = self.host.memory().lock().register(*buf, self.host.cost());
+            cost += cfg.desc_build + pin;
+        }
+        ctx.delay(cost)?;
+        let specs = posts
+            .iter()
+            .map(|(tag, src, cap, _)| (*tag, *src, *cap))
+            .collect();
+        Ok(self
+            .nic
+            .post_descriptors(ctx, specs)
+            .into_iter()
+            .map(|(id, state)| RecvHandle { id, state })
+            .collect())
     }
 
     /// Block until the descriptor delivers a message (or `None` if it was

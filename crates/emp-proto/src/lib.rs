@@ -25,6 +25,6 @@ pub mod wire;
 
 pub use config::EmpConfig;
 pub use endpoint::{EmpEndpoint, RecvHandle, RecvPoll, SendHandle};
-pub use nic::{DescId, EmpNic, EmpStats};
+pub use nic::{DescId, EmpNic, EmpStats, TxBuf};
 pub use testbed::{build_cluster, EmpCluster, EmpNode};
 pub use wire::{RecvMsg, Tag, MAX_CHUNK};

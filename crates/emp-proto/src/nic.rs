@@ -93,10 +93,63 @@ impl RecvState {
     }
 }
 
+/// The bytes of one outgoing message as handed to the NIC: one contiguous
+/// buffer, or a header + payload pair kept as separate segments. The pair
+/// form lets the host skip assembling (copying) the payload into a fresh
+/// buffer — a real NIC gathers the segments by DMA — so only a frame that
+/// straddles the seam pays a frame-sized copy at wire-release time.
+#[derive(Clone)]
+pub struct TxBuf {
+    head: Bytes,
+    tail: Bytes,
+}
+
+impl TxBuf {
+    /// One contiguous buffer.
+    pub fn one(data: Bytes) -> Self {
+        TxBuf {
+            head: data,
+            tail: Bytes::new(),
+        }
+    }
+
+    /// A two-segment message: `head` (a protocol header) followed by
+    /// `tail` (the payload), without concatenating them.
+    pub fn pair(head: Bytes, tail: Bytes) -> Self {
+        TxBuf { head, tail }
+    }
+
+    /// Total message length.
+    pub fn len(&self) -> usize {
+        self.head.len() + self.tail.len()
+    }
+
+    /// True when the message carries no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bytes `a..b` — a refcounted slice unless the range straddles
+    /// the head/tail seam.
+    pub fn slice(&self, a: usize, b: usize) -> Bytes {
+        let h = self.head.len();
+        if b <= h {
+            self.head.slice(a..b)
+        } else if a >= h {
+            self.tail.slice(a - h..b - h)
+        } else {
+            let mut v = Vec::with_capacity(b - a);
+            v.extend_from_slice(&self.head[a..]);
+            v.extend_from_slice(&self.tail[..b - h]);
+            Bytes::from(v)
+        }
+    }
+}
+
 struct TxRecord {
     dst: MacAddr,
     tag: Tag,
-    data: Bytes,
+    data: TxBuf,
     num_frames: u32,
     /// Next frame index to release to the wire (rewinds on retransmit).
     next_to_send: u32,
@@ -319,7 +372,7 @@ impl EmpNic {
     /// Accept a host send request (T1 has already been paid by the host;
     /// this starts the firmware side). Returns the send's host-visible
     /// state.
-    pub fn start_send(&self, s: &dyn SimAccess, dst: MacAddr, tag: Tag, data: Bytes) -> SendState {
+    pub fn start_send(&self, s: &dyn SimAccess, dst: MacAddr, tag: Tag, data: TxBuf) -> SendState {
         let state = SendState::new();
         let msg_id = {
             let mut st = self.state.lock();
@@ -395,7 +448,7 @@ impl EmpNic {
                             frame_idx: idx,
                             num_frames: rec.num_frames,
                             total_len: rec.data.len() as u32,
-                            chunk: rec.data.slice(a..b),
+                            chunk: rec.data.slice(a, b),
                         }),
                     });
                 }
@@ -570,30 +623,58 @@ impl EmpNic {
         src_filter: Option<MacAddr>,
         capacity: usize,
     ) -> (DescId, RecvState) {
-        let state = RecvState::new();
-        let id = {
+        self.post_descriptors(s, vec![(tag, src_filter, capacity)])
+            .pop()
+            .expect("one descriptor posted")
+    }
+
+    /// Post a batch of `(tag, src filter, capacity)` descriptors behind a
+    /// single doorbell: the rx CPU runs one insert task costing
+    /// `rx_post_cost` per descriptor, inserts them in order, and scans the
+    /// unexpected queue once — the PCI post latency and the pool walk are
+    /// amortized over the batch. A batch of one costs exactly what
+    /// [`EmpNic::post_descriptor`] costs.
+    pub fn post_descriptors(
+        &self,
+        s: &dyn SimAccess,
+        specs: Vec<(Tag, Option<MacAddr>, usize)>,
+    ) -> Vec<(DescId, RecvState)> {
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(specs.len());
+        let mut descs = Vec::with_capacity(specs.len());
+        {
             let mut st = self.state.lock();
-            let id = st.next_desc_id;
-            st.next_desc_id += 1;
-            id
-        };
-        let me = self.arc();
-        let st_clone = state.clone();
-        let earliest = s.now() + self.cfg.nic.pci_post_latency;
-        self.tigon
-            .cpu_rx
-            .exec_at(s, earliest, self.cfg.rx_post_cost, move |sim| {
-                me.trace(sim, EventKind::DescPost, id, capacity as u64);
-                me.state.lock().preposted.push(RecvDesc {
+            for (tag, src_filter, capacity) in specs {
+                let id = st.next_desc_id;
+                st.next_desc_id += 1;
+                let state = RecvState::new();
+                descs.push(RecvDesc {
                     id,
                     tag,
                     src_filter,
                     capacity,
-                    state: st_clone,
+                    state: state.clone(),
                 });
-                me.drain_pool_matches(sim);
-            });
-        (id, state)
+                out.push((id, state));
+            }
+        }
+        let me = self.arc();
+        let earliest = s.now() + self.cfg.nic.pci_post_latency;
+        let cost = self.cfg.rx_post_cost * descs.len() as u64;
+        let batch = descs.len() as u64;
+        self.tigon.cpu_rx.exec_at(s, earliest, cost, move |sim| {
+            if batch > 1 {
+                me.trace(sim, EventKind::DescPostBatch, batch, 0);
+            }
+            for d in descs {
+                me.trace(sim, EventKind::DescPost, d.id, d.capacity as u64);
+                me.state.lock().preposted.push(d);
+            }
+            me.drain_pool_matches(sim);
+        });
+        out
     }
 
     /// Host explicitly unposts a descriptor (§4.2: "every descriptor is
@@ -1050,6 +1131,22 @@ mod tests {
             buf: vec![0u8; len as usize],
             dest: RecvDest::Unexpected,
         }
+    }
+
+    #[test]
+    fn txbuf_slices_match_the_concatenation() {
+        let head = Bytes::from_static(b"0123456789AB");
+        let tail = Bytes::from(vec![7u8; 4000]);
+        let mut whole = head.to_vec();
+        whole.extend_from_slice(&tail);
+        let buf = TxBuf::pair(head, tail);
+        assert_eq!(buf.len(), whole.len());
+        for (a, b) in [(0, 5), (0, 12), (12, 100), (5, 30), (0, 4012), (4000, 4012)] {
+            assert_eq!(&buf.slice(a, b)[..], &whole[a..b], "range {a}..{b}");
+        }
+        let one = TxBuf::one(Bytes::from(whole.clone()));
+        assert_eq!(&one.slice(3, 17)[..], &whole[3..17]);
+        assert!(TxBuf::one(Bytes::new()).is_empty());
     }
 
     #[test]

@@ -94,10 +94,23 @@ pub enum EventKind {
     /// completion). `a` = 0 for rx-ring drop, 1 for DMA delay; `b` = bytes
     /// or delay ns respectively.
     NicFault,
+    // --- Data-path fast paths (core) ---
+    /// A stream read took an in-order message straight into the user
+    /// buffer, skipping the §6.2 temp-buffer copy. `a` = bytes.
+    DirectDeliver,
+    /// A small write was staged in the coalescing buffer. `a` = bytes,
+    /// `b` = staged bytes after the append.
+    CoalesceAppend,
+    /// The coalescing buffer flushed as one substrate message. `a` =
+    /// bytes, `b` = writes aggregated.
+    CoalesceFlush,
+    /// A batch of receive descriptors was posted with one doorbell.
+    /// `a` = descriptors in the batch.
+    DescPostBatch,
 }
 
 /// Number of distinct [`EventKind`]s (for per-kind counter arrays).
-pub(crate) const KIND_COUNT: usize = EventKind::NicFault as usize + 1;
+pub(crate) const KIND_COUNT: usize = EventKind::DescPostBatch as usize + 1;
 
 impl EventKind {
     /// Stable `layer/event` name used in metrics and trace exports.
@@ -135,6 +148,10 @@ impl EventKind {
             EventKind::FrameReorder => "wire/frame_reorder",
             EventKind::LinkDown => "wire/link_down",
             EventKind::NicFault => "nic/fault",
+            EventKind::DirectDeliver => "sock/direct_deliver",
+            EventKind::CoalesceAppend => "sock/coalesce_append",
+            EventKind::CoalesceFlush => "sock/coalesce_flush",
+            EventKind::DescPostBatch => "nic/desc_post_batch",
         }
     }
 
@@ -185,6 +202,10 @@ pub(crate) const ALL_KINDS: [EventKind; KIND_COUNT] = [
     EventKind::FrameReorder,
     EventKind::LinkDown,
     EventKind::NicFault,
+    EventKind::DirectDeliver,
+    EventKind::CoalesceAppend,
+    EventKind::CoalesceFlush,
+    EventKind::DescPostBatch,
 ];
 
 /// One recorded event. Fixed-size and `Copy`: recording is a ring-buffer
