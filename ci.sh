@@ -102,4 +102,43 @@ perf_smoke() {
 perf_smoke default
 perf_smoke trace
 
+step "telemetry smoke (empstat)"
+# Observability stage: the always-on stats registry must fill with real
+# data — non-zero latency histograms and sampled time series — in the
+# default build and the traced one, and the JSON export must parse.
+mkdir -p target/figures
+telemetry_smoke() {
+    local features=() label="$1"
+    [[ "$label" == trace ]] && features=(--features emp-bench/trace)
+    local err
+    err=$(cargo run -q --release -p emp-bench --bin empstat "${features[@]}" \
+        -- --json 2>&1 >target/figures/empstat.json) \
+        || { echo "FAIL: empstat self-check ($label build)"; echo "$err"; exit 1; }
+    echo "$err" | grep -q "empstat self-check ok" \
+        || { echo "FAIL($label): no self-check line from empstat"; exit 1; }
+    grep -q '"app.rtt_ns"' target/figures/empstat.json \
+        || { echo "FAIL($label): empstat json missing rtt histogram"; exit 1; }
+    echo "empstat($label): ${err##*$'\n'}"
+}
+telemetry_smoke default
+telemetry_smoke trace
+
+step "telemetry overhead budget"
+# The always-on instrumentation must cost under 2% of a ping-pong run;
+# empstat --overhead exits non-zero past the budget.
+cargo run -q --release -p emp-bench --bin empstat -- --overhead \
+    || { echo "FAIL: telemetry overhead above budget"; exit 1; }
+
+step "bench regression gate"
+# Regenerate the committed baseline figures with the same quick profile
+# and compare goodput point-by-point (35% tolerance), plus hard
+# invariants: coalescing still collapses 64B message counts and direct
+# delivery still avoids every copy.
+cargo run -q --release -p emp-bench --bin figures -- --quick \
+    --json target/figures/fresh.json \
+    fig11 fig13b small-message-throughput copy-avoidance >/dev/null
+cargo run -q --release -p emp-bench --bin regress -- \
+    --baseline BENCH_5.json --fresh target/figures/fresh.json \
+    || { echo "FAIL: bench regression gate"; exit 1; }
+
 printf '\nci.sh: all checks passed\n'

@@ -8,7 +8,7 @@
 //! request framing (bytes in → bytes out) and get accept, flow-controlled
 //! writes, EOF, and error teardown for free.
 
-use simnet::{ProcessCtx, SimResult};
+use simnet::{ProcessCtx, SimAccess, SimResult};
 
 use crate::api::{Conn, Interest, NetApi, NetError, NetListener, PollSource, PollTarget};
 
@@ -50,6 +50,9 @@ pub fn serve_event_loop(
     let mut conns: Vec<Option<ConnState>> = Vec::new();
     let mut accepted = 0u32;
     let mut open = 0u32;
+    // Time spent handling each batch of readiness events (poll return to
+    // loop bottom) — the server's per-turn latency distribution.
+    let turn_hist = ctx.telemetry().histogram("app.eventloop_turn_ns");
     while accepted < n_conns || open > 0 {
         let events = {
             let mut sources = Vec::new();
@@ -76,6 +79,7 @@ pub fn serve_event_loop(
             }
             api.poll(ctx, &sources, None)?.expect("poll")
         };
+        let turn_start = ctx.now();
         for ev in events {
             if ev.token == LISTENER {
                 // Drain the whole accept queue while we are here.
@@ -123,6 +127,7 @@ pub fn serve_event_loop(
                 open -= 1;
             }
         }
+        turn_hist.record((ctx.now() - turn_start).nanos());
     }
     Ok(())
 }

@@ -116,12 +116,15 @@ fn pingpong_run(
             // round trips (connection setup dwarfs steady-state RTTs).
             ctx.tracer().clear();
         }
+        let rtt_hist = ctx.telemetry().histogram("app.rtt_ns");
         let t0 = ctx.now();
         for _ in 0..iters {
+            let iter_start = ctx.now();
             conn.write(ctx, &payload)?.expect("write");
             conn.read_exact(ctx, msg_size)?
                 .expect("read")
                 .expect("pong");
+            rtt_hist.record((ctx.now() - iter_start).nanos());
         }
         let rtt = (ctx.now() - t0) / u64::from(iters);
         *out2.lock() = rtt.as_micros_f64() / 2.0;

@@ -220,9 +220,29 @@ pub fn concurrent_throughput(
     reqs_per_conn: u32,
     response_size: usize,
 ) -> ConcurrencyRun {
+    concurrent_throughput_on(
+        &Sim::new(),
+        tb,
+        model,
+        n_conns,
+        reqs_per_conn,
+        response_size,
+    )
+}
+
+/// [`concurrent_throughput`] on a caller-supplied simulation, so tools
+/// that inspect the sim afterwards (`empstat`, the determinism test) can
+/// read its telemetry registry once the workload drains.
+pub fn concurrent_throughput_on(
+    sim: &Sim,
+    tb: &Testbed,
+    model: ServerModel,
+    n_conns: u32,
+    reqs_per_conn: u32,
+    response_size: usize,
+) -> ConcurrencyRun {
     assert!(tb.nodes.len() >= 2, "need a server node and a client node");
     assert!(n_conns >= 1 && reqs_per_conn >= 1);
-    let sim = Sim::new();
     let api = Arc::clone(&tb.nodes[0].api);
     let backlog = n_conns as usize + 8;
     match model {

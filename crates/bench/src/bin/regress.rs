@@ -1,0 +1,54 @@
+//! `regress` — the bench regression gate: compare a fresh
+//! `figures --json` file against the committed baseline and exit non-zero
+//! on regressions (see `emp_bench::regress` for what is compared).
+//!
+//! ```text
+//! cargo run --release -p emp-bench --bin figures -- --quick \
+//!     --json target/figures/fresh.json \
+//!     fig11 fig13b small-message-throughput copy-avoidance
+//! cargo run --release -p emp-bench --bin regress -- \
+//!     --baseline BENCH_5.json --fresh target/figures/fresh.json
+//! ```
+
+use emp_bench::regress;
+
+fn main() {
+    let mut baseline: Option<String> = None;
+    let mut fresh: Option<String> = None;
+    let mut tolerance = regress::DEFAULT_TOLERANCE;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline = it.next(),
+            "--fresh" => fresh = it.next(),
+            "--tolerance" => {
+                tolerance = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a number");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("usage: regress --baseline <json> --fresh <json> [--tolerance <f>] (got '{other}')");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (Some(baseline), Some(fresh)) = (baseline, fresh) else {
+        eprintln!("usage: regress --baseline <json> --fresh <json> [--tolerance <f>]");
+        std::process::exit(2);
+    };
+    let base_text = std::fs::read_to_string(&baseline)
+        .unwrap_or_else(|e| fatal(&format!("read {baseline}: {e}")));
+    let fresh_text =
+        std::fs::read_to_string(&fresh).unwrap_or_else(|e| fatal(&format!("read {fresh}: {e}")));
+    let report = regress::compare(&base_text, &fresh_text, tolerance).unwrap_or_else(|e| fatal(&e));
+    print!("{}", report.text());
+    if report.failures() > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("regress: {msg}");
+    std::process::exit(1);
+}

@@ -10,7 +10,9 @@
 
 pub mod figures;
 pub mod raw;
+pub mod regress;
 pub mod report;
+pub mod stat;
 
 pub use figures::{all_figures, Profile};
 pub use report::{Figure, Series};

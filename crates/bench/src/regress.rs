@@ -1,0 +1,511 @@
+//! Bench regression gate: compare a freshly generated `figures --json`
+//! file against the committed baseline (`BENCH_5.json`) and fail on
+//! regressions.
+//!
+//! The simulation is deterministic, so on an unchanged tree the fresh
+//! numbers reproduce the baseline exactly; the tolerance exists so
+//! legitimate perf-neutral refactors (which shift timings by a few
+//! percent) pass while real regressions — goodput collapse, latency
+//! blow-ups, the coalescing or direct-delivery fast paths quietly turning
+//! off — fail the `bench-regression` stage of `ci.sh`.
+//!
+//! The comparison understands both the original `{"figures": [...]}`
+//! baseline schema and the versioned v2 schema (`schema_version`, `meta`,
+//! `telemetry`, `perf_summary`); only the figures present in *both* files
+//! are compared, series by series at common x values. On the fresh file
+//! alone it additionally enforces the fast-path invariants the perf-smoke
+//! stage asserts: coalescing collapses the 64-byte substrate message
+//! count, and posted-reader direct delivery avoids copies outright.
+
+use std::collections::BTreeMap;
+
+/// Default relative tolerance for y-value comparisons.
+pub const DEFAULT_TOLERANCE: f64 = 0.35;
+/// Absolute slack used when the baseline value is (near) zero, where a
+/// relative bound is meaningless (e.g. the "copied %" series at 0).
+pub const ZERO_ABS_TOLERANCE: f64 = 5.0;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser (the workspace carries no JSON deps)
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64; the bench schemas stay in range).
+    Num(f64),
+    /// String (escape sequences decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as f64, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as &str, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice, if an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document. Strict enough for the bench files; rejects
+/// trailing garbage.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected '{}' at offset {} (found {:?})",
+            c as char,
+            *pos,
+            b.get(*pos).map(|&x| x as char)
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut m = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(m));
+            }
+            loop {
+                skip_ws(b, pos);
+                let k = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let v = parse_value(b, pos)?;
+                m.push((k, v));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(m));
+                    }
+                    other => return Err(format!("expected ',' or '}}', found {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut v = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(v));
+            }
+            loop {
+                v.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(v));
+                    }
+                    other => return Err(format!("expected ',' or ']', found {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                }
+            }
+            _ => out.push(c as char),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number '{s}' at offset {start}"))
+}
+
+// ---------------------------------------------------------------------
+// Figure extraction and comparison
+// ---------------------------------------------------------------------
+
+/// `figure id -> series label -> (x, y) points` pulled out of either
+/// schema (v1 `{"figures": [...]}` or v2 with metadata sections).
+pub type FigureMap = BTreeMap<String, BTreeMap<String, Vec<(f64, f64)>>>;
+
+/// Extract every figure's series from a parsed bench JSON document.
+pub fn extract_figures(doc: &Json) -> Result<FigureMap, String> {
+    let figs = doc
+        .get("figures")
+        .and_then(Json::as_arr)
+        .ok_or("no 'figures' array")?;
+    let mut out = FigureMap::new();
+    for fig in figs {
+        let id = fig
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("figure without id")?
+            .to_string();
+        let mut series = BTreeMap::new();
+        for s in fig.get("series").and_then(Json::as_arr).unwrap_or(&[]) {
+            let label = s
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or("series without label")?
+                .to_string();
+            let mut pts = Vec::new();
+            for p in s.get("points").and_then(Json::as_arr).unwrap_or(&[]) {
+                let xy = p.as_arr().ok_or("point is not a pair")?;
+                if xy.len() != 2 {
+                    return Err("point is not a pair".into());
+                }
+                pts.push((
+                    xy[0].as_f64().ok_or("non-numeric x")?,
+                    xy[1].as_f64().ok_or("non-numeric y")?,
+                ));
+            }
+            series.insert(label, pts);
+        }
+        out.insert(id, series);
+    }
+    Ok(out)
+}
+
+/// One comparison outcome.
+#[derive(Clone, Debug)]
+pub struct Check {
+    /// What was checked (figure/series/x or invariant name).
+    pub what: String,
+    /// Whether it passed.
+    pub pass: bool,
+    /// Human detail (values and bound).
+    pub detail: String,
+}
+
+/// The full regression report.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Every executed check, in order.
+    pub checks: Vec<Check>,
+}
+
+impl Report {
+    fn push(&mut self, what: impl Into<String>, pass: bool, detail: impl Into<String>) {
+        self.checks.push(Check {
+            what: what.into(),
+            pass,
+            detail: detail.into(),
+        });
+    }
+
+    /// Number of failed checks.
+    pub fn failures(&self) -> usize {
+        self.checks.iter().filter(|c| !c.pass).count()
+    }
+
+    /// Render one line per check plus a verdict.
+    pub fn text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for c in &self.checks {
+            let _ = writeln!(
+                out,
+                "{} {} — {}",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.what,
+                c.detail
+            );
+        }
+        let _ = writeln!(
+            out,
+            "bench-regression: {} checks, {} failed",
+            self.checks.len(),
+            self.failures()
+        );
+        out
+    }
+}
+
+/// Compare `fresh` against `baseline` (both raw JSON texts) with the
+/// given relative tolerance, and enforce the fresh file's fast-path
+/// invariants. Returns the report; the caller decides the exit code from
+/// [`Report::failures`].
+pub fn compare(baseline: &str, fresh: &str, tolerance: f64) -> Result<Report, String> {
+    let base_doc = parse_json(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let fresh_doc = parse_json(fresh).map_err(|e| format!("fresh: {e}"))?;
+    let base = extract_figures(&base_doc).map_err(|e| format!("baseline: {e}"))?;
+    let new = extract_figures(&fresh_doc).map_err(|e| format!("fresh: {e}"))?;
+
+    let mut report = Report::default();
+    let mut compared = 0usize;
+    for (id, base_series) in &base {
+        let Some(new_series) = new.get(id) else {
+            continue; // baseline figure not regenerated this run
+        };
+        for (label, base_pts) in base_series {
+            let Some(new_pts) = new_series.get(label) else {
+                report.push(
+                    format!("{id}/{label}"),
+                    false,
+                    "series present in baseline but missing from fresh run",
+                );
+                continue;
+            };
+            for &(x, yb) in base_pts {
+                let Some(&(_, yn)) = new_pts.iter().find(|p| p.0 == x) else {
+                    continue; // different sweep resolution; only common x compared
+                };
+                compared += 1;
+                let (pass, detail) = if yb.abs() < 1.0 {
+                    let d = (yn - yb).abs();
+                    (
+                        d <= ZERO_ABS_TOLERANCE,
+                        format!("baseline {yb:.3} fresh {yn:.3} (abs diff {d:.3} <= {ZERO_ABS_TOLERANCE})"),
+                    )
+                } else {
+                    let rel = (yn - yb).abs() / yb.abs();
+                    (
+                        rel <= tolerance,
+                        format!(
+                            "baseline {yb:.3} fresh {yn:.3} (rel diff {:.1}% <= {:.0}%)",
+                            rel * 100.0,
+                            tolerance * 100.0
+                        ),
+                    )
+                };
+                report.push(format!("{id}/{label}@{x}"), pass, detail);
+            }
+        }
+    }
+    if compared == 0 {
+        report.push(
+            "coverage",
+            false,
+            "no common figure/series/x points between baseline and fresh run",
+        );
+    }
+
+    check_invariants(&fresh_doc, &mut report);
+    Ok(report)
+}
+
+/// Fast-path invariants asserted on the fresh run's `perf_summary`
+/// section (v2 schema). A fresh file without the section fails — the gate
+/// exists precisely to notice the counters disappearing.
+fn check_invariants(fresh: &Json, report: &mut Report) {
+    let Some(ps) = fresh.get("perf_summary") else {
+        report.push(
+            "perf_summary",
+            false,
+            "fresh run carries no perf_summary section",
+        );
+        return;
+    };
+    let get = |key: &str| ps.get(key).and_then(Json::as_f64);
+    match (get("msgs_64b_coalesce_off"), get("msgs_64b_coalesce_on")) {
+        (Some(off), Some(on)) => report.push(
+            "coalescing collapses 64B msgs_sent",
+            on > 0.0 && on < off,
+            format!("off={off} on={on}"),
+        ),
+        _ => report.push(
+            "coalescing collapses 64B msgs_sent",
+            false,
+            "msgs_64b_coalesce_{off,on} missing from perf_summary",
+        ),
+    }
+    match get("copies_avoided") {
+        Some(v) => report.push(
+            "direct delivery avoids copies",
+            v > 0.0,
+            format!("copies_avoided={v}"),
+        ),
+        None => report.push(
+            "direct delivery avoids copies",
+            false,
+            "copies_avoided missing from perf_summary",
+        ),
+    }
+    match (get("bytes_direct"), get("bytes_received")) {
+        (Some(d), Some(r)) => report.push(
+            "posted readers take every byte direct",
+            d == r,
+            format!("bytes_direct={d} bytes_received={r}"),
+        ),
+        _ => report.push(
+            "posted readers take every byte direct",
+            false,
+            "bytes_{direct,received} missing from perf_summary",
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const V1: &str = r#"{"figures": [
+      {"id": "f", "title": "t", "x_label": "x", "y_label": "y",
+       "series": [{"label": "a", "points": [[4, 100.0], [16, 0.0]]}]}
+    ]}"#;
+
+    fn v2(y4: f64, summary: &str) -> String {
+        format!(
+            r#"{{"schema_version": 2, "meta": {{"seed": 0}},
+                "figures": [{{"id": "f", "title": "t", "x_label": "x", "y_label": "y",
+                  "series": [{{"label": "a", "points": [[4, {y4}], [16, 2.0]]}}]}}],
+                "perf_summary": {summary}}}"#
+        )
+    }
+
+    const GOOD_SUMMARY: &str = r#"{"msgs_64b_coalesce_off": 1000, "msgs_64b_coalesce_on": 10,
+        "copies_avoided": 5, "bytes_direct": 99, "bytes_received": 99}"#;
+
+    #[test]
+    fn parser_roundtrips_bench_schema() {
+        let doc = parse_json(V1).expect("parse");
+        let figs = extract_figures(&doc).expect("extract");
+        assert_eq!(figs["f"]["a"], vec![(4.0, 100.0), (16.0, 0.0)]);
+        assert!(parse_json("{\"a\": [1, 2.5e3, \"x\\n\"]}").is_ok());
+        assert!(parse_json("{oops}").is_err());
+        assert!(parse_json("[1] garbage").is_err());
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let rep = compare(V1, &v2(110.0, GOOD_SUMMARY), 0.35).expect("compare");
+        assert_eq!(rep.failures(), 0, "{}", rep.text());
+    }
+
+    #[test]
+    fn out_of_tolerance_fails() {
+        let rep = compare(V1, &v2(200.0, GOOD_SUMMARY), 0.35).expect("compare");
+        assert!(rep.failures() >= 1, "{}", rep.text());
+        assert!(rep.text().contains("FAIL f/a@4"));
+    }
+
+    #[test]
+    fn near_zero_baseline_uses_absolute_slack() {
+        // Baseline y=0 at x=16; fresh 2.0 is within ZERO_ABS_TOLERANCE.
+        let rep = compare(V1, &v2(100.0, GOOD_SUMMARY), 0.35).expect("compare");
+        assert_eq!(rep.failures(), 0, "{}", rep.text());
+    }
+
+    #[test]
+    fn broken_fast_path_invariants_fail() {
+        let bad = r#"{"msgs_64b_coalesce_off": 10, "msgs_64b_coalesce_on": 10,
+            "copies_avoided": 0, "bytes_direct": 1, "bytes_received": 2}"#;
+        let rep = compare(V1, &v2(100.0, bad), 0.35).expect("compare");
+        assert_eq!(rep.failures(), 3, "{}", rep.text());
+    }
+
+    #[test]
+    fn missing_summary_section_fails() {
+        let fresh = r#"{"figures": []}"#;
+        let rep = compare(V1, fresh, 0.35).expect("compare");
+        assert!(rep.failures() >= 2, "{}", rep.text()); // no coverage + no summary
+    }
+}

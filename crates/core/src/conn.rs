@@ -28,6 +28,8 @@ pub(crate) struct ProcShared {
     pub(crate) ep: EmpEndpoint,
     pub(crate) cfg: SubstrateConfig,
     pub(crate) state: Mutex<ProcState>,
+    /// For telemetry poll closures that walk the active-socket table.
+    self_ref: Weak<ProcShared>,
 }
 
 pub(crate) struct ProcState {
@@ -56,7 +58,7 @@ pub(crate) struct ProcState {
 
 impl ProcShared {
     pub(crate) fn new(ep: EmpEndpoint, cfg: SubstrateConfig) -> Arc<Self> {
-        Arc::new(ProcShared {
+        Arc::new_cyclic(|weak| ProcShared {
             ep,
             cfg,
             state: Mutex::new(ProcState {
@@ -69,6 +71,7 @@ impl ProcShared {
                 range_cursor: 0x1000_0000,
                 range_pool: HashMap::new(),
             }),
+            self_ref: weak.clone(),
         })
     }
 
@@ -119,8 +122,62 @@ impl ProcShared {
         };
         if needs {
             self.adjust_unexpected(ctx, self.cfg.base_unexpected_slots as isize)?;
+            self.register_telemetry(ctx);
         }
         Ok(())
+    }
+
+    /// Publish this process's substrate health as sampled time series:
+    /// live connections, credits outstanding (in-flight, not yet
+    /// returned), reorder-buffer occupancy, and staged coalescing bytes.
+    /// Each series walks the active-socket table at sample time via a
+    /// weak self reference, so telemetry never keeps the process alive.
+    fn register_telemetry(&self, ctx: &dyn SimAccess) {
+        let node = self.ep.addr().0;
+        let reg = ctx.telemetry();
+        type SockFn = Box<dyn Fn(&SockShared) -> i64 + Send>;
+        let series: [(&str, SockFn); 4] = [
+            ("conns_live", Box::new(|_| 1)),
+            (
+                "credits_out",
+                Box::new(|s| {
+                    let i = s.inner.lock();
+                    i64::from(s.credits_max) - i64::from(i.credits)
+                }),
+            ),
+            (
+                "reorder_msgs",
+                Box::new(|s| s.inner.lock().rx_ooo.len() as i64),
+            ),
+            (
+                "staged_bytes",
+                Box::new(|s| s.inner.lock().coalesce_buf.len() as i64),
+            ),
+        ];
+        for (name, per_sock) in series {
+            let weak = self.self_ref.clone();
+            reg.register_sampled(&format!("sock.n{node}.{name}"), move |_| {
+                let p = weak.upgrade()?;
+                let socks: Vec<Arc<SockShared>> = p
+                    .state
+                    .try_lock()?
+                    .active
+                    .values()
+                    .filter_map(Weak::upgrade)
+                    .collect();
+                // A parked process may hold a socket lock right now; skip
+                // the whole tick rather than publish a partial sum.
+                let mut total = 0i64;
+                for s in &socks {
+                    let i = s.inner.try_lock()?;
+                    if !i.closed {
+                        drop(i);
+                        total += per_sock(s);
+                    }
+                }
+                Some(total)
+            });
+        }
     }
 
     /// Grow/shrink this process's unexpected-queue allocation.

@@ -33,7 +33,8 @@ use std::sync::Arc;
 use emp_proto::RecvHandle;
 use parking_lot::Mutex;
 use simnet::{
-    wait_any, Completion, Event, Interest, ProcessCtx, SimAccessExt, SimDuration, SimResult,
+    wait_any, Completion, Event, Interest, ProcessCtx, SimAccess, SimAccessExt, SimDuration,
+    SimResult,
 };
 
 use crate::config::SocketType;
@@ -147,6 +148,7 @@ impl PollSet {
             ctx.schedule_after(d, move |s| c2.complete(s));
             c
         });
+        let entered_ns = ctx.now().nanos();
         loop {
             // 1. Compute readiness (consuming landed control traffic and
             // credit returns along the way).
@@ -165,10 +167,12 @@ impl PollSet {
             }
             if !events.is_empty() {
                 ok_or_return!(self.finish(ctx)?);
+                record_poll_wait(ctx, entered_ns);
                 return Ok(Ok(events));
             }
             if deadline.as_ref().is_some_and(Completion::is_done) {
                 ok_or_return!(self.finish(ctx)?);
+                record_poll_wait(ctx, entered_ns);
                 return Ok(Ok(Vec::new()));
             }
             // 2. (Re)collect watch lists where invalidated, arming the
@@ -223,6 +227,13 @@ impl PollSet {
 }
 
 /// Compute a connection's ready mask for the given interests.
+/// Record one completed poll wait into the `core.poll_wait_ns` histogram.
+fn record_poll_wait(ctx: &ProcessCtx, entered_ns: u64) {
+    ctx.telemetry()
+        .histogram("core.poll_wait_ns")
+        .record(ctx.now().nanos().saturating_sub(entered_ns));
+}
+
 fn conn_ready(ctx: &ProcessCtx, sock: &SockShared, interest: Interest) -> OpResult<Interest> {
     let mut ready = Interest::EMPTY;
     // Flush-on-poll: staged coalesced writes go out before the poll

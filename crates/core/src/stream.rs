@@ -660,30 +660,47 @@ impl SockShared {
     /// Spend one credit, blocking on flow-control acks while none are
     /// available.
     fn acquire_credit(&self, ctx: &ProcessCtx) -> OpResult<()> {
+        // Sim instant the first stall began, for the credit-wait histogram
+        // (only stalled acquisitions record; the fast path stays free).
+        let mut stall_start: Option<u64> = None;
         loop {
             self.reap_fcacks(ctx)?;
-            {
+            let acquired = {
                 let mut i = self.inner.lock();
                 if i.credits > 0 {
                     i.credits -= 1;
-                    return Ok(Ok(()));
-                }
-                if i.peer_closed {
+                    true
+                } else if i.peer_closed {
                     return Ok(Err(SockError::PeerClosed));
+                } else {
+                    i.stats.credit_stalls += 1;
+                    false
                 }
-                i.stats.credit_stalls += 1;
+            };
+            if acquired {
+                if let Some(t0) = stall_start {
+                    ctx.telemetry()
+                        .histogram("sock.credit_wait_ns")
+                        .record(ctx.now().nanos().saturating_sub(t0));
+                }
+                return Ok(Ok(()));
             }
+            stall_start.get_or_insert(ctx.now().nanos());
             self.trace(ctx, EventKind::CreditStall, 0, 0);
             // Out of credits: block for the next flow-control ack.
             if self.proc_.cfg.acks_in_unexpected_queue {
                 // §6.4: the ack may already be parked in the unexpected
                 // pool; otherwise post a descriptor and wait.
+                // Hoisted out of the call: a guard temporary in the
+                // argument list would stay locked across `post_recv`'s
+                // park, stalling the telemetry sampler's state reads.
+                let fcack_range = self.inner.lock().fcack_range;
                 let h = self.proc_.ep.post_recv(
                     ctx,
                     self.rx_fcack_tag(),
                     Some(self.peer),
                     crate::proto::HEADER,
-                    self.inner.lock().fcack_range,
+                    fcack_range,
                 )?;
                 ok_or_return!(self.wait_data_or_ctrl(ctx, h.completion())?);
                 if h.is_done() {

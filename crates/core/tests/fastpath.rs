@@ -236,10 +236,7 @@ fn coalesced_pingpong_flushes_on_read_and_completes() {
     sim.spawn("echoer", move |ctx| {
         let l = server.listen(ctx, 80, 4)?.expect("port free");
         let conn = l.accept(ctx)?.expect("connection");
-        loop {
-            let Some(m) = conn.read_exact(ctx, MSG)?.expect("read") else {
-                break;
-            };
+        while let Some(m) = conn.read_exact(ctx, MSG)?.expect("read") {
             conn.write(ctx, &m)?.expect("echo");
         }
         let s = conn.stats();

@@ -151,6 +151,9 @@ struct TxRecord {
     tag: Tag,
     data: TxBuf,
     num_frames: u32,
+    /// Sim time (ns) the host posted the send — start of the
+    /// per-message latency measured at final ack.
+    posted_ns: u64,
     /// Next frame index to release to the wire (rewinds on retransmit).
     next_to_send: u32,
     /// Cumulative frames acknowledged by the receiver.
@@ -238,6 +241,10 @@ struct NicState {
     recent_done: HashMap<(MacAddr, u64), u32>,
     recent_done_order: VecDeque<(MacAddr, u64)>,
     stats: EmpStats,
+    /// Post-to-final-ack latency histogram (`emp.msg_latency_ns`, shared
+    /// across all NICs of the sim). `None` until the first send, when the
+    /// telemetry registry becomes reachable.
+    msg_latency: Option<Arc<emp_trace::telemetry::LogLinHistogram>>,
 }
 
 /// Completed-receive memory depth (bounds `recent_done`).
@@ -272,6 +279,7 @@ impl EmpNic {
                 recent_done: HashMap::new(),
                 recent_done_order: VecDeque::new(),
                 stats: EmpStats::default(),
+                msg_latency: None,
             }),
             self_ref: weak.clone(),
         })
@@ -350,6 +358,43 @@ impl EmpNic {
         self.self_ref.upgrade().expect("EmpNic is always Arc-owned")
     }
 
+    /// First-send telemetry hookup: grab the shared per-message latency
+    /// histogram and publish this NIC's queue-occupancy gauges as sampled
+    /// series. The testbed builds NICs before any `Sim` exists, so this
+    /// runs lazily with the first `SimAccess` we see. No locks are held
+    /// across the registry calls.
+    fn ensure_telemetry(&self, s: &dyn SimAccess) {
+        if self.state.lock().msg_latency.is_some() {
+            return;
+        }
+        let reg = s.telemetry();
+        let hist = reg.histogram("emp.msg_latency_ns");
+        let mac = self.mac().0;
+        for (series, read) in [
+            (
+                "tx_inflight",
+                Box::new(|st: &NicState| st.tx_inflight as i64)
+                    as Box<dyn Fn(&NicState) -> i64 + Send>,
+            ),
+            (
+                "preposted",
+                Box::new(|st: &NicState| st.preposted.len() as i64),
+            ),
+            (
+                "uq_used",
+                Box::new(|st: &NicState| st.unexpected_in_use as i64),
+            ),
+        ] {
+            let weak = self.self_ref.clone();
+            reg.register_sampled(&format!("emp.n{mac}.{series}"), move |_| {
+                let nic = weak.upgrade()?;
+                let st = nic.state.try_lock()?;
+                Some(read(&st))
+            });
+        }
+        self.state.lock().msg_latency = Some(hist);
+    }
+
     /// Record a trace event stamped with this NIC's station id. Compiles
     /// to nothing without the `trace` feature.
     fn trace(&self, s: &dyn SimAccess, kind: EventKind, a: u64, b: u64) {
@@ -373,6 +418,7 @@ impl EmpNic {
     /// this starts the firmware side). Returns the send's host-visible
     /// state.
     pub fn start_send(&self, s: &dyn SimAccess, dst: MacAddr, tag: Tag, data: TxBuf) -> SendState {
+        self.ensure_telemetry(s);
         let state = SendState::new();
         let msg_id = {
             let mut st = self.state.lock();
@@ -386,6 +432,7 @@ impl EmpNic {
                     tag,
                     data,
                     num_frames,
+                    posted_ns: s.now().nanos(),
                     next_to_send: 0,
                     acked: 0,
                     retries: 0,
@@ -592,6 +639,9 @@ impl EmpNic {
                 let rec = st.tx.remove(&msg_id).expect("present above");
                 st.stats.msgs_sent += 1;
                 st.tx_order.retain(|&id| id != msg_id);
+                if let Some(h) = &st.msg_latency {
+                    h.record(sim.now().nanos().saturating_sub(rec.posted_ns));
+                }
                 Some(rec.state)
             } else {
                 None

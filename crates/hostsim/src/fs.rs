@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use simnet::{ProcessCtx, SimDuration, SimResult};
+use simnet::{ProcessCtx, SimAccess, SimDuration, SimResult};
 
 /// Filesystem timing parameters.
 #[derive(Clone, Debug)]
@@ -187,6 +187,9 @@ impl RamDisk {
             self.cfg.call_overhead
                 + SimDuration::for_bytes_at_rate(chunk.len() as u64, self.cfg.bytes_per_sec),
         )?;
+        ctx.telemetry()
+            .counter("fs.bytes_read")
+            .add(chunk.len() as u64);
         Ok(Ok(chunk))
     }
 
@@ -221,6 +224,9 @@ impl RamDisk {
             self.cfg.call_overhead
                 + SimDuration::for_bytes_at_rate(data.len() as u64, self.cfg.bytes_per_sec),
         )?;
+        ctx.telemetry()
+            .counter("fs.bytes_written")
+            .add(data.len() as u64);
         Ok(Ok(data.len()))
     }
 

@@ -57,6 +57,10 @@ pub struct TcpStack {
     pub(crate) state: Mutex<StackState>,
     /// Notified on any socket becoming readable — the `select()` hook.
     pub(crate) activity: SimCondvar,
+    /// Cached `tcp.n<id>.segments_out` counter; telemetry is hooked up on
+    /// the first emitted packet (the stack is built before any `Sim`
+    /// exists).
+    segments_out: Mutex<Option<Arc<simnet::emp_trace::Counter>>>,
     self_ref: Weak<TcpStack>,
 }
 
@@ -70,10 +74,11 @@ impl TcpStack {
             cfg.coalesce_frames,
         );
         let sockbuf = cfg.default_sockbuf;
+        let node = host.id().0;
         let stack = Arc::new_cyclic(|weak: &Weak<TcpStack>| TcpStack {
             host,
             cfg,
-            kernel: FirmwareCpu::new("kernel"),
+            kernel: FirmwareCpu::new("kernel").with_node(node),
             nic,
             state: Mutex::new(StackState {
                 conns: HashMap::new(),
@@ -87,6 +92,7 @@ impl TcpStack {
                 udp_dropped: 0,
             }),
             activity: SimCondvar::new(),
+            segments_out: Mutex::new(None),
             self_ref: weak.clone(),
         });
         let weak: Weak<dyn BatchHandler> = Arc::downgrade(&stack) as Weak<dyn BatchHandler>;
@@ -141,6 +147,7 @@ impl TcpStack {
     // ------------------------------------------------------------------
 
     pub(crate) fn emit(&self, s: &dyn SimAccess, pkt: IpPacket) {
+        self.ensure_telemetry(s).inc();
         let wire_len = pkt.wire_len();
         let frame = Frame {
             src: pkt.src,
@@ -149,6 +156,25 @@ impl TcpStack {
             payload: Payload::new(pkt, wire_len),
         };
         self.nic.send(s, frame);
+    }
+
+    /// First-packet telemetry hookup: the per-node outbound-segment
+    /// counter plus a sampled series of established connections.
+    fn ensure_telemetry(&self, s: &dyn SimAccess) -> Arc<simnet::emp_trace::Counter> {
+        if let Some(c) = self.segments_out.lock().clone() {
+            return c;
+        }
+        let reg = s.telemetry();
+        let node = self.host.id().0;
+        let c = reg.counter(&format!("tcp.n{node}.segments_out"));
+        let weak = self.self_ref.clone();
+        reg.register_sampled(&format!("tcp.n{node}.conns"), move |_| {
+            let st = weak.upgrade()?;
+            let g = st.state.try_lock()?;
+            Some(g.conns.len() as i64)
+        });
+        *self.segments_out.lock() = Some(Arc::clone(&c));
+        c
     }
 
     /// Emit `seg` for `sock` on the kernel CPU at `cost`.

@@ -65,6 +65,7 @@ pub struct SimShared {
     pub(crate) core: Mutex<SimCore>,
     pub(crate) procs: Mutex<ProcTable>,
     pub(crate) tracer: emp_trace::Tracer,
+    pub(crate) telemetry: Arc<emp_trace::telemetry::Registry>,
 }
 
 impl SimShared {
@@ -119,6 +120,14 @@ pub trait SimAccess {
     /// gated on [`emp_trace::ENABLED`] so they compile out entirely.
     fn tracer(&self) -> emp_trace::Tracer {
         self.shared().tracer.clone()
+    }
+
+    /// This simulation's always-on telemetry registry. Unlike the tracer
+    /// this is live in every build; layers register counters, gauges,
+    /// histograms, and sampled series under stable dotted names. The
+    /// engine drives its sampler after every executed event.
+    fn telemetry(&self) -> Arc<emp_trace::telemetry::Registry> {
+        Arc::clone(&self.shared().telemetry)
     }
 }
 
@@ -185,6 +194,7 @@ impl Sim {
                 }),
                 procs: Mutex::new(ProcTable::new()),
                 tracer: emp_trace::Tracer::new(),
+                telemetry: emp_trace::telemetry::Registry::new(),
             }),
         }
     }
@@ -225,7 +235,9 @@ impl Sim {
                     _ => break,
                 }
             };
+            let t = ev.time;
             (ev.f)(self);
+            self.shared.telemetry.maybe_sample(t.nanos());
         }
         self.shared.now()
     }
@@ -250,7 +262,9 @@ impl Sim {
                     _ => return done.is_done(),
                 }
             };
+            let t = ev.time;
             (ev.f)(self);
+            self.shared.telemetry.maybe_sample(t.nanos());
         }
     }
 

@@ -55,6 +55,11 @@ struct TxState {
     frames_corrupted: u64,
     frames_delayed: u64,
     max_backlog: SimDuration,
+    /// Telemetry name (e.g. `switch.port0`, `nic.n1.uplink`); links with
+    /// no name stay anonymous and publish nothing.
+    name: Option<String>,
+    /// Set once the backlog series has been registered.
+    registered: bool,
 }
 
 /// The transmitting end of one direction of a link.
@@ -84,8 +89,18 @@ impl LinkTx {
                 frames_corrupted: 0,
                 frames_delayed: 0,
                 max_backlog: SimDuration::ZERO,
+                name: None,
+                registered: false,
             })),
         }
+    }
+
+    /// Name this link for telemetry. On the next [`LinkTx::send`] a
+    /// `<name>.backlog_ns` time series (output-queue depth expressed as
+    /// nanoseconds of queued wire time) is registered with the
+    /// simulation's registry.
+    pub fn set_name(&self, name: impl Into<String>) {
+        self.state.lock().name = Some(name.into());
     }
 
     /// Queue `frame` for transmission. Serialization begins when the wire
@@ -120,6 +135,7 @@ impl LinkTx {
             }
             (start, st.busy_until + self.cfg.propagation, fate)
         };
+        self.maybe_register_telemetry(s);
         let extra_delay = match fate {
             FaultDecision::Deliver { extra_delay } => Some(extra_delay),
             _ => None,
@@ -167,6 +183,30 @@ impl LinkTx {
                 peer.deliver(sim, frame);
             });
         }
+    }
+
+    /// Register the backlog series on the first named send. Runs with the
+    /// state lock released so the registry's sampler (which locks state
+    /// from its poll closure) can never see an inverted lock order.
+    fn maybe_register_telemetry(&self, s: &dyn SimAccess) {
+        let name = {
+            let mut st = self.state.lock();
+            if st.registered {
+                return;
+            }
+            let Some(name) = st.name.clone() else {
+                return;
+            };
+            st.registered = true;
+            name
+        };
+        let state = Arc::downgrade(&self.state);
+        s.telemetry()
+            .register_sampled(&format!("{name}.backlog_ns"), move |t| {
+                let st = state.upgrade()?;
+                let g = st.try_lock()?;
+                Some(g.busy_until.nanos().saturating_sub(t) as i64)
+            });
     }
 
     /// Instant at which the wire becomes idle.

@@ -88,6 +88,9 @@ impl Switch {
         let mut st = self.inner.state.lock();
         let port = st.ports.len();
         let egress = LinkTx::new(self.inner.cfg.link, peer);
+        // Egress queueing is where cross-traffic contention shows up, so
+        // each switch-to-station link publishes its backlog time series.
+        egress.set_name(format!("switch.port{port}"));
         let ingress = Arc::new(PortIngress {
             switch: Arc::downgrade(&self.inner),
             port,

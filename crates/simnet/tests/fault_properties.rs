@@ -56,7 +56,7 @@ proptest! {
         let plan = FaultPlan::drop_every(n);
         for (i, d) in schedule(&plan, frames).iter().enumerate() {
             let idx = i as u64 + 1;
-            if idx % n == 0 {
+            if idx.is_multiple_of(n) {
                 prop_assert_eq!(*d, FaultDecision::Drop, "frame {} must drop", idx);
             } else {
                 prop_assert_eq!(

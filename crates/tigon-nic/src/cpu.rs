@@ -17,6 +17,7 @@ struct CpuState {
     busy_total: SimDuration,
     tasks_run: u64,
     last_seen: SimTime,
+    registered: bool,
 }
 
 /// One embedded firmware CPU.
@@ -38,6 +39,7 @@ impl FirmwareCpu {
                 busy_total: SimDuration::ZERO,
                 tasks_run: 0,
                 last_seen: SimTime::ZERO,
+                registered: false,
             })),
         }
     }
@@ -67,7 +69,7 @@ impl FirmwareCpu {
     where
         F: FnOnce(&Sim) + Send + 'static,
     {
-        let (start, done) = {
+        let (start, done, register) = {
             let mut st = self.state.lock();
             let start = earliest.max(st.busy_until).max(s.now());
             let done = start + cost;
@@ -75,8 +77,27 @@ impl FirmwareCpu {
             st.busy_total += cost;
             st.tasks_run += 1;
             st.last_seen = st.last_seen.max(done);
-            (start, done)
+            let register = !st.registered;
+            st.registered = true;
+            (start, done, register)
         };
+        if register {
+            // First task: publish this CPU's task backlog (how far its
+            // completion horizon runs ahead of sim time) as a sampled
+            // series. Done outside the state lock — the poll closure
+            // re-locks it at sample time.
+            let name = if self.node == simnet::emp_trace::NO_NODE {
+                format!("nicfw.{}.backlog_ns", self.name)
+            } else {
+                format!("nicfw.n{}.{}.backlog_ns", self.node, self.name)
+            };
+            let state = Arc::downgrade(&self.state);
+            s.telemetry().register_sampled(&name, move |t| {
+                let st = state.upgrade()?;
+                let g = st.try_lock()?;
+                Some(g.busy_until.nanos().saturating_sub(t) as i64)
+            });
+        }
         if simnet::emp_trace::ENABLED {
             s.tracer().emit(
                 done.nanos(),

@@ -73,6 +73,9 @@ impl Tigon {
     /// Connect the NIC to its switch port (the `LinkTx` returned by
     /// [`simnet::Switch::attach`]).
     pub fn attach_link(&self, tx: LinkTx) {
+        // Station-to-switch queueing shows up here; name the link so its
+        // backlog series lands in the registry on first use.
+        tx.set_name(format!("nic.n{}.uplink", self.mac.0));
         *self.link.lock() = Some(tx);
     }
 

@@ -21,6 +21,10 @@
 //! - [`chrome_trace_json`]: exports a trace as Chrome trace-event JSON,
 //!   loadable in Perfetto or `chrome://tracing`; [`Breakdown::text_report`]
 //!   renders the same data as a plain-text table.
+//! - [`telemetry`]: the *always-on* observability layer — log-linear
+//!   histograms with tail quantiles, gauges, sampled time series, and the
+//!   cross-layer [`telemetry::Registry`]. Compiled unconditionally (unlike
+//!   event tracing) and cheap enough to leave on in every build.
 //!
 //! This crate deliberately depends on nothing (events store raw
 //! nanoseconds, not `SimTime`) so every layer of the stack — including
@@ -30,6 +34,7 @@ mod breakdown;
 mod chrome;
 mod event;
 mod metrics;
+pub mod telemetry;
 
 pub use breakdown::{Breakdown, Stage, STAGES};
 pub use chrome::chrome_trace_json;

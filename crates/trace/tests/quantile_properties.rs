@@ -1,0 +1,104 @@
+//! Property-based tests of the log-linear histogram: quantile estimates
+//! must stay within the documented bucket bounds of the true sorted-sample
+//! quantiles, and merging snapshots must equal snapshotting the merged
+//! stream.
+
+use emp_trace::telemetry::{bucket_lower, bucket_upper, HistSnapshot, LogLinHistogram};
+use proptest::prelude::*;
+
+/// The true quantile of a sample: the ⌈q·n⌉-th smallest value (matching
+/// the histogram's rank convention).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// The histogram bucket holding `v` (recomputed from the public bounds,
+/// so the test does not share the implementation's index math).
+fn bucket_of(v: u64) -> usize {
+    // Linear scan is fine at test scale; bounds tile the u64 range.
+    let mut lo = 0usize;
+    let mut hi = 975usize;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if bucket_upper(mid) < v {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn snapshot_of(values: &[u64]) -> HistSnapshot {
+    let h = LogLinHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// For every quantile the histogram reports, the estimate lies within
+    /// the log-linear bucket containing the true sample quantile (and
+    /// never above the observed max).
+    #[test]
+    fn quantiles_stay_within_bucket_bounds(
+        values in prop::collection::vec(0u64..2_000_000_000, 1..300)
+    ) {
+        let snap = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &[0.5, 0.9, 0.99, 0.999] {
+            let truth = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            let b = bucket_of(truth);
+            prop_assert!(
+                est >= bucket_lower(b) && est <= bucket_upper(b).min(snap.max),
+                "q={q}: estimate {est} outside bucket [{}, {}] of true quantile {truth}",
+                bucket_lower(b),
+                bucket_upper(b)
+            );
+            // The documented relative-error bound (≤ 1/16 of the value's
+            // scale) holds for the p50/p99/p999 the tools print.
+            let err = est.abs_diff(truth) as f64;
+            prop_assert!(
+                err <= (truth as f64) / 16.0 + 1.0,
+                "q={q}: |{est} - {truth}| = {err} exceeds the 6.25% bucket bound"
+            );
+        }
+    }
+
+    /// Merging two snapshots is exactly the snapshot of the concatenated
+    /// stream: same buckets, same count/sum/min/max, same quantiles.
+    #[test]
+    fn merge_equals_merged_stream(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..200),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..200)
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let direct = snapshot_of(&all);
+        prop_assert_eq!(&merged, &direct);
+        for &q in &[0.5, 0.9, 0.99, 0.999] {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+
+    /// Recorded extremes are exact regardless of bucketing.
+    #[test]
+    fn count_min_max_sum_are_exact(
+        values in prop::collection::vec(0u64..u64::MAX / 1024, 1..200)
+    ) {
+        let snap = snapshot_of(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.min, *values.iter().min().expect("non-empty"));
+        prop_assert_eq!(snap.max, *values.iter().max().expect("non-empty"));
+    }
+}
