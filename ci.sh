@@ -42,6 +42,16 @@ step "event-loop webserver smoke"
 cargo test -q -p emp-apps --test event_loop
 cargo test -q -p emp-apps --test event_loop --features emp-apps/trace
 
+step "completion-smoke"
+# Completion-model stage: the SQ/CQ ring servers (webserver + kvstore +
+# raw echo) serve 32 concurrent clients byte-exact on both stacks, in
+# both build modes; `ring_reads_avoid_copies_on_the_substrate` asserts
+# `copies_avoided > 0` on the ring read path (registered buffers
+# completing directly from NIC slots). Ring-depth gauges themselves are
+# checked by the empstat self-check below (`ring.*` series required).
+cargo test -q -p emp-apps --test completion_model
+cargo test -q -p emp-apps --test completion_model --features emp-apps/trace
+
 step "traced ping-pong smoke"
 # Must print a latency budget and a non-empty Chrome trace.
 out=$(cargo run -q --release -p emp-bench --bin figures --features trace -- --trace)

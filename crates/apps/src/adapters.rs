@@ -8,7 +8,10 @@ use kernel_tcp::{TcpApi, TcpConn, TcpError, TcpListener, TcpPollSource, TcpPollT
 use simnet::{Event, MacAddr, ProcessCtx, SimDuration, SimResult};
 use sockets_emp::{Connection, EmpSockets, Listener, PollSet, SockAddr as EmpAddr, SockError};
 
-use crate::api::{Conn, NetApi, NetConn, NetError, NetListener, PollSource, PollTarget};
+use crate::api::{
+    Conn, Cqe, NetApi, NetConn, NetError, NetListener, NetRing, PollSource, PollTarget, RingConfig,
+    RingCounters, RingDepths, RingError, Sqe,
+};
 
 // ---------------------------------------------------------------------
 // Sockets-over-EMP adapter
@@ -110,6 +113,10 @@ impl NetConn for EmpConnAdapter {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
 }
 
 impl NetListener for EmpListenerAdapter {
@@ -134,6 +141,10 @@ impl NetListener for EmpListenerAdapter {
     }
 
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
 }
@@ -201,6 +212,10 @@ impl NetApi for EmpNet {
 
     fn label(&self) -> String {
         self.label.clone()
+    }
+
+    fn ring(&self, cfg: RingConfig, label: &str) -> Box<dyn NetRing> {
+        Box::new(EmpRingAdapter(sockets_emp::ring::ring(cfg, label)))
     }
 }
 
@@ -295,6 +310,10 @@ impl NetConn for TcpConnAdapter {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
 }
 
 impl NetListener for TcpListenerAdapter {
@@ -317,6 +336,10 @@ impl NetListener for TcpListenerAdapter {
     }
 
     fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
 }
@@ -384,6 +407,133 @@ impl NetApi for KernelNet {
     fn label(&self) -> String {
         self.label.clone()
     }
+
+    fn ring(&self, cfg: RingConfig, label: &str) -> Box<dyn NetRing> {
+        Box::new(TcpRingAdapter(kernel_tcp::ring::ring(
+            self.api.clone(),
+            cfg,
+            label,
+        )))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Completion-ring adapters
+// ---------------------------------------------------------------------
+
+/// The substrate's completion ring behind the facade. Registration is
+/// an *owning* downcast: the facade box is consumed and the bare
+/// [`Connection`]/[`Listener`] moves into the ring.
+struct EmpRingAdapter(sockets_emp::EmpRing);
+
+/// The kernel stack's completion ring behind the facade.
+struct TcpRingAdapter(kernel_tcp::TcpRing);
+
+/// Forward the stack-independent [`NetRing`] surface to the wrapped
+/// [`simnet::ring::RingCore`]; only target registration (the owning
+/// downcasts) and `substrate_stats` differ per stack.
+macro_rules! forward_ring {
+    () => {
+        fn fill(&mut self, buf: u32, data: &[u8]) -> Result<(), RingError> {
+            self.0.fill(buf, data)
+        }
+
+        fn buf(&self, buf: u32) -> Option<&[u8]> {
+            self.0.buf(buf)
+        }
+
+        fn push(&mut self, sqe: Sqe) -> Result<(), RingError> {
+            self.0.push(sqe)
+        }
+
+        fn submit(&mut self, ctx: &ProcessCtx) -> SimResult<()> {
+            self.0.submit(ctx)
+        }
+
+        fn submit_and_wait(
+            &mut self,
+            ctx: &ProcessCtx,
+            min_complete: usize,
+        ) -> SimResult<Result<(), RingError>> {
+            self.0.submit_and_wait(ctx, min_complete)
+        }
+
+        fn reap(&mut self, max: usize) -> Vec<Cqe> {
+            self.0.reap(max)
+        }
+
+        fn depths(&self) -> RingDepths {
+            self.0.depths()
+        }
+
+        fn counters(&self) -> RingCounters {
+            self.0.counters()
+        }
+
+        fn free_bufs(&self) -> usize {
+            self.0.free_bufs()
+        }
+
+        fn live_conns(&self) -> usize {
+            self.0.live_conns()
+        }
+
+        fn cfg(&self) -> RingConfig {
+            self.0.cfg()
+        }
+
+        fn shutdown(&mut self, ctx: &ProcessCtx) -> SimResult<()> {
+            self.0.shutdown(ctx)
+        }
+    };
+}
+
+impl NetRing for EmpRingAdapter {
+    fn add_conn(&mut self, conn: Conn) -> u32 {
+        let c = conn
+            .into_any()
+            .downcast::<EmpConnAdapter>()
+            .expect("EMP ring registers EMP connections");
+        self.0.add_conn(c.0)
+    }
+
+    fn add_listener(&mut self, l: Box<dyn NetListener>) -> u32 {
+        let l = l
+            .into_any()
+            .downcast::<EmpListenerAdapter>()
+            .expect("EMP ring registers EMP listeners");
+        self.0.add_listener(l.0)
+    }
+
+    fn substrate_stats(&self) -> Option<sockets_emp::ConnStats> {
+        Some(self.0.driver().closed_stats())
+    }
+
+    forward_ring!();
+}
+
+impl NetRing for TcpRingAdapter {
+    fn add_conn(&mut self, conn: Conn) -> u32 {
+        let c = conn
+            .into_any()
+            .downcast::<TcpConnAdapter>()
+            .expect("kernel ring registers kernel connections");
+        self.0.add_conn(c.0)
+    }
+
+    fn add_listener(&mut self, l: Box<dyn NetListener>) -> u32 {
+        let l = l
+            .into_any()
+            .downcast::<TcpListenerAdapter>()
+            .expect("kernel ring registers kernel listeners");
+        self.0.add_listener(l.0)
+    }
+
+    fn substrate_stats(&self) -> Option<sockets_emp::ConnStats> {
+        None
+    }
+
+    forward_ring!();
 }
 
 /// Convenience: arc up an adapter.

@@ -11,6 +11,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use simnet::{MacAddr, ProcessCtx, SimDuration, SimResult};
 
+pub use simnet::ring::{
+    Cqe, CqeResult, OpError, RingConfig, RingCounters, RingDepths, RingError, RingOp, Sqe,
+};
 pub use simnet::{Event, Interest};
 
 /// Unified socket errors across stacks.
@@ -71,6 +74,9 @@ pub trait NetConn: Send + Sync + 'static {
     fn peer_host(&self) -> MacAddr;
     /// Downcast support for stack-specific `select()`/`poll()`.
     fn as_any(&self) -> &dyn Any;
+    /// Consume the box for an owning downcast — how a facade connection
+    /// moves into a stack's completion ring ([`NetRing::add_conn`]).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
 
     /// Flush any writes the stack buffered for aggregation (the EMP
     /// substrate's small-write coalescing). No-op on stacks without a
@@ -115,6 +121,9 @@ pub trait NetListener: Send + Sync + 'static {
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()>;
     /// Downcast support for stack-specific `poll()`.
     fn as_any(&self) -> &dyn Any;
+    /// Consume the box for an owning downcast — how a facade listener
+    /// moves into a stack's completion ring ([`NetRing::add_listener`]).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
 /// What one [`PollSource`] watches: a connection or a listener.
@@ -134,6 +143,52 @@ pub struct PollSource<'a> {
     pub token: usize,
     /// Interests to watch ([`Interest::ERROR`] is always reported).
     pub interest: Interest,
+}
+
+/// A stack's completion ring behind the facade: the
+/// submission/completion I/O model ([`simnet::ring`]) with facade
+/// connections and listeners as the registered targets. Applications
+/// written against this trait (the `ServerModel::Completion` servers)
+/// run unchanged over both stacks, like the readiness servers do over
+/// [`NetApi::poll`].
+pub trait NetRing {
+    /// Register a facade connection; it must come from the same stack
+    /// that built this ring.
+    fn add_conn(&mut self, conn: Conn) -> u32;
+    /// Register a facade listener from the same stack.
+    fn add_listener(&mut self, l: Box<dyn NetListener>) -> u32;
+    /// Copy `data` into the front of a free registered buffer.
+    fn fill(&mut self, buf: u32, data: &[u8]) -> Result<(), RingError>;
+    /// Read access to a registered buffer.
+    fn buf(&self, buf: u32) -> Option<&[u8]>;
+    /// Queue one op ([`simnet::ring::RingCore::push`] semantics).
+    fn push(&mut self, sqe: Sqe) -> Result<(), RingError>;
+    /// Submit queued ops and drive without blocking.
+    fn submit(&mut self, ctx: &ProcessCtx) -> SimResult<()>;
+    /// Submit, then park until `min_complete` completions are reapable.
+    fn submit_and_wait(
+        &mut self,
+        ctx: &ProcessCtx,
+        min_complete: usize,
+    ) -> SimResult<Result<(), RingError>>;
+    /// Pop up to `max` completions, returning their buffers to the app.
+    fn reap(&mut self, max: usize) -> Vec<Cqe>;
+    /// Current occupancy.
+    fn depths(&self) -> RingDepths;
+    /// Monotonic op accounting.
+    fn counters(&self) -> RingCounters;
+    /// Buffers currently application-owned.
+    fn free_bufs(&self) -> usize;
+    /// Registered connections currently live.
+    fn live_conns(&self) -> usize;
+    /// The geometry this ring was built with.
+    fn cfg(&self) -> RingConfig;
+    /// Fail queued ops, close every registered target, release buffers.
+    fn shutdown(&mut self, ctx: &ProcessCtx) -> SimResult<()>;
+    /// Aggregate EMP substrate counters of the connections this ring has
+    /// closed (`None` on the kernel stack) — the evidence that ring
+    /// reads ride the direct-delivery path (`copies_avoided`).
+    fn substrate_stats(&self) -> Option<sockets_emp::ConnStats>;
 }
 
 /// One node's sockets interface.
@@ -172,6 +227,9 @@ pub trait NetApi: Send + Sync + 'static {
     fn local_host(&self) -> MacAddr;
     /// Short label for reports ("emp-ds", "tcp-16k", ...).
     fn label(&self) -> String;
+    /// Build a completion ring on this stack ([`NetRing`]). `label`
+    /// namespaces the ring's telemetry gauges (`ring.<label>.*`).
+    fn ring(&self, cfg: RingConfig, label: &str) -> Box<dyn NetRing>;
 }
 
 /// Shared handle applications pass around.

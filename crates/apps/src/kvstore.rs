@@ -19,6 +19,7 @@ use rand::{Rng, SeedableRng};
 use simnet::{Sim, SimAccess, SimTime};
 
 use crate::api::Conn;
+use crate::completion::serve_completion;
 use crate::eventloop::serve_event_loop;
 use crate::testbed::Testbed;
 use crate::webserver::ServerModel;
@@ -146,6 +147,25 @@ pub fn spawn_server_event_loop(sim: &Sim, tb: &Testbed, server: usize, expected_
     });
 }
 
+/// Serve `expected_conns` clients through one completion ring on node
+/// `server`: the same GET/PUT protocol and incremental framing as
+/// [`spawn_server_event_loop`], but driven by submitted
+/// `Read`/`Write` ops over registered buffers and reaped completions
+/// ([`crate::completion::serve_completion`]) instead of readiness
+/// events.
+pub fn spawn_server_completion(sim: &Sim, tb: &Testbed, server: usize, expected_conns: u32) {
+    let api = Arc::clone(&tb.nodes[server].api);
+    sim.spawn("kv-completion", move |ctx| {
+        let l = api.listen(ctx, KV_PORT, 16)?.expect("port free");
+        let mut store: HashMap<u32, Bytes> = HashMap::new();
+        serve_completion(ctx, api.as_ref(), l, expected_conns, &[], {
+            let store = &mut store;
+            move |inbuf, out| serve_frames(store, inbuf, out)
+        })?;
+        Ok(())
+    });
+}
+
 /// Consume every complete request in `inbuf` — leaving a partial frame
 /// (short header, or a PUT whose value is still in flight) for the next
 /// batch of bytes — and append the responses to `out`.
@@ -226,6 +246,7 @@ pub fn run_workload_with(
     match model {
         ServerModel::PerConnection => spawn_server(&sim, tb, 0, n_clients as u32),
         ServerModel::EventLoop => spawn_server_event_loop(&sim, tb, 0, n_clients as u32),
+        ServerModel::Completion => spawn_server_completion(&sim, tb, 0, n_clients as u32),
     }
     let acc = Arc::new(Mutex::new((0u64, 0u64, 0.0f64, SimTime::ZERO)));
 

@@ -23,6 +23,7 @@ pub mod api;
 #[cfg(test)]
 mod api_tests;
 pub mod bandwidth;
+pub mod completion;
 pub mod eventloop;
 pub mod ftp;
 pub mod kvstore;
@@ -33,7 +34,9 @@ pub mod webserver;
 
 pub use adapters::{EmpNet, KernelNet};
 pub use api::{
-    Api, Conn, Event, Interest, NetApi, NetConn, NetError, NetListener, PollSource, PollTarget,
+    Api, Conn, Cqe, CqeResult, Event, Interest, NetApi, NetConn, NetError, NetListener, NetRing,
+    PollSource, PollTarget, RingConfig, RingCounters, RingDepths, RingError, RingOp, Sqe,
 };
+pub use completion::serve_completion;
 pub use eventloop::serve_event_loop;
 pub use testbed::{AppNode, Testbed};

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use simnet::{Sim, SimAccess, SimTime};
 
+use crate::completion::serve_completion;
 use crate::eventloop::serve_event_loop;
 use crate::testbed::Testbed;
 
@@ -158,6 +159,10 @@ pub enum ServerModel {
     /// One process, one [`crate::api::NetApi::poll`] wait, nonblocking
     /// calls ([`serve_event_loop`]).
     EventLoop,
+    /// One process, one completion ring ([`crate::api::NetApi::ring`]):
+    /// ops submitted over registered buffers, completions reaped in
+    /// batches ([`serve_completion`]).
+    Completion,
 }
 
 impl ServerModel {
@@ -166,6 +171,7 @@ impl ServerModel {
         match self {
             ServerModel::PerConnection => "per-conn",
             ServerModel::EventLoop => "event-loop",
+            ServerModel::Completion => "completion",
         }
     }
 }
@@ -264,6 +270,26 @@ pub fn concurrent_throughput_on(
                     },
                 )?;
                 l.close(ctx)?;
+                Ok(())
+            });
+        }
+        ServerModel::Completion => {
+            sim.spawn("http-completion", move |ctx| {
+                let l = api.listen(ctx, HTTP_PORT, backlog)?.expect("port free");
+                serve_completion(
+                    ctx,
+                    api.as_ref(),
+                    l,
+                    n_conns,
+                    &[HELLO_BYTE],
+                    |inbuf, out| {
+                        while inbuf.len() >= REQUEST_SIZE {
+                            let (cid, rid) = decode_request(&inbuf[..REQUEST_SIZE]);
+                            inbuf.drain(..REQUEST_SIZE);
+                            out.extend_from_slice(&response_body(cid, rid, response_size));
+                        }
+                    },
+                )?;
                 Ok(())
             });
         }
@@ -393,11 +419,21 @@ mod tests {
         // Byte-exactness is asserted inside every client; here both server
         // models must complete the same workload on both stacks.
         for tb in [Testbed::emp_default(4), Testbed::kernel_default(4)] {
-            let el = concurrent_throughput(&tb, ServerModel::EventLoop, 6, 4, 512);
-            let pc = concurrent_throughput(&tb, ServerModel::PerConnection, 6, 4, 512);
-            assert_eq!(el.requests, 24);
-            assert_eq!(pc.requests, 24);
-            assert!(el.reqs_per_sec > 0.0 && pc.reqs_per_sec > 0.0);
+            for model in [
+                ServerModel::EventLoop,
+                ServerModel::PerConnection,
+                ServerModel::Completion,
+            ] {
+                let r = concurrent_throughput(&tb, model, 6, 4, 512);
+                assert_eq!(
+                    r.requests,
+                    24,
+                    "{} on {}",
+                    model.label(),
+                    tb.nodes[0].api.label()
+                );
+                assert!(r.reqs_per_sec > 0.0);
+            }
         }
     }
 }

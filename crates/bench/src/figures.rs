@@ -437,8 +437,9 @@ pub fn datacenter_kv(profile: Profile) -> Figure {
 
 /// Multi-connection scaling: aggregate request throughput against the
 /// number of concurrent persistent connections, for the single-process
-/// event-loop server (the readiness layer's `poll()` + nonblocking calls)
-/// and the process-per-connection server, over both stacks.
+/// event-loop server (the readiness layer's `poll()` + nonblocking
+/// calls), the completion-ring server (submitted ops over registered
+/// buffers), and the process-per-connection server, over both stacks.
 pub fn event_loop_concurrency(profile: Profile) -> Figure {
     let conns: &[u32] = match profile {
         Profile::Quick => &[4, 16, 32],
@@ -451,12 +452,14 @@ pub fn event_loop_concurrency(profile: Profile) -> Figure {
     let response = 1024usize;
     let mut fig = Figure::new(
         "event-loop-concurrency",
-        "Concurrent connections vs throughput: event loop vs process-per-connection",
+        "Concurrent connections vs throughput: readiness event loop vs \
+         completion ring vs process-per-connection",
         "connections",
         "reqs/s",
     );
     let models = [
         webserver::ServerModel::EventLoop,
+        webserver::ServerModel::Completion,
         webserver::ServerModel::PerConnection,
     ];
     for model in models {

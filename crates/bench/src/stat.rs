@@ -1,7 +1,8 @@
 //! The `empstat` workload: one deterministic simulation exercising the
-//! latency path (ping-pong) and the readiness path (event-loop webserver)
-//! on the same testbed, then a snapshot of everything the always-on
-//! telemetry registry collected along the way.
+//! latency path (ping-pong), the readiness path (event-loop webserver)
+//! and the completion path (ring-served webserver) on the same testbed,
+//! then a snapshot of everything the always-on telemetry registry
+//! collected along the way.
 //!
 //! Both the `empstat` binary and the `figures --json` telemetry section
 //! run this, so the numbers a dashboard scrapes and the numbers the
@@ -35,12 +36,16 @@ pub struct StatRun {
     pub pingpong_us: f64,
     /// Event-loop webserver aggregate result.
     pub web: ConcurrencyRun,
+    /// Completion-ring webserver aggregate result (same workload shape
+    /// as `web`, served through the SQ/CQ model).
+    pub web_completion: ConcurrencyRun,
 }
 
 /// Run the standard workload on a fresh simulation: a
 /// [`PINGPONG_ITERS`]-round ping-pong between nodes 0 and 1, then the
-/// event-loop webserver serving [`WEB_CONNS`] concurrent connections, all
-/// on one 3-node substrate testbed so every layer registers into a single
+/// event-loop webserver serving [`WEB_CONNS`] concurrent connections,
+/// then the same webserver workload through the completion ring, all on
+/// one 3-node substrate testbed so every layer registers into a single
 /// telemetry registry.
 pub fn run_standard_workload() -> StatRun {
     let sim = Sim::new();
@@ -54,12 +59,21 @@ pub fn run_standard_workload() -> StatRun {
         WEB_REQS,
         WEB_RESPONSE_BYTES,
     );
+    let web_completion = webserver::concurrent_throughput_on(
+        &sim,
+        &tb,
+        ServerModel::Completion,
+        WEB_CONNS,
+        WEB_REQS,
+        WEB_RESPONSE_BYTES,
+    );
     let reg = sim.telemetry();
     reg.sample_now(sim.now().nanos());
     StatRun {
         snapshot: reg.snapshot(),
         pingpong_us,
         web,
+        web_completion,
     }
 }
 
@@ -68,8 +82,13 @@ pub fn workload_summary(run: &StatRun) -> String {
     format!(
         "empstat workload: {PINGPONG_BYTES}B ping-pong {:.2} us one-way over \
          {PINGPONG_ITERS} iters; event-loop webserver {WEB_CONNS} conns x \
-         {WEB_REQS} reqs ({} requests, {:.0} req/s)",
-        run.pingpong_us, run.web.requests, run.web.reqs_per_sec
+         {WEB_REQS} reqs ({} requests, {:.0} req/s); completion-ring \
+         webserver ({} requests, {:.0} req/s)",
+        run.pingpong_us,
+        run.web.requests,
+        run.web.reqs_per_sec,
+        run.web_completion.requests,
+        run.web_completion.reqs_per_sec
     )
 }
 
@@ -80,6 +99,7 @@ pub fn self_check(snap: &RegistrySnapshot) -> Result<String, String> {
     let need_hists = [
         "app.rtt_ns",
         "app.eventloop_turn_ns",
+        "app.completion_turn_ns",
         "emp.msg_latency_ns",
         "core.poll_wait_ns",
     ];
@@ -100,11 +120,21 @@ pub fn self_check(snap: &RegistrySnapshot) -> Result<String, String> {
             "only {live_series} non-empty time series (need >= 3)"
         ));
     }
+    // The completion ring exports its depth gauges as sampled series.
+    let ring_series = snap
+        .series
+        .iter()
+        .filter(|(name, s)| name.starts_with("ring.") && !s.points.is_empty())
+        .count();
+    if ring_series == 0 {
+        return Err("no ring.* depth series recorded".into());
+    }
     let mut parts: Vec<String> = need_hists
         .iter()
         .map(|n| format!("{n}={}", snap.histograms[*n].count))
         .collect();
     parts.push(format!("series={live_series}"));
+    parts.push(format!("ring_series={ring_series}"));
     Ok(format!("empstat self-check ok: {}", parts.join(" ")))
 }
 

@@ -21,6 +21,39 @@ fn same_seed_runs_produce_identical_registries() {
     assert_eq!(a.pingpong_us.to_bits(), b.pingpong_us.to_bits());
     assert_eq!(a.web.requests, b.web.requests);
     assert_eq!(a.web.elapsed_us.to_bits(), b.web.elapsed_us.to_bits());
+    assert_eq!(a.web_completion.requests, b.web_completion.requests);
+    assert_eq!(
+        a.web_completion.elapsed_us.to_bits(),
+        b.web_completion.elapsed_us.to_bits()
+    );
+}
+
+#[test]
+fn completion_model_runs_are_deterministic() {
+    // The completion model's own determinism guard: two same-seed
+    // ring-served webserver runs on fresh sims produce byte-identical
+    // telemetry (ring depth series included) and bit-equal results.
+    use emp_apps::webserver::{self, ServerModel};
+    use emp_apps::Testbed;
+    use simnet::{Sim, SimAccess};
+
+    let run = || {
+        let sim = Sim::new();
+        let tb = Testbed::emp_default(3);
+        let r = webserver::concurrent_throughput_on(&sim, &tb, ServerModel::Completion, 8, 6, 512);
+        let reg = sim.telemetry();
+        reg.sample_now(sim.now().nanos());
+        (r, reg.snapshot().deterministic_text())
+    };
+    let (ra, ta) = run();
+    let (rb, tb) = run();
+    assert!(
+        ta.contains("series ring."),
+        "ring depth series missing from the registry"
+    );
+    assert_eq!(ta, tb, "completion-model telemetry diverged");
+    assert_eq!(ra.requests, rb.requests);
+    assert_eq!(ra.elapsed_us.to_bits(), rb.elapsed_us.to_bits());
 }
 
 #[test]

@@ -34,6 +34,7 @@ pub mod error;
 pub mod fdtable;
 pub mod poll;
 pub mod proto;
+pub mod ring;
 pub mod socket;
 pub mod stream;
 pub mod tags;
@@ -43,6 +44,7 @@ pub use conn::ConnStats;
 pub use error::SockError;
 pub use fdtable::{FdError, FdTable, PollFd};
 pub use poll::PollSet;
+pub use ring::{EmpRing, EmpRingDriver};
 pub use simnet::{Event, Interest};
 pub use socket::{
     ConnDebugState, Connection, EmpSockets, Listener, SlotDebug, SockAddr, SubstrateStats,

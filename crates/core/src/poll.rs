@@ -9,6 +9,13 @@
 //! iterations so the descriptor-completion watch lists are collected once
 //! per registration and reused, not rebuilt on every wake.
 //!
+//! Readiness is one of the substrate's two I/O models, not the only one:
+//! the completion model ([`crate::ring`]) submits `Accept`/`Read`/
+//! `Write`/`Close` ops over registered buffers and reaps completions in
+//! batches instead of asking when an operation would succeed. Its ring
+//! driver reuses this layer's wakeup machinery (a `PollSet` is the wait
+//! under `submit_and_wait`), so both models share one readiness truth.
+//!
 //! Readiness sources per kind:
 //!
 //! * **readable** — buffered stream bytes, a completed data/rendezvous

@@ -1,0 +1,140 @@
+//! The substrate's completion-ring driver.
+//!
+//! [`EmpRingDriver`] plugs the user-level sockets into
+//! [`simnet::RingCore`], giving the EMP stack the submission/completion
+//! model described in `DESIGN.md` §14. The defining property of this
+//! driver is the read path: a ring `Read` names a registered buffer the
+//! application posted *before* the data arrived, which is exactly the
+//! receiver-posted situation §6.2's direct delivery exploits — so ring
+//! reads force the direct path on ([`Connection`]'s `ring_try_read`) and
+//! every message consumed through the ring skips the temp-buffer copy
+//! and counts in [`ConnStats::copies_avoided`], independent of the
+//! `direct_delivery` config knob.
+//!
+//! Waiting is the readiness layer reused, not duplicated: the driver
+//! parks in a throwaway [`PollSet`] over the stalled head ops, which also
+//! best-effort flushes coalesced writes (so a ring server never deadlocks
+//! on staged bytes).
+
+use std::cell::RefCell;
+
+use simnet::ring::{OpError, RingConfig, RingCore, RingDriver};
+use simnet::{Interest, ProcessCtx, SimResult};
+
+use crate::conn::ConnStats;
+use crate::error::SockError;
+use crate::poll::PollSet;
+use crate::socket::{Connection, Listener};
+
+/// A completion ring over the EMP substrate.
+pub type EmpRing = RingCore<EmpRingDriver>;
+
+/// Build a completion ring over substrate sockets. `label` namespaces
+/// the ring's telemetry gauges (`ring.<label>.*`).
+pub fn ring(cfg: RingConfig, label: impl Into<String>) -> EmpRing {
+    RingCore::new(EmpRingDriver::default(), cfg, label)
+}
+
+/// [`RingDriver`] over substrate [`Connection`]s/[`Listener`]s.
+#[derive(Default)]
+pub struct EmpRingDriver {
+    /// Stats of connections this ring has closed, accumulated so the
+    /// copy-avoidance evidence survives the connections themselves.
+    closed_stats: RefCell<ConnStats>,
+}
+
+impl EmpRingDriver {
+    /// Aggregate substrate counters of every connection this ring closed.
+    pub fn closed_stats(&self) -> ConnStats {
+        *self.closed_stats.borrow()
+    }
+}
+
+fn map_err(e: SockError) -> OpError {
+    match e {
+        SockError::ConnectionRefused => OpError::Refused,
+        SockError::Closed => OpError::Closed,
+        SockError::PeerClosed | SockError::PeerGone => OpError::PeerClosed,
+        SockError::MessageTooBig { .. } => OpError::TooBig,
+        SockError::Invalid | SockError::AddrInUse => OpError::Invalid,
+        SockError::WouldBlock | SockError::Timeout | SockError::Protocol(_) => OpError::Other,
+    }
+}
+
+impl RingDriver for EmpRingDriver {
+    type Conn = Connection;
+    type Listener = Listener;
+
+    fn try_accept(
+        &self,
+        ctx: &ProcessCtx,
+        l: &Listener,
+    ) -> SimResult<Result<Option<Connection>, OpError>> {
+        Ok(match l.try_accept(ctx)? {
+            Ok(c) => Ok(Some(c)),
+            Err(SockError::WouldBlock) => Ok(None),
+            Err(e) => Err(map_err(e)),
+        })
+    }
+
+    fn try_read(
+        &self,
+        ctx: &ProcessCtx,
+        c: &Connection,
+        buf: &mut [u8],
+    ) -> SimResult<Result<Option<usize>, OpError>> {
+        // Forced-direct read: the substrate completes straight into
+        // `buf`'s length worth of posted-receiver capacity.
+        Ok(match c.ring_try_read(ctx, buf.len())? {
+            Ok(bytes) => {
+                buf[..bytes.len()].copy_from_slice(&bytes);
+                Ok(Some(bytes.len()))
+            }
+            Err(SockError::WouldBlock) => Ok(None),
+            Err(e) => Err(map_err(e)),
+        })
+    }
+
+    fn try_write(
+        &self,
+        ctx: &ProcessCtx,
+        c: &Connection,
+        data: &[u8],
+    ) -> SimResult<Result<Option<usize>, OpError>> {
+        Ok(match c.try_write(ctx, data)? {
+            Ok(n) => Ok(Some(n)),
+            Err(SockError::WouldBlock) => Ok(None),
+            Err(e) => Err(map_err(e)),
+        })
+    }
+
+    fn close(&self, ctx: &ProcessCtx, c: Connection) -> SimResult<()> {
+        *self.closed_stats.borrow_mut() += c.stats();
+        c.close(ctx)
+    }
+
+    fn close_listener(&self, ctx: &ProcessCtx, l: Listener) -> SimResult<()> {
+        l.close(ctx)
+    }
+
+    fn wait(
+        &self,
+        ctx: &ProcessCtx,
+        conns: &[(&Connection, Interest)],
+        listeners: &[&Listener],
+    ) -> SimResult<()> {
+        let mut ps = PollSet::new();
+        for (i, (c, interest)) in conns.iter().enumerate() {
+            ps.register_conn(c, i, *interest);
+        }
+        for (i, l) in listeners.iter().enumerate() {
+            ps.register_listener(l, conns.len() + i, Interest::ACCEPTABLE);
+        }
+        // The events themselves are discarded: RingCore re-drives every
+        // head op after a wake, which subsumes them.
+        match ps.poll(ctx, None)? {
+            Ok(_) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}

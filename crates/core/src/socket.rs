@@ -219,6 +219,11 @@ impl EmpSockets {
     /// would not block on `read`, returning its index. A one-shot
     /// [`crate::PollSet`] with `READABLE` interests underneath; an empty
     /// set is [`SockError::Invalid`] (it could never wake), not a panic.
+    ///
+    /// This is the readiness way to multiplex connections in one
+    /// process; the completion model ([`crate::ring`]) is the other —
+    /// there the application submits the reads themselves over
+    /// registered buffers and waits on completions, never on readiness.
     pub fn select_readable(&self, ctx: &ProcessCtx, conns: &[&Connection]) -> OpResult<usize> {
         if conns.is_empty() {
             return Ok(Err(SockError::Invalid));
@@ -428,6 +433,18 @@ impl Connection {
     pub fn try_read(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
         match self.sock.socket_type {
             SocketType::Stream => self.sock.stream_try_read(ctx, max),
+            SocketType::Datagram => self.sock.dgram_try_recv(ctx, max),
+        }
+    }
+
+    /// Nonblocking read for the completion-ring path: the destination is
+    /// a registered buffer the application posted in advance, so the
+    /// direct-delivery fast path is forced on (the §6.2 temp-buffer copy
+    /// is skipped and counted in `copies_avoided`) regardless of the
+    /// `direct_delivery` config knob. Stream sockets only.
+    pub(crate) fn ring_try_read(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
+        match self.sock.socket_type {
+            SocketType::Stream => self.sock.stream_ring_try_read(ctx, max),
             SocketType::Datagram => self.sock.dgram_try_recv(ctx, max),
         }
     }

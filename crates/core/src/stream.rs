@@ -335,12 +335,31 @@ impl SockShared {
     /// Nonblocking stream read: serve whatever is buffered or already
     /// landed; [`SockError::WouldBlock`] when a blocking read would park.
     pub(crate) fn stream_try_read(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
+        self.stream_try_read_impl(ctx, max, false)
+    }
+
+    /// [`Self::stream_try_read`] with the direct-delivery fast path
+    /// forced on. The completion-ring read path completes into a
+    /// registered buffer the application posted in advance, so the §6.2
+    /// temp-buffer copy is skippable regardless of the
+    /// `direct_delivery` config knob — this is what makes
+    /// `copies_avoided` cover the ring path.
+    pub(crate) fn stream_ring_try_read(&self, ctx: &ProcessCtx, max: usize) -> OpResult<Bytes> {
+        self.stream_try_read_impl(ctx, max, true)
+    }
+
+    fn stream_try_read_impl(
+        &self,
+        ctx: &ProcessCtx,
+        max: usize,
+        force_direct: bool,
+    ) -> OpResult<Bytes> {
         if max == 0 {
             return Ok(Ok(Bytes::new()));
         }
         // Flush-on-read, as in the blocking path.
         ok_or_return!(self.try_flush_coalesced(ctx)?);
-        let direct_max = self.proc_.cfg.direct_delivery.then_some(max);
+        let direct_max = (force_direct || self.proc_.cfg.direct_delivery).then_some(max);
         loop {
             if let Some(out) = ok_or_return!(self.serve_buffered(ctx, max)?) {
                 return Ok(Ok(out));

@@ -1,0 +1,126 @@
+//! The kernel baseline's completion-ring driver.
+//!
+//! [`TcpRingDriver`] gives the kernel TCP stack the same
+//! submission/completion API as the EMP substrate by emulating it over
+//! the stack's nonblocking operations — exactly how io_uring's
+//! socket ops sit atop the in-kernel TCP code paths. Nothing about the
+//! data path changes: every ring read still pays the kernel stack's
+//! user/kernel copy and syscall-shaped costs, which is what makes the
+//! completion-model comparison between the two stacks an
+//! apples-to-apples differential test (same [`simnet::RingCore`]
+//! semantics, different substrate underneath).
+
+use simnet::ring::{OpError, RingConfig, RingCore, RingDriver};
+use simnet::{Interest, ProcessCtx, SimResult};
+
+use crate::api::{TcpApi, TcpConn, TcpListener, TcpPollSource, TcpPollTarget};
+use crate::tcp::TcpError;
+
+/// A completion ring over the kernel TCP stack.
+pub type TcpRing = RingCore<TcpRingDriver>;
+
+/// Build a completion ring over kernel sockets. `label` namespaces the
+/// ring's telemetry gauges (`ring.<label>.*`).
+pub fn ring(api: TcpApi, cfg: RingConfig, label: impl Into<String>) -> TcpRing {
+    RingCore::new(TcpRingDriver { api }, cfg, label)
+}
+
+/// [`RingDriver`] over kernel [`TcpConn`]s/[`TcpListener`]s.
+pub struct TcpRingDriver {
+    /// The stack API, kept for its `poll` (the ring's park primitive).
+    api: TcpApi,
+}
+
+fn map_err(e: TcpError) -> OpError {
+    match e {
+        TcpError::ConnectionRefused => OpError::Refused,
+        TcpError::Closed => OpError::Closed,
+        TcpError::ConnectionReset => OpError::PeerClosed,
+        TcpError::AddrInUse | TcpError::Invalid => OpError::Invalid,
+        TcpError::WouldBlock => OpError::Other,
+    }
+}
+
+impl RingDriver for TcpRingDriver {
+    type Conn = TcpConn;
+    type Listener = TcpListener;
+
+    fn try_accept(
+        &self,
+        ctx: &ProcessCtx,
+        l: &TcpListener,
+    ) -> SimResult<Result<Option<TcpConn>, OpError>> {
+        Ok(match l.try_accept(ctx)? {
+            Ok(c) => Ok(Some(c)),
+            Err(TcpError::WouldBlock) => Ok(None),
+            Err(e) => Err(map_err(e)),
+        })
+    }
+
+    fn try_read(
+        &self,
+        ctx: &ProcessCtx,
+        c: &TcpConn,
+        buf: &mut [u8],
+    ) -> SimResult<Result<Option<usize>, OpError>> {
+        Ok(match c.try_read(ctx, buf.len())? {
+            Ok(bytes) => {
+                buf[..bytes.len()].copy_from_slice(&bytes);
+                Ok(Some(bytes.len()))
+            }
+            Err(TcpError::WouldBlock) => Ok(None),
+            Err(e) => Err(map_err(e)),
+        })
+    }
+
+    fn try_write(
+        &self,
+        ctx: &ProcessCtx,
+        c: &TcpConn,
+        data: &[u8],
+    ) -> SimResult<Result<Option<usize>, OpError>> {
+        Ok(match c.try_write(ctx, data)? {
+            Ok(n) => Ok(Some(n)),
+            Err(TcpError::WouldBlock) => Ok(None),
+            Err(e) => Err(map_err(e)),
+        })
+    }
+
+    fn close(&self, ctx: &ProcessCtx, c: TcpConn) -> SimResult<()> {
+        c.close(ctx)
+    }
+
+    fn close_listener(&self, _ctx: &ProcessCtx, l: TcpListener) -> SimResult<()> {
+        l.unlisten();
+        Ok(())
+    }
+
+    fn wait(
+        &self,
+        ctx: &ProcessCtx,
+        conns: &[(&TcpConn, Interest)],
+        listeners: &[&TcpListener],
+    ) -> SimResult<()> {
+        let mut sources: Vec<TcpPollSource<'_>> = Vec::with_capacity(conns.len() + listeners.len());
+        for (i, (c, interest)) in conns.iter().enumerate() {
+            sources.push(TcpPollSource {
+                target: TcpPollTarget::Conn(c),
+                token: i,
+                interest: *interest,
+            });
+        }
+        for (i, l) in listeners.iter().enumerate() {
+            sources.push(TcpPollSource {
+                target: TcpPollTarget::Listener(l),
+                token: conns.len() + i,
+                interest: Interest::ACCEPTABLE,
+            });
+        }
+        // Events are discarded: RingCore re-drives every head op after
+        // the wake, which subsumes them.
+        match self.api.poll(ctx, &sources, None)? {
+            Ok(_) => Ok(()),
+            Err(e) => Err(simnet::SimError::app(e.to_string())),
+        }
+    }
+}

@@ -35,6 +35,7 @@ pub mod frame;
 pub mod link;
 pub mod process;
 pub mod readiness;
+pub mod ring;
 pub mod stats;
 pub mod switch;
 pub mod sync;
@@ -48,6 +49,10 @@ pub use frame::{EtherType, Frame, MacAddr, Payload, MTU};
 pub use link::{FrameSink, LinkConfig, LinkTx};
 pub use process::{ProcId, ProcessCtx};
 pub use readiness::{Event, Interest};
+pub use ring::{
+    Cqe, CqeResult, OpError, RingConfig, RingCore, RingCounters, RingDepths, RingDriver, RingError,
+    RingOp, Sqe,
+};
 pub use stats::{Histogram, LinkStats, RunningStats, Throughput};
 pub use switch::{Switch, SwitchConfig, BROADCAST};
 pub use sync::{wait_any, Completion, SimCondvar, SimQueue, SimSemaphore};
