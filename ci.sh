@@ -139,6 +139,28 @@ step "telemetry overhead budget"
 cargo run -q --release -p emp-bench --bin empstat -- --overhead \
     || { echo "FAIL: telemetry overhead above budget"; exit 1; }
 
+step "overload smoke (connect storm + slowloris)"
+# Robustness stage: a past-saturation connect storm with slowloris on
+# both stacks, in both build modes. empstat --overload exits non-zero
+# unless admission control refused connections while real clients were
+# still served (refused > 0 && goodput > 0), the refusals are visible
+# as telemetry counters, the idle reaper removed the slowloris
+# connections, and no connections or listeners leaked. Registered
+# ring buffers are covered by the telemetry smoke above: its
+# self-check fails if any ring.* gauge reads non-zero after drain.
+overload_smoke() {
+    local features=() label="$1"
+    [[ "$label" == trace ]] && features=(--features emp-bench/trace)
+    local out
+    out=$(cargo run -q --release -p emp-bench --bin empstat "${features[@]}" -- --overload) \
+        || { echo "FAIL: overload smoke ($label build)"; exit 1; }
+    echo "$out" | sed "s/^/empstat($label): /"
+    echo "$out" | grep -q "overload smoke ok" \
+        || { echo "FAIL($label): no overload-smoke ok line"; exit 1; }
+}
+overload_smoke default
+overload_smoke trace
+
 step "bench regression gate"
 # Regenerate the committed baseline figures with the same quick profile
 # and compare goodput point-by-point (35% tolerance), plus hard

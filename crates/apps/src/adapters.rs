@@ -49,6 +49,8 @@ fn from_sock_err(e: SockError) -> NetError {
         SockError::MessageTooBig { .. } => NetError::TooBig,
         SockError::WouldBlock => NetError::WouldBlock,
         SockError::Invalid => NetError::Invalid,
+        SockError::Timeout => NetError::Timeout,
+        SockError::ResourceExhausted => NetError::Exhausted,
         other => NetError::Other(other.to_string()),
     }
 }
@@ -84,6 +86,30 @@ impl NetConn for EmpConnAdapter {
 
     fn try_read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, NetError>> {
         Ok(self.0.try_read(ctx, max)?.map_err(from_sock_err))
+    }
+
+    fn read_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        max: usize,
+        deadline: SimDuration,
+    ) -> SimResult<Result<Bytes, NetError>> {
+        Ok(self
+            .0
+            .read_deadline(ctx, max, deadline)?
+            .map_err(from_sock_err))
+    }
+
+    fn write_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        data: &[u8],
+        deadline: SimDuration,
+    ) -> SimResult<Result<usize, NetError>> {
+        Ok(self
+            .0
+            .write_deadline(ctx, data, deadline)?
+            .map_err(from_sock_err))
     }
 
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
@@ -136,6 +162,18 @@ impl NetListener for EmpListenerAdapter {
             .map_err(from_sock_err))
     }
 
+    fn accept_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        deadline: SimDuration,
+    ) -> SimResult<Result<Conn, NetError>> {
+        Ok(self
+            .0
+            .accept_deadline(ctx, deadline)?
+            .map(|c| Box::new(EmpConnAdapter(c)) as Conn)
+            .map_err(from_sock_err))
+    }
+
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
         self.0.close(ctx)
     }
@@ -159,6 +197,20 @@ impl NetApi for EmpNet {
         Ok(self
             .sockets
             .connect(ctx, EmpAddr::new(host, port))?
+            .map(|c| Box::new(EmpConnAdapter(c)) as Conn)
+            .map_err(from_sock_err))
+    }
+
+    fn connect_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        host: MacAddr,
+        port: u16,
+        deadline: SimDuration,
+    ) -> SimResult<Result<Conn, NetError>> {
+        Ok(self
+            .sockets
+            .connect_deadline(ctx, EmpAddr::new(host, port), deadline)?
             .map(|c| Box::new(EmpConnAdapter(c)) as Conn)
             .map_err(from_sock_err))
     }
@@ -217,6 +269,10 @@ impl NetApi for EmpNet {
     fn ring(&self, cfg: RingConfig, label: &str) -> Box<dyn NetRing> {
         Box::new(EmpRingAdapter(sockets_emp::ring::ring(cfg, label)))
     }
+
+    fn substrate(&self) -> Option<&EmpSockets> {
+        Some(&self.sockets)
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -255,6 +311,8 @@ fn from_tcp_err(e: TcpError) -> NetError {
         TcpError::AddrInUse => NetError::Other("address in use".into()),
         TcpError::WouldBlock => NetError::WouldBlock,
         TcpError::Invalid => NetError::Invalid,
+        TcpError::Timeout => NetError::Timeout,
+        TcpError::Exhausted => NetError::Exhausted,
     }
 }
 
@@ -289,6 +347,30 @@ impl NetConn for TcpConnAdapter {
 
     fn try_read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, NetError>> {
         Ok(self.0.try_read(ctx, max)?.map_err(from_tcp_err))
+    }
+
+    fn read_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        max: usize,
+        deadline: SimDuration,
+    ) -> SimResult<Result<Bytes, NetError>> {
+        Ok(self
+            .0
+            .read_deadline(ctx, max, deadline)?
+            .map_err(from_tcp_err))
+    }
+
+    fn write_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        data: &[u8],
+        deadline: SimDuration,
+    ) -> SimResult<Result<usize, NetError>> {
+        Ok(self
+            .0
+            .write_deadline(ctx, data, deadline)?
+            .map_err(from_tcp_err))
     }
 
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
@@ -330,6 +412,18 @@ impl NetListener for TcpListenerAdapter {
             .map_err(from_tcp_err))
     }
 
+    fn accept_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        deadline: SimDuration,
+    ) -> SimResult<Result<Conn, NetError>> {
+        Ok(self
+            .0
+            .accept_deadline(ctx, deadline)?
+            .map(|c| Box::new(TcpConnAdapter(c)) as Conn)
+            .map_err(from_tcp_err))
+    }
+
     fn close(&self, _ctx: &ProcessCtx) -> SimResult<()> {
         self.0.unlisten();
         Ok(())
@@ -354,6 +448,20 @@ impl NetApi for KernelNet {
         Ok(self
             .api
             .connect(ctx, kernel_tcp::SockAddr::new(host, port))?
+            .map(|c| Box::new(TcpConnAdapter(c)) as Conn)
+            .map_err(from_tcp_err))
+    }
+
+    fn connect_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        host: MacAddr,
+        port: u16,
+        deadline: SimDuration,
+    ) -> SimResult<Result<Conn, NetError>> {
+        Ok(self
+            .api
+            .connect_deadline(ctx, kernel_tcp::SockAddr::new(host, port), deadline)?
             .map(|c| Box::new(TcpConnAdapter(c)) as Conn)
             .map_err(from_tcp_err))
     }
@@ -414,6 +522,10 @@ impl NetApi for KernelNet {
             cfg,
             label,
         )))
+    }
+
+    fn tcp_stack(&self) -> Option<&Arc<kernel_tcp::TcpStack>> {
+        Some(self.api.stack())
     }
 }
 

@@ -32,6 +32,13 @@ pub enum NetError {
     WouldBlock,
     /// Invalid argument (EINVAL): e.g. a poll that could never wake.
     Invalid,
+    /// A deadline expired before the operation completed (ETIMEDOUT):
+    /// a bounded connect, or a deadlined read/write/accept.
+    Timeout,
+    /// A resource budget was exhausted (ENOBUFS): connection budgets,
+    /// reorder-buffer caps, registered-buffer pools. Both stacks surface
+    /// the same variant for the same exhaustion condition.
+    Exhausted,
     /// Anything else.
     Other(String),
 }
@@ -45,6 +52,8 @@ impl std::fmt::Display for NetError {
             NetError::TooBig => write!(f, "message too big"),
             NetError::WouldBlock => write!(f, "operation would block"),
             NetError::Invalid => write!(f, "invalid argument"),
+            NetError::Timeout => write!(f, "operation timed out"),
+            NetError::Exhausted => write!(f, "resource budget exhausted"),
             NetError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -64,6 +73,23 @@ pub trait NetConn: Send + Sync + 'static {
     /// Nonblocking read: serve what is already there; empty = EOF;
     /// [`NetError::WouldBlock`] when a blocking read would park.
     fn try_read(&self, ctx: &ProcessCtx, max: usize) -> SimResult<Result<Bytes, NetError>>;
+    /// [`Self::read`] bounded by `deadline`: [`NetError::Timeout`] when
+    /// nothing becomes readable in time.
+    fn read_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        max: usize,
+        deadline: SimDuration,
+    ) -> SimResult<Result<Bytes, NetError>>;
+    /// [`Self::write`] bounded by `deadline`: returns the (possibly
+    /// short) count accepted before the deadline; [`NetError::Timeout`]
+    /// when not a single byte was taken in time.
+    fn write_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        data: &[u8],
+        deadline: SimDuration,
+    ) -> SimResult<Result<usize, NetError>>;
     /// Orderly close.
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()>;
     /// Would `read` return without blocking?
@@ -117,6 +143,13 @@ pub trait NetListener: Send + Sync + 'static {
     fn accept(&self, ctx: &ProcessCtx) -> SimResult<Result<Conn, NetError>>;
     /// Nonblocking accept: [`NetError::WouldBlock`] on an empty backlog.
     fn try_accept(&self, ctx: &ProcessCtx) -> SimResult<Result<Conn, NetError>>;
+    /// [`Self::accept`] bounded by `deadline`: [`NetError::Timeout`]
+    /// when no connection arrives in time.
+    fn accept_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        deadline: SimDuration,
+    ) -> SimResult<Result<Conn, NetError>>;
     /// Stop listening.
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()>;
     /// Downcast support for stack-specific `poll()`.
@@ -200,6 +233,18 @@ pub trait NetApi: Send + Sync + 'static {
         host: MacAddr,
         port: u16,
     ) -> SimResult<Result<Conn, NetError>>;
+    /// Active open bounded by `deadline`, with typed outcomes on both
+    /// stacks: [`NetError::Refused`] when the remote positively refused
+    /// (no listener, full backlog), [`NetError::Timeout`] when nobody
+    /// answered in time, [`NetError::Exhausted`] past a local
+    /// connection budget.
+    fn connect_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        host: MacAddr,
+        port: u16,
+        deadline: SimDuration,
+    ) -> SimResult<Result<Conn, NetError>>;
     /// Passive open.
     fn listen(
         &self,
@@ -230,6 +275,17 @@ pub trait NetApi: Send + Sync + 'static {
     /// Build a completion ring on this stack ([`NetRing`]). `label`
     /// namespaces the ring's telemetry gauges (`ring.<label>.*`).
     fn ring(&self, cfg: RingConfig, label: &str) -> Box<dyn NetRing>;
+    /// The wrapped EMP substrate, when this API runs over it (`None` on
+    /// the kernel stack). Overload-harness introspection: leak checks
+    /// read live-connection counts after a chaos run.
+    fn substrate(&self) -> Option<&sockets_emp::EmpSockets> {
+        None
+    }
+    /// The wrapped kernel stack, when this API runs over it (`None` on
+    /// the substrate).
+    fn tcp_stack(&self) -> Option<&Arc<kernel_tcp::TcpStack>> {
+        None
+    }
 }
 
 /// Shared handle applications pass around.

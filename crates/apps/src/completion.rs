@@ -48,6 +48,7 @@ pub fn ring_config(n_conns: u32) -> RingConfig {
         cq_depth: 2 * n + 16,
         buf_count: n + 4,
         buf_size: RING_BUF_SIZE,
+        max_registered_bytes: None,
     }
 }
 
@@ -123,11 +124,8 @@ pub fn serve_completion(
         });
     }
     // Arm the first accept; re-armed from each Accepted completion.
-    ring.push(Sqe {
-        user_data: ud(UD_ACCEPT, 0),
-        op: RingOp::Accept { listener },
-    })
-    .expect("fresh ring has room");
+    ring.push(Sqe::new(ud(UD_ACCEPT, 0), RingOp::Accept { listener }))
+        .expect("fresh ring has room");
 
     while accepted < n_conns || open > 0 {
         ring.submit_and_wait(ctx, 1)?
@@ -150,11 +148,8 @@ pub fn serve_completion(
                     accepted += 1;
                     open += 1;
                     if accepted < n_conns {
-                        ring.push(Sqe {
-                            user_data: ud(UD_ACCEPT, 0),
-                            op: RingOp::Accept { listener },
-                        })
-                        .expect("sq sized for the accept");
+                        ring.push(Sqe::new(ud(UD_ACCEPT, 0), RingOp::Accept { listener }))
+                            .expect("sq sized for the accept");
                     }
                     let mut st = CState {
                         inbuf: Vec::new(),
@@ -186,11 +181,8 @@ pub fn serve_completion(
                     // EOF: the peer is done sending; retire the conn.
                     let st = conns.get_mut(&conn).expect("live conn");
                     st.closing = true;
-                    ring.push(Sqe {
-                        user_data: ud(UD_CLOSE, conn),
-                        op: RingOp::Close { conn },
-                    })
-                    .expect("sq sized for the close");
+                    ring.push(Sqe::new(ud(UD_CLOSE, conn), RingOp::Close { conn }))
+                        .expect("sq sized for the close");
                 }
                 CqeResult::Closed { conn } => {
                     conns.remove(&conn);
@@ -202,11 +194,8 @@ pub fn serve_completion(
                     if let Some(st) = conns.get_mut(&conn) {
                         if !st.closing {
                             st.closing = true;
-                            ring.push(Sqe {
-                                user_data: ud(UD_CLOSE, conn),
-                                op: RingOp::Close { conn },
-                            })
-                            .expect("sq sized for the close");
+                            ring.push(Sqe::new(ud(UD_CLOSE, conn), RingOp::Close { conn }))
+                                .expect("sq sized for the close");
                         }
                     }
                 }
@@ -242,21 +231,18 @@ fn next_op(
         let chunk = (st.out.len() - st.sent).min(RING_BUF_SIZE);
         ring.fill(buf, &st.out[st.sent..st.sent + chunk])
             .expect("buffer off the free list");
-        ring.push(Sqe {
-            user_data: ud(UD_WRITE, conn),
-            op: RingOp::Write {
+        ring.push(Sqe::new(
+            ud(UD_WRITE, conn),
+            RingOp::Write {
                 conn,
                 buf,
                 len: chunk as u32,
             },
-        })
+        ))
         .expect("sq sized one op per conn");
     } else {
-        ring.push(Sqe {
-            user_data: ud(UD_READ, conn),
-            op: RingOp::Read { conn, buf },
-        })
-        .expect("sq sized one op per conn");
+        ring.push(Sqe::new(ud(UD_READ, conn), RingOp::Read { conn, buf }))
+            .expect("sq sized one op per conn");
     }
     st.cur_buf = Some(buf);
 }

@@ -8,7 +8,7 @@
 //! request framing (bytes in → bytes out) and get accept, flow-controlled
 //! writes, EOF, and error teardown for free.
 
-use simnet::{ProcessCtx, SimAccess, SimResult};
+use simnet::{ProcessCtx, SimAccess, SimDuration, SimResult, SimTime};
 
 use crate::api::{Conn, Interest, NetApi, NetError, NetListener, PollSource, PollTarget};
 
@@ -21,6 +21,41 @@ struct ConnState {
     out: Vec<u8>,
     /// How much of `out` the stack has taken.
     sent: usize,
+    /// When this connection last made progress (bytes in or out) — the
+    /// idle reaper's clock.
+    last_activity: SimTime,
+}
+
+/// Overload policy for [`serve_event_loop_with`]: how the server degrades
+/// gracefully instead of queueing without bound. All knobs default off
+/// ([`OverloadPolicy::default`] = the unprotected loop).
+#[derive(Clone, Debug, Default)]
+pub struct OverloadPolicy {
+    /// Shed new connections while this many are already being served:
+    /// the connection is accepted, answered with [`Self::shed_response`]
+    /// (so the client sees a *deterministic* degrade, not silence), and
+    /// closed. Counted in the `app.shed` telemetry counter.
+    pub max_conns: Option<usize>,
+    /// Shed a connection whose pending response bytes exceed this cap —
+    /// the slow-consumer guard. Counted in `app.shed`.
+    pub max_queued_bytes: Option<usize>,
+    /// Bytes written to a shed connection before closing it (empty =
+    /// close silently). An HTTP server would put `503` here.
+    pub shed_response: Vec<u8>,
+    /// Reap connections that made no progress for this long (the
+    /// slowloris guard). Counted in `app.reaped`.
+    pub idle_timeout: Option<SimDuration>,
+}
+
+/// What [`serve_event_loop_with`] did under pressure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections served to EOF normally.
+    pub served: u32,
+    /// Connections shed at accept (max_conns) or mid-stream (queue cap).
+    pub shed: u32,
+    /// Connections reaped for idleness.
+    pub reaped: u32,
 }
 
 /// Accept `n_conns` connections from `l` and serve them all from the
@@ -42,14 +77,45 @@ pub fn serve_event_loop(
     l: &dyn NetListener,
     n_conns: u32,
     greeting: &[u8],
-    mut service: impl FnMut(&mut Vec<u8>, &mut Vec<u8>),
+    service: impl FnMut(&mut Vec<u8>, &mut Vec<u8>),
 ) -> SimResult<()> {
+    serve_event_loop_with(
+        ctx,
+        api,
+        l,
+        n_conns,
+        greeting,
+        &OverloadPolicy::default(),
+        service,
+    )
+    .map(|_| ())
+}
+
+/// [`serve_event_loop`] with an [`OverloadPolicy`]: the same loop, but it
+/// sheds connections past `max_conns` (degrade response, then close),
+/// sheds slow consumers whose pending output exceeds `max_queued_bytes`,
+/// and reaps connections idle past `idle_timeout`. Shed and reaped
+/// connections count toward `n_conns` — under a connect storm the server
+/// answers everyone *deterministically*, it just answers most of them
+/// with the degrade response.
+pub fn serve_event_loop_with(
+    ctx: &ProcessCtx,
+    api: &dyn NetApi,
+    l: &dyn NetListener,
+    n_conns: u32,
+    greeting: &[u8],
+    policy: &OverloadPolicy,
+    mut service: impl FnMut(&mut Vec<u8>, &mut Vec<u8>),
+) -> SimResult<ServeReport> {
     const LISTENER: usize = usize::MAX;
     const READ_CHUNK: usize = 4096;
 
     let mut conns: Vec<Option<ConnState>> = Vec::new();
     let mut accepted = 0u32;
     let mut open = 0u32;
+    let mut report = ServeReport::default();
+    let shed_ctr = ctx.telemetry().counter("app.shed");
+    let reaped_ctr = ctx.telemetry().counter("app.reaped");
     // Time spent handling each batch of readiness events (poll return to
     // loop bottom) — the server's per-turn latency distribution.
     let turn_hist = ctx.telemetry().histogram("app.eventloop_turn_ns");
@@ -77,7 +143,10 @@ pub fn serve_event_loop(
                     });
                 }
             }
-            api.poll(ctx, &sources, None)?.expect("poll")
+            // With a reaper armed the poll must wake even when no socket
+            // does — an all-idle connection set would otherwise park the
+            // loop forever.
+            api.poll(ctx, &sources, policy.idle_timeout)?.expect("poll")
         };
         let turn_start = ctx.now();
         for ev in events {
@@ -87,12 +156,22 @@ pub fn serve_event_loop(
                     match l.try_accept(ctx)? {
                         Ok(conn) => {
                             accepted += 1;
+                            if policy.max_conns.is_some_and(|m| (open as usize) >= m) {
+                                // Over budget: degrade response, close.
+                                let _ = conn.try_write(ctx, &policy.shed_response)?;
+                                let _ = conn.flush(ctx)?;
+                                let _ = conn.close(ctx);
+                                report.shed += 1;
+                                shed_ctr.add(1);
+                                continue;
+                            }
                             open += 1;
                             conns.push(Some(ConnState {
                                 conn,
                                 inbuf: Vec::new(),
                                 out: greeting.to_vec(),
                                 sent: 0,
+                                last_activity: ctx.now(),
                             }));
                         }
                         Err(NetError::WouldBlock) => break,
@@ -105,6 +184,7 @@ pub fn serve_event_loop(
                 continue;
             };
             let mut dead = false;
+            let before = (st.sent, st.inbuf.len());
             // Flush pending output first; while a response is in flight
             // the loop does not read (the client is waiting on us).
             flush(ctx, st, &mut dead)?;
@@ -121,15 +201,41 @@ pub fn serve_event_loop(
             }
             // Opportunistically push what the service just produced.
             flush(ctx, st, &mut dead)?;
-            if dead {
+            if (st.sent, st.inbuf.len()) != before || !st.out.is_empty() {
+                st.last_activity = ctx.now();
+            }
+            let over_queue = policy
+                .max_queued_bytes
+                .is_some_and(|cap| st.out.len() - st.sent > cap);
+            if dead || over_queue {
                 let st = conns[ev.token].take().expect("live state");
                 let _ = st.conn.close(ctx);
                 open -= 1;
+                if over_queue && !dead {
+                    report.shed += 1;
+                    shed_ctr.add(1);
+                } else {
+                    report.served += 1;
+                }
+            }
+        }
+        if let Some(patience) = policy.idle_timeout {
+            for slot in conns.iter_mut() {
+                let idle = slot
+                    .as_ref()
+                    .is_some_and(|st| ctx.now().since(st.last_activity) >= patience);
+                if idle {
+                    let st = slot.take().expect("live state");
+                    let _ = st.conn.close(ctx);
+                    open -= 1;
+                    report.reaped += 1;
+                    reaped_ctr.add(1);
+                }
             }
         }
         turn_hist.record((ctx.now() - turn_start).nanos());
     }
-    Ok(())
+    Ok(report)
 }
 
 /// Write as much pending output as the stack will take right now.

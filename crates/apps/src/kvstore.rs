@@ -20,7 +20,7 @@ use simnet::{Sim, SimAccess, SimTime};
 
 use crate::api::Conn;
 use crate::completion::serve_completion;
-use crate::eventloop::serve_event_loop;
+use crate::eventloop::{serve_event_loop, serve_event_loop_with, OverloadPolicy, ServeReport};
 use crate::testbed::Testbed;
 use crate::webserver::ServerModel;
 
@@ -31,6 +31,9 @@ const OP_GET: u8 = 1;
 const OP_PUT: u8 = 2;
 const STATUS_OK: u8 = 0;
 const STATUS_MISS: u8 = 1;
+/// Degrade status a shedding server answers when over its concurrency
+/// budget — the client's cue to back off and retry elsewhere.
+pub const STATUS_BUSY: u8 = 2;
 
 /// Results of a client run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -164,6 +167,50 @@ pub fn spawn_server_completion(sim: &Sim, tb: &Testbed, server: usize, expected_
         })?;
         Ok(())
     });
+}
+
+/// As [`spawn_server_event_loop`], with a concurrency budget: at most
+/// `max_conns` clients are served at once and the overflow is answered
+/// with a [`STATUS_BUSY`] frame, then closed. Returns a handle that
+/// carries the server's [`ServeReport`] once the workload drains.
+pub fn spawn_server_event_loop_shedding(
+    sim: &Sim,
+    tb: &Testbed,
+    server: usize,
+    expected_conns: u32,
+    max_conns: usize,
+) -> Arc<Mutex<Option<ServeReport>>> {
+    let api = Arc::clone(&tb.nodes[server].api);
+    let report = Arc::new(Mutex::new(None));
+    let out = Arc::clone(&report);
+    sim.spawn("kv-shedding-loop", move |ctx| {
+        let l = api.listen(ctx, KV_PORT, 16)?.expect("port free");
+        let mut store: HashMap<u32, Bytes> = HashMap::new();
+        // Busy frame: status byte + zero-length value.
+        let mut busy = vec![STATUS_BUSY];
+        busy.extend_from_slice(&0u32.to_le_bytes());
+        let policy = OverloadPolicy {
+            max_conns: Some(max_conns),
+            shed_response: busy,
+            ..OverloadPolicy::default()
+        };
+        let r = serve_event_loop_with(
+            ctx,
+            api.as_ref(),
+            l.as_ref(),
+            expected_conns,
+            &[],
+            &policy,
+            {
+                let store = &mut store;
+                move |inbuf, out| serve_frames(store, inbuf, out)
+            },
+        )?;
+        *report.lock() = Some(r);
+        l.close(ctx)?;
+        Ok(())
+    });
+    out
 }
 
 /// Consume every complete request in `inbuf` — leaving a partial frame
@@ -356,6 +403,61 @@ mod tests {
         let tcp = Testbed::kernel_default(3);
         let el = run_workload_with(&tcp, ServerModel::EventLoop, 2, 30, 64, 0.5, 9);
         assert_eq!(el.ops, 60);
+    }
+
+    #[test]
+    fn shedding_kv_server_degrades_overflow_deterministically() {
+        // 6 clients vs a budget of 2: the overflow gets STATUS_BUSY (or
+        // a clean close), the budgeted ones a real response; server and
+        // client counts agree; nobody hangs.
+        for tb in [Testbed::emp_default(4), Testbed::kernel_default(4)] {
+            let sim = Sim::new();
+            let report = spawn_server_event_loop_shedding(&sim, &tb, 0, 6, 2);
+            let tally = Arc::new(Mutex::new((0u32, 0u32))); // (served, busy)
+            for c in 0..6u32 {
+                let node = 1 + (c as usize % (tb.nodes.len() - 1));
+                let api = Arc::clone(&tb.nodes[node].api);
+                let host = tb.nodes[0].api.local_host();
+                let tally = Arc::clone(&tally);
+                sim.spawn(format!("kv-shed-client-{c}"), move |ctx| {
+                    let conn = api.connect(ctx, host, KV_PORT)?.expect("connect");
+                    let value = [0xabu8; 32];
+                    let mut busy = false;
+                    if conn
+                        .write(ctx, &encode_request(OP_PUT, c, Some(&value)))?
+                        .is_err()
+                    {
+                        busy = true; // shed before the request was read
+                    }
+                    if !busy {
+                        match read_exactly(ctx, &conn, 5)? {
+                            Some(hdr) if hdr[0] == STATUS_OK => {}
+                            // STATUS_BUSY frame or bare EOF: degraded.
+                            _ => busy = true,
+                        }
+                    }
+                    let _ = conn.close(ctx);
+                    let mut t = tally.lock();
+                    if busy {
+                        t.1 += 1;
+                    } else {
+                        t.0 += 1;
+                    }
+                    Ok(())
+                });
+            }
+            sim.run_until(SimTime::from_secs(60));
+            let (served, busy) = *tally.lock();
+            assert_eq!(served + busy, 6, "every client gets a typed answer");
+            assert!(
+                busy > 0,
+                "overflow must be degraded on {}",
+                tb.nodes[0].api.label()
+            );
+            assert!(served >= 2, "budgeted clients are served");
+            let r = report.lock().expect("server finished");
+            assert_eq!(r.shed, busy, "server and client shed counts agree");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod eventloop;
 pub mod ftp;
 pub mod kvstore;
 pub mod matmul;
+pub mod overload;
 pub mod pingpong;
 pub mod testbed;
 pub mod webserver;
@@ -38,5 +39,6 @@ pub use api::{
     PollSource, PollTarget, RingConfig, RingCounters, RingDepths, RingError, RingOp, Sqe,
 };
 pub use completion::serve_completion;
-pub use eventloop::serve_event_loop;
+pub use eventloop::{serve_event_loop, serve_event_loop_with, OverloadPolicy, ServeReport};
+pub use overload::{run_storm, run_storm_on, OverloadReport, StormConfig};
 pub use testbed::{AppNode, Testbed};

@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 use simnet::{Sim, SimAccess, SimTime};
 
 use crate::completion::serve_completion;
-use crate::eventloop::serve_event_loop;
+use crate::eventloop::{serve_event_loop, serve_event_loop_with, OverloadPolicy, ServeReport};
 use crate::testbed::Testbed;
 
 /// The request message size (§7.4: "a request message (which can
@@ -150,6 +150,11 @@ pub fn run_once(tb: &Testbed, version: HttpVersion, response_size: usize, reqs: 
 /// Clients wait for it, so the measurement starts when the server has
 /// actually taken the connection, not while it sits in the backlog.
 const HELLO_BYTE: u8 = b'+';
+
+/// Byte a shedding server answers instead of [`HELLO_BYTE`] when the
+/// connection is over its concurrency budget — the HTTP-503 of this
+/// one-byte protocol. Clients see it and back off deterministically.
+pub const SHED_BYTE: u8 = b'!';
 
 /// How the concurrent-connection server is structured.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -360,6 +365,90 @@ pub fn concurrent_throughput_on(
     }
 }
 
+/// The event-loop server under a concurrency bound: `n_conns` clients
+/// connect at once, the server serves at most `max_conns` of them
+/// concurrently and answers the overflow with [`SHED_BYTE`] before
+/// closing. Shed clients back off and report it; nothing hangs. Returns
+/// `(fully_served, shed_observed, server_report)` — served + shed
+/// always accounts for every client.
+pub fn concurrent_throughput_shedding(
+    tb: &Testbed,
+    n_conns: u32,
+    max_conns: usize,
+    reqs_per_conn: u32,
+    response_size: usize,
+) -> (u32, u32, ServeReport) {
+    assert!(tb.nodes.len() >= 2, "need a server node and a client node");
+    let sim = Sim::new();
+    let api = Arc::clone(&tb.nodes[0].api);
+    let backlog = n_conns as usize + 8;
+    let report = Arc::new(Mutex::new(ServeReport::default()));
+    {
+        let report = Arc::clone(&report);
+        sim.spawn("http-shedding-loop", move |ctx| {
+            let l = api.listen(ctx, HTTP_PORT, backlog)?.expect("port free");
+            let policy = OverloadPolicy {
+                max_conns: Some(max_conns),
+                shed_response: vec![SHED_BYTE],
+                ..OverloadPolicy::default()
+            };
+            let r = serve_event_loop_with(
+                ctx,
+                api.as_ref(),
+                l.as_ref(),
+                n_conns,
+                &[HELLO_BYTE],
+                &policy,
+                |inbuf, out| {
+                    while inbuf.len() >= REQUEST_SIZE {
+                        let (cid, rid) = decode_request(&inbuf[..REQUEST_SIZE]);
+                        inbuf.drain(..REQUEST_SIZE);
+                        out.extend_from_slice(&response_body(cid, rid, response_size));
+                    }
+                },
+            )?;
+            *report.lock() = r;
+            l.close(ctx)?;
+            Ok(())
+        });
+    }
+    let tally = Arc::new(Mutex::new((0u32, 0u32))); // (served, shed)
+    for k in 0..n_conns {
+        let node = 1 + (k as usize % (tb.nodes.len() - 1));
+        let api = Arc::clone(&tb.nodes[node].api);
+        let server_host = tb.nodes[0].api.local_host();
+        let tally = Arc::clone(&tally);
+        sim.spawn(format!("http-shed-client-{k}"), move |ctx| {
+            let conn = api.connect(ctx, server_host, HTTP_PORT)?.expect("connect");
+            let first = conn.read_exact(ctx, 1)?.expect("greeting");
+            match first {
+                Some(b) if b[0] == HELLO_BYTE => {
+                    for r in 0..reqs_per_conn {
+                        conn.write(ctx, &encode_request(k, r))?.expect("request");
+                        let body = conn
+                            .read_exact(ctx, response_size)?
+                            .expect("response")
+                            .expect("body");
+                        for (j, &byte) in body.iter().enumerate() {
+                            assert_eq!(byte, body_byte(k, r, j), "conn {k} req {r} byte {j}");
+                        }
+                    }
+                    tally.lock().0 += 1;
+                }
+                // SHED_BYTE or bare EOF: the deterministic degrade.
+                _ => tally.lock().1 += 1,
+            }
+            let _ = conn.close(ctx);
+            Ok(())
+        });
+    }
+    sim.run_until(SimTime::from_secs(600));
+    let (served, shed) = *tally.lock();
+    assert_eq!(served + shed, n_conns, "every client gets a typed answer");
+    let report = *report.lock();
+    (served, shed, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +501,25 @@ mod tests {
         let small = run_once(&emp_tb(), HttpVersion::Http10, 4, 6);
         let large = run_once(&emp_tb(), HttpVersion::Http10, 8192, 6);
         assert!(large > small, "8K ({large:.0}) vs 4B ({small:.0})");
+    }
+
+    #[test]
+    fn shedding_event_loop_bounds_concurrency_on_both_stacks() {
+        // 8 clients vs a concurrency budget of 3: whoever is over budget
+        // gets the SHED_BYTE (or a clean EOF), never a hang, and the
+        // server's own count matches what clients observed.
+        for tb in [Testbed::emp_default(4), Testbed::kernel_default(4)] {
+            let (served, shed, report) = concurrent_throughput_shedding(&tb, 8, 3, 2, 256);
+            assert_eq!(served + shed, 8);
+            assert!(
+                shed > 0,
+                "over-budget clients must be shed on {}",
+                tb.nodes[0].api.label()
+            );
+            assert!(served >= 3, "budgeted clients are served in full");
+            assert_eq!(report.shed, shed, "server and client shed counts agree");
+            assert_eq!(report.served, served);
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! cargo run --release -p emp-bench --bin empstat -- --json   # JSON export
 //! cargo run --release -p emp-bench --bin empstat -- --prom   # Prometheus text
 //! cargo run --release -p emp-bench --bin empstat -- --overhead
+//! cargo run --release -p emp-bench --bin empstat -- --overload
 //! ```
 //!
 //! With `--json`/`--prom` the export goes to stdout and the workload
@@ -15,7 +16,12 @@
 //! (a named histogram recorded nothing) — the `telemetry-smoke` stage of
 //! `ci.sh` relies on that. `--overhead` instead microbenchmarks the
 //! telemetry hot paths and fails if the estimated share of an
-//! instrumented ping-pong exceeds the 2% budget.
+//! instrumented ping-pong exceeds the 2% budget. `--overload` runs the
+//! connect-storm + slowloris smoke on both stacks and fails unless
+//! admission control refused connections while real clients were still
+//! served, the refusals show up as telemetry counters, the idle reaper
+//! fired, and nothing leaked — the `overload-smoke` stage of `ci.sh`
+//! relies on that.
 
 use emp_bench::stat;
 
@@ -26,11 +32,23 @@ fn main() {
         Some("--json") => "json",
         Some("--prom") => "prom",
         Some("--overhead") => "overhead",
+        Some("--overload") => "overload",
         Some(other) => {
-            eprintln!("usage: empstat [--json | --prom | --overhead] (got '{other}')");
+            eprintln!("usage: empstat [--json | --prom | --overhead | --overload] (got '{other}')");
             std::process::exit(2);
         }
     };
+
+    if mode == "overload" {
+        match stat::run_overload_smoke() {
+            Ok(report) => println!("{report}"),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     if mode == "overhead" {
         let report = stat::measure_overhead();

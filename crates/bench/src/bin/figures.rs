@@ -83,6 +83,7 @@ fn main() {
                 "cpu-utilization",
                 "small-message-throughput",
                 "copy-avoidance",
+                "overload-degradation",
             ]
             .into_iter()
             .map(String::from)
@@ -108,6 +109,7 @@ fn main() {
                 "event-loop-concurrency" => figures::event_loop_concurrency(profile),
                 "small-message-throughput" => small_message_with_summary(profile, &mut perf),
                 "copy-avoidance" => copy_avoidance_with_summary(profile, &mut perf),
+                "overload-degradation" => figures::overload_degradation(profile),
                 other => {
                     eprintln!("unknown figure '{other}'");
                     std::process::exit(2);

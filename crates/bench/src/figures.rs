@@ -2,10 +2,13 @@
 //! [`Figure`] with the same series the paper plots; the `figures` binary
 //! prints them and the criterion benches time representative points.
 
-use emp_apps::{bandwidth, ftp, kvstore, matmul, pingpong, webserver, Testbed};
+use emp_apps::{
+    bandwidth, ftp, kvstore, matmul, overload, pingpong, webserver, StormConfig, Testbed,
+};
 use emp_proto::EmpConfig;
 use kernel_tcp::TcpConfig;
 use simnet::Sim;
+use simnet::SimDuration;
 use sockets_emp::{RecvMode, SubstrateConfig};
 
 use crate::raw;
@@ -782,6 +785,84 @@ pub fn copy_avoidance(profile: Profile) -> Figure {
     copy_avoidance_figure(&copy_avoidance_sweep(profile))
 }
 
+/// Inter-arrival gap (µs) at the storm server's saturation point: the
+/// offered-load axis of [`overload_degradation`] is expressed as
+/// multiples of this arrival rate (load 2.0 = half the gap).
+pub const SATURATION_STAGGER_US: u64 = 80;
+
+/// One overload point: a connect storm at `load` times the saturation
+/// arrival rate against a shedding server on `tb`.
+pub fn overload_point(tb: &Testbed, load: f64, clients: u32) -> emp_apps::OverloadReport {
+    let gap_us = (SATURATION_STAGGER_US as f64 / load).max(1.0) as u64;
+    overload::run_storm(
+        tb,
+        &StormConfig {
+            clients,
+            stagger: SimDuration::from_micros(gap_us),
+            ..StormConfig::default()
+        },
+    )
+}
+
+/// Overload robustness: offered load (multiples of the saturation
+/// arrival rate) against goodput and p99 served latency, both stacks.
+/// The claim under test (DESIGN.md §15): past saturation, admission
+/// control and shedding hold goodput near its saturated peak — offered
+/// load rises 8x across the sweep, goodput must not collapse.
+pub fn overload_degradation(profile: Profile) -> Figure {
+    let loads: &[f64] = match profile {
+        Profile::Quick => &[0.5, 1.0, 4.0],
+        Profile::Full => &[0.5, 1.0, 2.0, 4.0],
+    };
+    let clients: u32 = match profile {
+        Profile::Quick => 32,
+        Profile::Full => 48,
+    };
+    let mut fig = Figure::new(
+        "overload-degradation",
+        "Offered load vs goodput and tail latency under admission control",
+        "offered load (% of saturation)",
+        "goodput Mbps / p99 us",
+    );
+    let emp_pts = parallel_sweep(loads, |&load| {
+        let r = overload_point(&Testbed::emp_default(4), load, clients);
+        (load, (r.goodput_mbps(), r.p99_us))
+    });
+    let tcp_pts = parallel_sweep(loads, |&load| {
+        let r = overload_point(&Testbed::kernel_default(4), load, clients);
+        (load, (r.goodput_mbps(), r.p99_us))
+    });
+    fig.push(
+        "Substrate goodput",
+        emp_pts
+            .iter()
+            .map(|&(x, (g, _))| (x * 100.0, g))
+            .collect::<Vec<_>>(),
+    );
+    fig.push(
+        "TCP goodput",
+        tcp_pts
+            .iter()
+            .map(|&(x, (g, _))| (x * 100.0, g))
+            .collect::<Vec<_>>(),
+    );
+    fig.push(
+        "Substrate p99",
+        emp_pts
+            .iter()
+            .map(|&(x, (_, p))| (x * 100.0, p))
+            .collect::<Vec<_>>(),
+    );
+    fig.push(
+        "TCP p99",
+        tcp_pts
+            .iter()
+            .map(|&(x, (_, p))| (x * 100.0, p))
+            .collect::<Vec<_>>(),
+    );
+    fig
+}
+
 /// Every figure, in paper order.
 pub fn all_figures(profile: Profile) -> Vec<Figure> {
     vec![
@@ -802,5 +883,6 @@ pub fn all_figures(profile: Profile) -> Vec<Figure> {
         cpu_utilization(profile),
         small_message_throughput(profile),
         copy_avoidance(profile),
+        overload_degradation(profile),
     ]
 }

@@ -14,7 +14,7 @@ use simnet::emp_trace::telemetry::RegistrySnapshot;
 use simnet::{Sim, SimAccess};
 
 use emp_apps::webserver::{self, ConcurrencyRun, ServerModel};
-use emp_apps::{pingpong, Testbed};
+use emp_apps::{overload, pingpong, OverloadReport, StormConfig, Testbed};
 
 /// Ping-pong message size (bytes) in the standard workload.
 pub const PINGPONG_BYTES: usize = 4;
@@ -26,6 +26,8 @@ pub const WEB_CONNS: u32 = 8;
 pub const WEB_REQS: u32 = 10;
 /// Webserver response body size in bytes.
 pub const WEB_RESPONSE_BYTES: usize = 512;
+/// Connection attempts in the standard workload's overload storm.
+pub const STORM_CLIENTS: u32 = 24;
 
 /// Everything one standard-workload run produces.
 pub struct StatRun {
@@ -39,6 +41,9 @@ pub struct StatRun {
     /// Completion-ring webserver aggregate result (same workload shape
     /// as `web`, served through the SQ/CQ model).
     pub web_completion: ConcurrencyRun,
+    /// Overload storm result (connect storm against a shedding server),
+    /// so the admission-control counters are always live in the export.
+    pub storm: OverloadReport,
 }
 
 /// Run the standard workload on a fresh simulation: a
@@ -67,6 +72,17 @@ pub fn run_standard_workload() -> StatRun {
         WEB_REQS,
         WEB_RESPONSE_BYTES,
     );
+    // A connect storm past saturation: the overload counters
+    // (`sock.connects_refused`, `app.shed`, ...) register in the same
+    // snapshot the dashboards scrape.
+    let storm = overload::run_storm_on(
+        &sim,
+        &tb,
+        &StormConfig {
+            clients: STORM_CLIENTS,
+            ..StormConfig::default()
+        },
+    );
     let reg = sim.telemetry();
     reg.sample_now(sim.now().nanos());
     StatRun {
@@ -74,6 +90,7 @@ pub fn run_standard_workload() -> StatRun {
         pingpong_us,
         web,
         web_completion,
+        storm,
     }
 }
 
@@ -89,6 +106,16 @@ pub fn workload_summary(run: &StatRun) -> String {
         run.web.reqs_per_sec,
         run.web_completion.requests,
         run.web_completion.reqs_per_sec
+    ) + &format!(
+        "; overload storm {STORM_CLIENTS} attempts -> served={} degraded={} \
+         refused={} shed={} timed_out={} ({:.1} Mbps goodput, p99 {:.0} us)",
+        run.storm.outcomes.served,
+        run.storm.outcomes.degraded,
+        run.storm.outcomes.refused,
+        run.storm.shed,
+        run.storm.outcomes.timed_out,
+        run.storm.goodput_mbps(),
+        run.storm.p99_us
     )
 }
 
@@ -129,13 +156,111 @@ pub fn self_check(snap: &RegistrySnapshot) -> Result<String, String> {
     if ring_series == 0 {
         return Err("no ring.* depth series recorded".into());
     }
+    // Overload counters: the storm stage must have tripped admission
+    // control somewhere (stack refusal or application shed) and the
+    // bookkeeping counters must exist even when zero.
+    for name in ["app.shed", "app.reaped"] {
+        if !snap.counters.contains_key(name) {
+            return Err(format!("counter {name} missing"));
+        }
+    }
+    let refused = snap
+        .counters
+        .get("sock.connects_refused")
+        .copied()
+        .unwrap_or(0)
+        + snap
+            .counters
+            .get("tcp.connects_refused")
+            .copied()
+            .unwrap_or(0);
+    let shed = snap.counters.get("app.shed").copied().unwrap_or(0);
+    if refused + shed == 0 {
+        return Err("overload storm tripped no admission control (refused+shed == 0)".into());
+    }
+    // Registered-buffer leak gate: every completion ring's depth gauges
+    // (`ring.<label>.sq` / `.in_flight` / `.cq`) must read zero once the
+    // workload drained — an in-flight op past the end means a registered
+    // buffer the application can never safely reuse.
+    for (name, v) in &snap.gauges {
+        if name.starts_with("ring.") && *v != 0 {
+            return Err(format!("ring gauge {name} stuck at {v} after drain"));
+        }
+    }
     let mut parts: Vec<String> = need_hists
         .iter()
         .map(|n| format!("{n}={}", snap.histograms[*n].count))
         .collect();
     parts.push(format!("series={live_series}"));
     parts.push(format!("ring_series={ring_series}"));
+    parts.push(format!("refused={refused}"));
+    parts.push(format!("shed={shed}"));
     Ok(format!("empstat self-check ok: {}", parts.join(" ")))
+}
+
+/// Connect-storm smoke for the `overload-smoke` stage of `ci.sh`: a
+/// past-saturation storm plus slowloris against both stacks, each on a
+/// fresh simulation so the telemetry gates read only storm traffic.
+/// Gates, per stack: admission control actually refused connections
+/// *and* real clients were still served (refused > 0 && goodput > 0),
+/// the refusals are visible as telemetry counters (not just in the
+/// report), the idle reaper removed the slowloris connections, and no
+/// connections or listeners leaked. Returns the per-stack report lines,
+/// or the first gate violation.
+pub fn run_overload_smoke() -> Result<String, String> {
+    let mut lines = vec!["overload smoke ok".to_string()];
+    for kernel in [false, true] {
+        let sim = Sim::new();
+        let tb = if kernel {
+            Testbed::kernel_default(4)
+        } else {
+            Testbed::emp_default(4)
+        };
+        let label = tb.nodes[0].api.label().to_string();
+        let cfg = StormConfig {
+            slowloris: 4,
+            ..StormConfig::default()
+        };
+        let r = overload::run_storm_on(&sim, &tb, &cfg);
+        let reg = sim.telemetry();
+        reg.sample_now(sim.now().nanos());
+        let snap = reg.snapshot();
+        let ctr = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        if r.outcomes.served == 0 || r.goodput_bytes == 0 {
+            return Err(format!("{label}: storm starved every client: {r:?}"));
+        }
+        if r.outcomes.refused == 0 {
+            return Err(format!(
+                "{label}: past-saturation storm refused nothing: {r:?}"
+            ));
+        }
+        if ctr("sock.connects_refused") + ctr("tcp.connects_refused") == 0 {
+            return Err(format!(
+                "{label}: refusals happened but no telemetry counter recorded them"
+            ));
+        }
+        if r.reaped == 0 || ctr("app.reaped") == 0 {
+            return Err(format!(
+                "{label}: slowloris connections were not reaped: {r:?}"
+            ));
+        }
+        if r.leaked_conns + r.leaked_listeners != 0 {
+            return Err(format!("{label}: leaked state after the storm: {r:?}"));
+        }
+        lines.push(format!(
+            "overload[{label}]: served={} degraded={} refused={} shed={} \
+             timed_out={} reaped={} goodput={:.1} Mbps p99={:.0} us leaks=0",
+            r.outcomes.served,
+            r.outcomes.degraded,
+            r.outcomes.refused,
+            r.shed,
+            r.outcomes.timed_out,
+            r.reaped,
+            r.goodput_mbps(),
+            r.p99_us
+        ));
+    }
+    Ok(lines.join("\n"))
 }
 
 /// Measured per-operation cost of the telemetry hot paths on this host,

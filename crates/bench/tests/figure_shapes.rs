@@ -160,3 +160,51 @@ fn figure_json_serializes() {
     assert!(json.contains("\"points\""));
     assert!(json.trim_end().ends_with('}'));
 }
+
+#[test]
+fn overload_goodput_degrades_gracefully_past_saturation() {
+    // The robustness acceptance: goodput at 4x saturation stays within
+    // 20% of the peak across the at-or-past-saturation loads on both
+    // stacks — admission control sheds the excess instead of letting
+    // the server collapse. The 0.5x point is deliberately excluded from
+    // the peak: below saturation nothing is refused, so every client is
+    // served back-to-back and the serving window measures uncontended
+    // burst throughput, not the saturated service rate the claim is
+    // about. Refusals/sheds must actually happen at 4x (the storm is
+    // past saturation by construction).
+    use emp_apps::Testbed;
+    for make in [
+        (&|| Testbed::emp_default(4)) as &dyn Fn() -> Testbed,
+        &|| Testbed::kernel_default(4),
+    ] {
+        let loads = [0.5, 1.0, 2.0, 4.0];
+        let reports: Vec<_> = loads
+            .iter()
+            .map(|&l| figures::overload_point(&make(), l, 32))
+            .collect();
+        let label = make().nodes[0].api.label().to_string();
+        let goodputs: Vec<f64> = reports.iter().map(|r| r.goodput_mbps()).collect();
+        let peak = goodputs[1..].iter().cloned().fold(0.0, f64::max);
+        let at4 = goodputs[3];
+        assert!(
+            goodputs[0] > 0.0,
+            "{label}: no goodput below saturation ({goodputs:?})"
+        );
+        assert!(peak > 0.0, "{label}: no goodput anywhere in the sweep");
+        assert!(
+            at4 >= 0.8 * peak,
+            "{label}: goodput collapsed past saturation: {at4:.1} Mbps at 4x \
+             vs {peak:.1} Mbps peak ({goodputs:?})"
+        );
+        let r4 = &reports[3];
+        assert!(
+            r4.outcomes.refused + r4.shed > 0,
+            "{label}: 4x saturation must trip admission control: {r4:?}"
+        );
+        assert_eq!(
+            r4.leaked_conns + r4.leaked_listeners,
+            0,
+            "{label}: leaked state after the 4x storm: {r4:?}"
+        );
+    }
+}

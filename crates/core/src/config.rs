@@ -16,6 +16,69 @@ pub enum SocketType {
     Datagram,
 }
 
+/// Client-side connection-request retry policy: jittered exponential
+/// backoff with an attempt cap and an overall deadline. Replaces the old
+/// blind fixed-backoff resend loop — under a connect storm, thousands of
+/// synchronized clients retrying in lockstep re-create the very overload
+/// that refused them; jitter decorrelates the herd.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First backoff interval (doubled each subsequent attempt).
+    pub base: SimDuration,
+    /// Backoff ceiling: intervals never exceed this.
+    pub max_backoff: SimDuration,
+    /// Give up after this many *send attempts* (the initial request
+    /// counts as attempt one), surfacing [`crate::SockError::Timeout`].
+    pub max_attempts: u32,
+    /// Overall wall-clock budget for the whole connect, retries included.
+    pub deadline: SimDuration,
+    /// Randomize each backoff interval into `[0.75, 1.25)` of its nominal
+    /// value (deterministically, from the attempt number and the local
+    /// station address, so simulations stay reproducible).
+    pub jitter: bool,
+}
+
+impl RetryPolicy {
+    /// The policy [`SubstrateConfig::with_connect_timeout`] compiles to:
+    /// backoff starts at `deadline / 8`, caps at the deadline, unlimited
+    /// attempts, no jitter — the historical blocking-connect behaviour.
+    pub fn from_deadline(deadline: SimDuration) -> Self {
+        let base = deadline / 8;
+        RetryPolicy {
+            base: if base.is_zero() { deadline } else { base },
+            max_backoff: deadline,
+            max_attempts: u32::MAX,
+            deadline,
+            jitter: false,
+        }
+    }
+
+    /// Backoff to wait after send attempt `attempt` (1-based), with the
+    /// exponential doubling, the `max_backoff` cap and (if enabled)
+    /// deterministic jitter seeded by `seed`.
+    pub fn backoff(&self, attempt: u32, seed: u64) -> SimDuration {
+        let doublings = attempt.saturating_sub(1).min(32);
+        let nominal = self
+            .base
+            .nanos()
+            .saturating_mul(1u64.checked_shl(doublings).unwrap_or(u64::MAX))
+            .min(self.max_backoff.nanos());
+        if !self.jitter {
+            return SimDuration::from_nanos(nominal.max(1));
+        }
+        // splitmix64 over (seed, attempt): uniform factor in [0.75, 1.25).
+        let mut z = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(attempt));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let frac = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 0.75 + 0.5 * frac;
+        SimDuration::from_nanos(((nominal as f64 * factor) as u64).max(1))
+    }
+}
+
 /// How unexpected-message handling is driven (§5.2's three alternatives).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RecvMode {
@@ -78,6 +141,29 @@ pub struct SubstrateConfig {
     /// [`crate::SockError::Timeout`] once `d` elapses with no answer — the
     /// behaviour an application wants against a possibly-dead station.
     pub connect_timeout: Option<SimDuration>,
+    /// Full connect retry policy (jittered exponential backoff, attempt
+    /// cap, overall deadline). Takes precedence over the simpler
+    /// [`Self::connect_timeout`]; see [`Self::effective_connect_policy`].
+    pub connect_retry: Option<RetryPolicy>,
+    /// Per-process connection budget: `connect()`/`accept()` beyond this
+    /// many live connections fail with
+    /// [`crate::SockError::ResourceExhausted`] instead of consuming
+    /// descriptors and registered buffers without bound. `None` (default)
+    /// bounds connections only by the tag space.
+    pub max_connections: Option<usize>,
+    /// Byte cap on a connection's out-of-order reorder buffer. A stream
+    /// whose gap message is lost can otherwise park an unbounded number of
+    /// acked-but-undeliverable payloads; at the cap the connection is
+    /// poisoned with [`crate::SockError::ResourceExhausted`] (the bytes
+    /// were EMP-acked, so dropping them silently would corrupt the
+    /// stream). `None` (default) keeps the buffer unbounded.
+    pub reorder_cap_bytes: Option<usize>,
+    /// Write-stall detector: a blocking stream write that waits longer
+    /// than this for a flow-control credit fails with
+    /// [`crate::SockError::Timeout`] — the slowloris defence (a reader
+    /// that never reads pins the writer forever otherwise). `None`
+    /// (default) preserves blocking-forever semantics.
+    pub write_stall_after: Option<SimDuration>,
     /// Ack-starvation watchdog: when a blocking read or credit wait hears
     /// *nothing* from the peer — no data, no credit return, no control
     /// message — for this long, the operation fails with
@@ -135,6 +221,10 @@ impl SubstrateConfig {
             stream_overhead: SimDuration::from_micros_f64(2.8),
             dgram_overhead: SimDuration::from_nanos(300),
             connect_timeout: None,
+            connect_retry: None,
+            max_connections: None,
+            reorder_cap_bytes: None,
+            write_stall_after: None,
             peer_gone_after: None,
             direct_delivery: false,
             coalesce_writes: false,
@@ -200,6 +290,51 @@ impl SubstrateConfig {
         assert!(!deadline.is_zero(), "a zero connect deadline always fires");
         self.connect_timeout = Some(deadline);
         self
+    }
+
+    /// Bound `connect()` by a full [`RetryPolicy`] — jittered exponential
+    /// backoff, attempt cap, overall deadline. The connect storms knob.
+    pub fn with_connect_retry(mut self, policy: RetryPolicy) -> Self {
+        assert!(
+            !policy.deadline.is_zero(),
+            "a zero connect deadline always fires"
+        );
+        assert!(policy.max_attempts >= 1, "at least one attempt required");
+        self.connect_retry = Some(policy);
+        self
+    }
+
+    /// Cap live connections per process at `n`
+    /// ([`crate::SockError::ResourceExhausted`] beyond it).
+    pub fn with_max_connections(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one connection required");
+        self.max_connections = Some(n);
+        self
+    }
+
+    /// Cap the out-of-order reorder buffer at `bytes`
+    /// (see [`Self::reorder_cap_bytes`]).
+    pub fn with_reorder_cap(mut self, bytes: usize) -> Self {
+        self.reorder_cap_bytes = Some(bytes);
+        self
+    }
+
+    /// Arm the write-stall detector: a blocking write that waits longer
+    /// than `patience` for a credit fails with
+    /// [`crate::SockError::Timeout`].
+    pub fn with_write_stall_after(mut self, patience: SimDuration) -> Self {
+        assert!(!patience.is_zero(), "a zero stall patience always fires");
+        self.write_stall_after = Some(patience);
+        self
+    }
+
+    /// The connect policy in force: an explicit [`Self::connect_retry`]
+    /// wins; a bare [`Self::connect_timeout`] compiles to
+    /// [`RetryPolicy::from_deadline`]; neither means non-blocking connect
+    /// (the §7.4 pipelining behaviour).
+    pub fn effective_connect_policy(&self) -> Option<RetryPolicy> {
+        self.connect_retry
+            .or_else(|| self.connect_timeout.map(RetryPolicy::from_deadline))
     }
 
     /// Arm the ack-starvation watchdog: blocking operations fail with
@@ -317,6 +452,11 @@ mod tests {
             SubstrateConfig::dg(),
         ] {
             assert_eq!(cfg.connect_timeout, None);
+            assert_eq!(cfg.connect_retry, None);
+            assert_eq!(cfg.effective_connect_policy(), None);
+            assert_eq!(cfg.max_connections, None);
+            assert_eq!(cfg.reorder_cap_bytes, None);
+            assert_eq!(cfg.write_stall_after, None);
             assert_eq!(cfg.peer_gone_after, None);
             assert!(!cfg.direct_delivery, "direct delivery must default off");
             assert!(!cfg.coalesce_writes, "coalescing must default off");
@@ -326,6 +466,50 @@ mod tests {
             .with_peer_watchdog(SimDuration::from_millis(20));
         assert_eq!(armed.connect_timeout, Some(SimDuration::from_millis(5)));
         assert_eq!(armed.peer_gone_after, Some(SimDuration::from_millis(20)));
+    }
+
+    #[test]
+    fn connect_timeout_compiles_to_legacy_policy() {
+        let cfg = SubstrateConfig::ds().with_connect_timeout(SimDuration::from_millis(8));
+        let p = cfg.effective_connect_policy().unwrap();
+        assert_eq!(p.base, SimDuration::from_millis(1));
+        assert_eq!(p.max_backoff, SimDuration::from_millis(8));
+        assert_eq!(p.deadline, SimDuration::from_millis(8));
+        assert_eq!(p.max_attempts, u32::MAX);
+        assert!(!p.jitter);
+        // An explicit policy wins over the bare timeout.
+        let explicit = RetryPolicy {
+            base: SimDuration::from_micros(100),
+            max_backoff: SimDuration::from_millis(1),
+            max_attempts: 4,
+            deadline: SimDuration::from_millis(10),
+            jitter: true,
+        };
+        let cfg = cfg.with_connect_retry(explicit);
+        assert_eq!(cfg.effective_connect_policy(), Some(explicit));
+    }
+
+    #[test]
+    fn retry_backoff_doubles_caps_and_jitters_deterministically() {
+        let p = RetryPolicy {
+            base: SimDuration::from_micros(100),
+            max_backoff: SimDuration::from_micros(350),
+            max_attempts: 8,
+            deadline: SimDuration::from_millis(10),
+            jitter: false,
+        };
+        assert_eq!(p.backoff(1, 0), SimDuration::from_micros(100));
+        assert_eq!(p.backoff(2, 0), SimDuration::from_micros(200));
+        assert_eq!(p.backoff(3, 0), SimDuration::from_micros(350)); // capped
+        assert_eq!(p.backoff(9, 0), SimDuration::from_micros(350));
+        let j = RetryPolicy { jitter: true, ..p };
+        let a = j.backoff(1, 42);
+        // Deterministic: same inputs, same jitter.
+        assert_eq!(a, j.backoff(1, 42));
+        // Within the [0.75, 1.25) window.
+        assert!(a.nanos() >= 75_000 && a.nanos() < 125_000, "{}", a.nanos());
+        // Different seeds decorrelate the herd.
+        assert_ne!(j.backoff(1, 42), j.backoff(1, 43));
     }
 
     #[test]

@@ -77,6 +77,15 @@ impl ProcShared {
 
     pub(crate) fn alloc_cid(&self) -> Result<u16, SockError> {
         let mut st = self.state.lock();
+        // Admission control: the per-process connection budget counts live
+        // sockets (close() removes them from the active table), so a
+        // refused connect costs nothing durable.
+        if let Some(max) = self.cfg.max_connections {
+            let live = st.active.values().filter(|w| w.strong_count() > 0).count();
+            if live >= max {
+                return Err(SockError::ResourceExhausted);
+            }
+        }
         if st.next_cid <= tags::MAX_CID {
             let cid = st.next_cid;
             st.next_cid += 1;
@@ -302,6 +311,11 @@ pub(crate) struct SockInner {
     // ---- control ----
     pub(crate) ctrl_handle: Option<RecvHandle>,
     pub(crate) peer_closed: bool,
+    /// Set when a resource budget tripped mid-stream (reorder-buffer cap):
+    /// the byte stream can no longer be delivered intact, so every
+    /// subsequent operation fails with
+    /// [`SockError::ResourceExhausted`]. Sticky until `close()`.
+    pub(crate) poisoned: bool,
     /// Local write side shut down (half-close); reads keep working.
     pub(crate) write_closed: bool,
     pub(crate) closed: bool,
@@ -399,6 +413,7 @@ impl SockShared {
                 stats: ConnStats::default(),
                 ctrl_handle: None,
                 peer_closed: false,
+                poisoned: false,
                 write_closed: false,
                 closed: false,
                 send_range: proc_.alloc_range(buf_size + DATA_HEADER),
@@ -526,6 +541,24 @@ impl SockShared {
         self.proc_
             .ep
             .post_send(ctx, self.peer, tag, msg.encode(), range)
+    }
+
+    /// Like [`Self::send_msg`], but the message may never park in the
+    /// receiver's unexpected queue: an unmatched delivery is refused with
+    /// an explicit NACK and the handle fails with its `refused()` flag
+    /// set. Used for connection requests under a configured connect
+    /// policy — a full backlog (or absent listener) answers
+    /// deterministically instead of camping in the receiver's pool.
+    pub(crate) fn send_msg_refusable(
+        &self,
+        ctx: &ProcessCtx,
+        tag: emp_proto::Tag,
+        msg: &Msg,
+    ) -> SimResult<SendHandle> {
+        let range = self.inner.lock().send_range;
+        self.proc_
+            .ep
+            .post_send_refusable(ctx, self.peer, tag, msg.encode(), range)
     }
 
     /// Send a data message as a header + payload pair: the NIC gathers the
@@ -737,7 +770,7 @@ impl SockShared {
     /// Would `read()` return without blocking?
     pub(crate) fn readable_now(&self) -> bool {
         let i = self.inner.lock();
-        if i.stream_len > 0 || i.peer_drained() || i.closed {
+        if i.stream_len > 0 || i.peer_drained() || i.closed || i.poisoned {
             return true;
         }
         if let Some(front) = i.data_slots.front() {
@@ -814,8 +847,24 @@ impl SockShared {
         ctx: &ProcessCtx,
         data: &Completion,
     ) -> SimResult<Result<(), SockError>> {
+        self.wait_data_ctrl_or(ctx, data, None)
+    }
+
+    /// [`Self::wait_data_or_ctrl`] with an optional extra completion in
+    /// the watch set — a deadline timer, typically. The caller checks the
+    /// extra completion itself after waking.
+    pub(crate) fn wait_data_ctrl_or(
+        &self,
+        ctx: &ProcessCtx,
+        data: &Completion,
+        extra: Option<&Completion>,
+    ) -> SimResult<Result<(), SockError>> {
         let ctrl = self.ctrl_completion();
-        if let Err(e) = self.wait_watched(ctx, &[data, &ctrl])? {
+        let mut watched: Vec<&Completion> = vec![data, &ctrl];
+        if let Some(t) = extra {
+            watched.push(t);
+        }
+        if let Err(e) = self.wait_watched(ctx, &watched)? {
             return Ok(Err(e));
         }
         self.poll_ctrl(ctx)

@@ -22,9 +22,17 @@ pub enum SockError {
     },
     /// Port outside the substrate's encodable range, or already listening.
     AddrInUse,
-    /// A deadline expired before the operation could complete (today only
-    /// `connect()` with [`crate::SubstrateConfig::connect_timeout`] set).
+    /// A deadline expired before the operation could complete: `connect()`
+    /// with a [`crate::RetryPolicy`]/[`crate::SubstrateConfig::connect_timeout`],
+    /// a deadlined `read`/`write`/`accept`, or a write stalled past
+    /// [`crate::SubstrateConfig::write_stall_after`].
     Timeout,
+    /// A resource budget was exhausted: the per-process connection budget
+    /// ([`crate::SubstrateConfig::max_connections`]), the reorder-buffer
+    /// byte cap ([`crate::SubstrateConfig::reorder_cap_bytes`]), or a
+    /// registered-buffer pool cap. The ENOBUFS of the substrate — the
+    /// overloaded operation fails; the rest of the process keeps running.
+    ResourceExhausted,
     /// The peer stopped responding entirely — no data, no credit returns,
     /// no control traffic — for longer than the configured ack-starvation
     /// watchdog allows. Distinct from [`SockError::PeerClosed`]: a closed
@@ -60,6 +68,7 @@ impl std::fmt::Display for SockError {
             }
             SockError::AddrInUse => write!(f, "address in use"),
             SockError::Timeout => write!(f, "operation timed out"),
+            SockError::ResourceExhausted => write!(f, "resource budget exhausted"),
             SockError::PeerGone => write!(f, "peer vanished (ack starvation)"),
             SockError::WouldBlock => write!(f, "operation would block"),
             SockError::Invalid => write!(f, "invalid argument"),

@@ -19,7 +19,7 @@
 use std::cell::RefCell;
 
 use simnet::ring::{OpError, RingConfig, RingCore, RingDriver};
-use simnet::{Interest, ProcessCtx, SimResult};
+use simnet::{Interest, ProcessCtx, SimDuration, SimResult};
 
 use crate::conn::ConnStats;
 use crate::error::SockError;
@@ -57,7 +57,9 @@ fn map_err(e: SockError) -> OpError {
         SockError::PeerClosed | SockError::PeerGone => OpError::PeerClosed,
         SockError::MessageTooBig { .. } => OpError::TooBig,
         SockError::Invalid | SockError::AddrInUse => OpError::Invalid,
-        SockError::WouldBlock | SockError::Timeout | SockError::Protocol(_) => OpError::Other,
+        SockError::Timeout => OpError::Timeout,
+        SockError::ResourceExhausted => OpError::Exhausted,
+        SockError::WouldBlock | SockError::Protocol(_) => OpError::Other,
     }
 }
 
@@ -122,6 +124,7 @@ impl RingDriver for EmpRingDriver {
         ctx: &ProcessCtx,
         conns: &[(&Connection, Interest)],
         listeners: &[&Listener],
+        timeout: Option<SimDuration>,
     ) -> SimResult<()> {
         let mut ps = PollSet::new();
         for (i, (c, interest)) in conns.iter().enumerate() {
@@ -131,8 +134,9 @@ impl RingDriver for EmpRingDriver {
             ps.register_listener(l, conns.len() + i, Interest::ACCEPTABLE);
         }
         // The events themselves are discarded: RingCore re-drives every
-        // head op after a wake, which subsumes them.
-        match ps.poll(ctx, None)? {
+        // head op after a wake, which subsumes them (a timeout wake lets
+        // the drive pass expire deadlined head ops).
+        match ps.poll(ctx, timeout)? {
             Ok(_) => Ok(()),
             Err(e) => Err(e.into()),
         }

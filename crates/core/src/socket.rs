@@ -94,11 +94,44 @@ impl EmpSockets {
     }
 
     /// Active open: allocate a connection id, wire up the local side, and
-    /// send the connection-request message. Returns immediately — the
-    /// application may start writing data right away (§7.4 relies on the
-    /// request/data pipelining); a refused connection surfaces as
-    /// [`SockError::ConnectionRefused`] on a later operation.
+    /// send the connection-request message. With no connect policy
+    /// configured it returns immediately — the application may start
+    /// writing data right away (§7.4 relies on the request/data
+    /// pipelining); a refused connection surfaces as
+    /// [`SockError::ConnectionRefused`] on a later operation. With a
+    /// policy ([`SubstrateConfig::with_connect_timeout`] or
+    /// [`SubstrateConfig::with_connect_retry`]) the call blocks and fails
+    /// with a *typed* outcome: [`SockError::ConnectionRefused`] when the
+    /// receiver positively refused the request (full backlog, no
+    /// listener), [`SockError::Timeout`] when nobody answered within the
+    /// policy's budget, [`SockError::ResourceExhausted`] past the local
+    /// connection budget.
     pub fn connect(&self, ctx: &ProcessCtx, addr: SockAddr) -> OpResult<Connection> {
+        self.connect_inner(ctx, addr, None)
+    }
+
+    /// [`Self::connect`] bounded by `deadline` for this one call,
+    /// overriding (or standing in for) the configured policy: connects
+    /// under [`crate::RetryPolicy::from_deadline`].
+    pub fn connect_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        addr: SockAddr,
+        deadline: SimDuration,
+    ) -> OpResult<Connection> {
+        self.connect_inner(
+            ctx,
+            addr,
+            Some(crate::config::RetryPolicy::from_deadline(deadline)),
+        )
+    }
+
+    fn connect_inner(
+        &self,
+        ctx: &ProcessCtx,
+        addr: SockAddr,
+        policy_override: Option<crate::config::RetryPolicy>,
+    ) -> OpResult<Connection> {
         self.proc_.ensure_init(ctx)?;
         if addr.port > tags::MAX_PORT {
             return Ok(Err(SockError::AddrInUse));
@@ -123,52 +156,74 @@ impl EmpSockets {
             credits: cfg.credits as u16,
             buf_size: cfg.temp_buf_size as u32,
         };
-        let h = sock.send_msg(ctx, tags::conn_tag(addr.port), &req)?;
+        let policy = policy_override.or_else(|| cfg.effective_connect_policy());
+        // A blocking connect sends the request *refusably*: it must never
+        // park in the receiver's unexpected queue — a full backlog (or no
+        // listener at all) answers with a NACK that surfaces here as a
+        // deterministic `ConnectionRefused`. A non-blocking connect keeps
+        // the parking behaviour: hiding the request round trip behind
+        // pipelined data (§7.4) depends on it.
+        let h = if policy.is_some() {
+            sock.send_msg_refusable(ctx, tags::conn_tag(addr.port), &req)?
+        } else {
+            sock.send_msg(ctx, tags::conn_tag(addr.port), &req)?
+        };
         sock.inner.lock().conn_send = Some(h);
-        if let Some(deadline) = cfg.connect_timeout {
-            ok_or_return!(self.await_connect(ctx, &sock, &req, addr, deadline)?);
+        if let Some(policy) = policy {
+            ok_or_return!(self.await_connect(ctx, &sock, &req, addr, policy)?);
         }
         Ok(Ok(Connection { sock }))
     }
 
-    /// The blocking half of `connect()` when a
-    /// [`SubstrateConfig::connect_timeout`] deadline is configured: wait
-    /// for the connection request to be acknowledged, resending it with
-    /// exponential backoff when EMP reports definitive failure, and give
-    /// up with [`SockError::Timeout`] at the deadline. On timeout the
-    /// half-built connection is torn down (descriptors unposted, cid
-    /// recycled) before the error is surfaced.
+    /// The blocking half of `connect()` under a [`crate::RetryPolicy`]:
+    /// wait for the connection request to be acknowledged, resending with
+    /// the policy's (jittered) exponential backoff when EMP reports
+    /// definitive failure, and give up with a typed error — refusal and
+    /// silence are distinct outcomes. On failure the half-built
+    /// connection is torn down (descriptors unposted, cid recycled)
+    /// before the error is surfaced, so a refused connect leaks nothing.
     fn await_connect(
         &self,
         ctx: &ProcessCtx,
         sock: &Arc<SockShared>,
         req: &Msg,
         addr: SockAddr,
-        deadline: SimDuration,
+        policy: crate::config::RetryPolicy,
     ) -> OpResult<()> {
-        let give_up_at = ctx.now() + deadline;
-        // First resend after 1/8 of the deadline, doubling each attempt.
-        let mut backoff = deadline / 8;
-        if backoff.is_zero() {
-            backoff = deadline;
-        }
-        let timed_out = loop {
+        let give_up_at = ctx.now() + policy.deadline;
+        // Jitter seed: stable per (station, connection), so concurrent
+        // connects from one storm decorrelate while the simulation stays
+        // reproducible.
+        let seed = (u64::from(self.proc_.ep.addr().0) << 16) | u64::from(sock.cid);
+        let mut attempt: u32 = 1; // the initial request counts
+        let failure = loop {
             let handle = {
                 let i = sock.inner.lock();
                 i.conn_send.clone().expect("request just sent")
             };
             match handle.status() {
-                Some(true) => break false,
+                Some(true) => break None,
+                Some(false) if handle.refused() => {
+                    // The receiver positively refused the request: full
+                    // backlog or nobody listening on the port. Retrying
+                    // immediately would re-create the overload that
+                    // refused us — surface it.
+                    break Some(SockError::ConnectionRefused);
+                }
                 Some(false) => {
-                    // EMP gave up (receiver had no descriptor and no
-                    // unexpected slot, or the station is dead): back off
-                    // and resend while the deadline allows.
+                    // EMP gave up without an answer (dead station,
+                    // exhausted link retries): back off and resend while
+                    // the policy allows.
+                    if attempt >= policy.max_attempts {
+                        break Some(SockError::Timeout);
+                    }
+                    let backoff = policy.backoff(attempt, seed);
                     if ctx.now() + backoff >= give_up_at {
-                        break true;
+                        break Some(SockError::Timeout);
                     }
                     ctx.delay(backoff)?;
-                    backoff = backoff * 2;
-                    let h = sock.send_msg(ctx, tags::conn_tag(addr.port), req)?;
+                    attempt += 1;
+                    let h = sock.send_msg_refusable(ctx, tags::conn_tag(addr.port), req)?;
                     sock.inner.lock().conn_send = Some(h);
                 }
                 None => {
@@ -177,16 +232,21 @@ impl EmpSockets {
                     ctx.schedule_at(give_up_at, move |s| t2.complete(s));
                     wait_any(ctx, &[handle.completion(), &timer])?;
                     if !handle.is_done() {
-                        break true;
+                        break Some(SockError::Timeout);
                     }
                 }
             }
         };
-        if timed_out {
+        if let Some(err) = failure {
+            let series = match err {
+                SockError::ConnectionRefused => "sock.connects_refused",
+                _ => "sock.connects_timedout",
+            };
+            ctx.telemetry().counter(series).add(1);
             // Suppress the goodbye: there is nobody to say it to.
             sock.inner.lock().peer_closed = true;
             sock.close(ctx)?;
-            return Ok(Err(SockError::Timeout));
+            return Ok(Err(err));
         }
         Ok(Ok(()))
     }
@@ -306,6 +366,33 @@ impl Listener {
         Ok(Ok(Connection { sock }))
     }
 
+    /// [`Self::accept`] bounded by `deadline`: blocks for the next
+    /// connection request, failing with [`SockError::Timeout`] if none
+    /// arrives in time. The bounded-patience accept a server's event loop
+    /// uses to interleave admission with housekeeping (idle reaping).
+    pub fn accept_deadline(&self, ctx: &ProcessCtx, deadline: SimDuration) -> OpResult<Connection> {
+        let give_up_at = ctx.now() + deadline;
+        loop {
+            match self.try_accept(ctx)? {
+                Ok(c) => return Ok(Ok(c)),
+                Err(SockError::WouldBlock) => {}
+                Err(e) => return Ok(Err(e)),
+            }
+            let now = ctx.now();
+            if now >= give_up_at {
+                ctx.telemetry().counter("sock.op_timeouts").add(1);
+                return Ok(Err(SockError::Timeout));
+            }
+            let mut set = crate::poll::PollSet::new();
+            set.register_listener(self, 0, simnet::Interest::ACCEPTABLE);
+            let events = ok_or_return!(set.poll(ctx, Some(give_up_at.since(now)))?);
+            if events.is_empty() {
+                ctx.telemetry().counter("sock.op_timeouts").add(1);
+                return Ok(Err(SockError::Timeout));
+            }
+        }
+    }
+
     /// Nonblocking accept: build the connection when a request already
     /// landed at the head of the backlog; [`SockError::WouldBlock`] when
     /// an `accept` would park, [`SockError::Closed`] on a closed
@@ -407,6 +494,71 @@ impl Connection {
             buf.extend_from_slice(&chunk);
         }
         Ok(Ok(Some(Bytes::from(buf))))
+    }
+
+    /// [`Self::read`] bounded by `deadline`: serves data the moment any
+    /// is available, and fails with [`SockError::Timeout`] if none lands
+    /// in time. A slow peer stops costing the caller unbounded patience.
+    pub fn read_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        max: usize,
+        deadline: SimDuration,
+    ) -> OpResult<Bytes> {
+        let give_up_at = ctx.now() + deadline;
+        loop {
+            match self.try_read(ctx, max)? {
+                Ok(b) => return Ok(Ok(b)),
+                Err(SockError::WouldBlock) => {}
+                Err(e) => return Ok(Err(e)),
+            }
+            let now = ctx.now();
+            if now >= give_up_at {
+                ctx.telemetry().counter("sock.op_timeouts").add(1);
+                return Ok(Err(SockError::Timeout));
+            }
+            let mut set = crate::poll::PollSet::new();
+            set.register_conn(self, 0, simnet::Interest::READABLE);
+            let events = ok_or_return!(set.poll(ctx, Some(give_up_at.since(now)))?);
+            if events.is_empty() {
+                ctx.telemetry().counter("sock.op_timeouts").add(1);
+                return Ok(Err(SockError::Timeout));
+            }
+        }
+    }
+
+    /// [`Self::write`] bounded by `deadline`: accepts as many bytes as
+    /// flow control allows the moment credits are available, and fails
+    /// with [`SockError::Timeout`] if none free up in time — the
+    /// per-operation form of the
+    /// [`SubstrateConfig::with_write_stall_after`] detector. Returns the
+    /// byte count accepted (possibly short, like a POSIX `write`).
+    pub fn write_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        data: &[u8],
+        deadline: SimDuration,
+    ) -> OpResult<usize> {
+        let give_up_at = ctx.now() + deadline;
+        loop {
+            match self.try_write(ctx, data)? {
+                Ok(n) => return Ok(Ok(n)),
+                Err(SockError::WouldBlock) => {}
+                Err(e) => return Ok(Err(e)),
+            }
+            let now = ctx.now();
+            if now >= give_up_at {
+                ctx.telemetry().counter("sock.op_timeouts").add(1);
+                return Ok(Err(SockError::Timeout));
+            }
+            let mut set = crate::poll::PollSet::new();
+            set.register_conn(self, 0, simnet::Interest::WRITABLE);
+            let events = ok_or_return!(set.poll(ctx, Some(give_up_at.since(now)))?);
+            if events.is_empty() {
+                ctx.telemetry().counter("sock.op_timeouts").add(1);
+                return Ok(Err(SockError::Timeout));
+            }
+        }
     }
 
     /// Nonblocking write: accept what can be sent with the credits (or

@@ -10,7 +10,7 @@
 
 use bytes::Bytes;
 use simnet::emp_trace::{self, EventKind};
-use simnet::{ProcessCtx, SimAccess, SimResult};
+use simnet::{ProcessCtx, SimAccess, SimAccessExt, SimResult};
 
 use crate::config::RecvMode;
 use crate::conn::{DataSlot, SockShared};
@@ -242,6 +242,9 @@ impl SockShared {
             let mut i = self.inner.lock();
             if i.closed {
                 return Ok(Err(SockError::Closed));
+            }
+            if i.poisoned {
+                return Ok(Err(SockError::ResourceExhausted));
             }
             if i.stream_len > 0 {
                 let mut out = Vec::with_capacity(max.min(i.stream_len));
@@ -509,7 +512,7 @@ impl SockShared {
     /// write returns the error immediately — POSIX `POLLOUT` semantics).
     pub(crate) fn stream_writable_now(&self) -> bool {
         let i = self.inner.lock();
-        i.credits > 0 || i.peer_closed || i.write_closed || i.closed
+        i.credits > 0 || i.peer_closed || i.write_closed || i.closed || i.poisoned
     }
 
     /// Drain every completed head data descriptor: append payloads to the
@@ -589,7 +592,18 @@ impl SockShared {
                         i.stream_chunks.push_back(parked);
                     }
                 } else if seq > i.rx_next_seq {
-                    i.rx_ooo.insert(seq, payload);
+                    // Reorder-buffer budget: the payload was EMP-acked, so
+                    // dropping it would corrupt the stream — past the cap
+                    // the connection is poisoned instead and every
+                    // subsequent operation fails with `ResourceExhausted`.
+                    let over = self.proc_.cfg.reorder_cap_bytes.is_some_and(|cap| {
+                        i.rx_ooo.values().map(Bytes::len).sum::<usize>() + payload.len() > cap
+                    });
+                    if over {
+                        i.poisoned = true;
+                    } else {
+                        i.rx_ooo.insert(seq, payload);
+                    }
                 }
                 // seq < rx_next_seq would be a duplicate; EMP's
                 // message-level dedup makes that unreachable, so it is
@@ -621,6 +635,16 @@ impl SockShared {
             }
             if let Some(credits) = send_explicit {
                 explicit_acks.push(credits);
+            }
+            if self.inner.lock().poisoned {
+                // Budget tripped on this message: the popped descriptors
+                // can no longer serve the (now unrecoverable) stream —
+                // recycle their buffers instead of reposting.
+                for r in reposts {
+                    self.proc_.free_range(r);
+                }
+                ctx.telemetry().counter("sock.reorder_cap_trips").add(1);
+                return Ok(Err(SockError::ResourceExhausted));
             }
         }
         // Batch-repost every consumed descriptor to its staging range
@@ -668,6 +692,9 @@ impl SockShared {
         if i.closed || i.write_closed {
             return Err(SockError::Closed);
         }
+        if i.poisoned {
+            return Err(SockError::ResourceExhausted);
+        }
         // Note: a received Close does NOT fail writes here — the peer may
         // only have shut down its write side (its descriptors stay posted
         // and our data still flows, as TCP allows after a FIN). A *fully*
@@ -682,6 +709,10 @@ impl SockShared {
         // Sim instant the first stall began, for the credit-wait histogram
         // (only stalled acquisitions record; the fast path stays free).
         let mut stall_start: Option<u64> = None;
+        // Write-stall detector (the slowloris defence): armed on the
+        // first stall, fires as a typed Timeout if no credit arrives
+        // within the configured patience.
+        let mut stall_timer: Option<simnet::Completion> = None;
         loop {
             self.reap_fcacks(ctx)?;
             let acquired = {
@@ -705,6 +736,18 @@ impl SockShared {
                 return Ok(Ok(()));
             }
             stall_start.get_or_insert(ctx.now().nanos());
+            if let Some(patience) = self.proc_.cfg.write_stall_after {
+                if stall_timer.as_ref().is_some_and(|t| t.is_done()) {
+                    ctx.telemetry().counter("sock.write_stall_timeouts").add(1);
+                    return Ok(Err(SockError::Timeout));
+                }
+                if stall_timer.is_none() {
+                    let t = simnet::Completion::new();
+                    let t2 = t.clone();
+                    ctx.schedule_after(patience, move |s| t2.complete(s));
+                    stall_timer = Some(t);
+                }
+            }
             self.trace(ctx, EventKind::CreditStall, 0, 0);
             // Out of credits: block for the next flow-control ack.
             if self.proc_.cfg.acks_in_unexpected_queue {
@@ -721,13 +764,14 @@ impl SockShared {
                     crate::proto::HEADER,
                     fcack_range,
                 )?;
-                ok_or_return!(self.wait_data_or_ctrl(ctx, h.completion())?);
+                ok_or_return!(self.wait_data_ctrl_or(ctx, h.completion(), stall_timer.as_ref())?);
                 if h.is_done() {
                     if let Some(msg) = self.proc_.ep.wait_recv(ctx, &h)? {
                         ok_or_return!(self.apply_fcack(ctx, &msg.data));
                     }
                 } else {
-                    // Control woke us (close); unpost the straggler.
+                    // Control (close) or the stall timer woke us; unpost
+                    // the straggler.
                     self.proc_.ep.unpost_recv(ctx, &h)?;
                 }
             } else {
@@ -738,7 +782,7 @@ impl SockShared {
                         .map(|h| h.completion().clone())
                         .expect("stream socket pre-posts fc-ack descriptors")
                 };
-                ok_or_return!(self.wait_data_or_ctrl(ctx, &front)?);
+                ok_or_return!(self.wait_data_ctrl_or(ctx, &front, stall_timer.as_ref())?);
                 self.reap_fcacks(ctx)?;
             }
         }

@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex};
 use emp_proto::{build_cluster, EmpConfig};
 use kernel_tcp::{build_tcp_cluster, TcpConfig};
 use simnet::ring::{Cqe, CqeResult, RingConfig, RingCore, RingDriver, RingError, RingOp, Sqe};
-use simnet::{Completion, ProcessCtx, Sim, SimResult, SwitchConfig};
+use simnet::{Completion, ProcessCtx, Sim, SimAccess, SimDuration, SimResult, SwitchConfig};
 use sockets_emp::{EmpRing, EmpSockets, SubstrateConfig};
 
 const PORT: u16 = 80;
@@ -44,7 +44,7 @@ fn fmt_cqe(c: &Cqe) -> String {
 }
 
 fn push<D: RingDriver>(ring: &mut RingCore<D>, user_data: u64, op: RingOp) {
-    ring.push(Sqe { user_data, op }).expect("push admitted");
+    ring.push(Sqe::new(user_data, op)).expect("push admitted");
 }
 
 /// Submit, park until at least `n` completions accumulated, reap them
@@ -533,10 +533,7 @@ fn close_order_server<D: RingDriver>(
     trace.extend(wait_cqes(ctx, ring, 3)?.iter().map(fmt_cqe));
     // The id is retired: later pushes are rejected synchronously.
     assert_eq!(
-        ring.push(Sqe {
-            user_data: 23,
-            op: RingOp::Read { conn: 0, buf: 0 },
-        }),
+        ring.push(Sqe::new(23, RingOp::Read { conn: 0, buf: 0 })),
         Err(RingError::BadTarget(0)),
         "retired connection id must be rejected at push"
     );
@@ -572,6 +569,7 @@ fn push_validation_surfaces_typed_errors() {
         cq_depth: 3,
         buf_count: 4,
         buf_size: 64,
+        max_registered_bytes: None,
     };
     let server = move |ctx: &ProcessCtx, ring: &mut EmpRing| {
         // A wait with nothing committed can never end: typed error.
@@ -584,31 +582,25 @@ fn push_validation_surfaces_typed_errors() {
         let cqes = wait_cqes(ctx, ring, 1)?;
         assert!(matches!(cqes[0].result, CqeResult::Accepted { conn: 0 }));
 
-        let read = |buf| Sqe {
-            user_data: 40,
-            op: RingOp::Read { conn: 0, buf },
-        };
+        let read = |buf| Sqe::new(40, RingOp::Read { conn: 0, buf });
         ring.push(read(0)).expect("first read admitted");
         // The same registered buffer cannot back two in-flight ops.
         assert_eq!(ring.push(read(0)), Err(RingError::BufInFlight(0)));
         assert_eq!(ring.push(read(99)), Err(RingError::BadBuf(99)));
         assert_eq!(
-            ring.push(Sqe {
-                user_data: 41,
-                op: RingOp::Write {
+            ring.push(Sqe::new(
+                41,
+                RingOp::Write {
                     conn: 0,
                     buf: 1,
                     len: 65,
                 },
-            }),
+            )),
             Err(RingError::BadLen { buf: 1, len: 65 }),
             "write longer than the registered buffer"
         );
         assert_eq!(
-            ring.push(Sqe {
-                user_data: 42,
-                op: RingOp::Read { conn: 7, buf: 1 },
-            }),
+            ring.push(Sqe::new(42, RingOp::Read { conn: 7, buf: 1 })),
             Err(RingError::BadTarget(7)),
             "unknown connection id"
         );
@@ -617,10 +609,7 @@ fn push_validation_surfaces_typed_errors() {
         push(ring, 43, RingOp::Read { conn: 0, buf: 1 });
         push(ring, 44, RingOp::Read { conn: 0, buf: 2 });
         assert_eq!(
-            ring.push(Sqe {
-                user_data: 45,
-                op: RingOp::Read { conn: 0, buf: 3 },
-            }),
+            ring.push(Sqe::new(45, RingOp::Read { conn: 0, buf: 3 })),
             Err(RingError::CqOverflow),
             "admitting a 4th op could overflow the 3-deep CQ"
         );
@@ -636,6 +625,7 @@ fn push_validation_surfaces_typed_errors() {
         cq_depth: 8,
         buf_count: 4,
         buf_size: 64,
+        max_registered_bytes: None,
     };
     let server = move |ctx: &ProcessCtx, ring: &mut EmpRing| {
         push(ring, 1, RingOp::Accept { listener: 0 });
@@ -644,10 +634,7 @@ fn push_validation_surfaces_typed_errors() {
         push(ring, 50, RingOp::Read { conn: 0, buf: 0 });
         push(ring, 51, RingOp::Read { conn: 0, buf: 1 });
         assert_eq!(
-            ring.push(Sqe {
-                user_data: 52,
-                op: RingOp::Read { conn: 0, buf: 2 },
-            }),
+            ring.push(Sqe::new(52, RingOp::Read { conn: 0, buf: 2 })),
             Err(RingError::SqFull),
             "third unsubmitted push overflows the 2-deep SQ"
         );
@@ -773,6 +760,7 @@ fn echo_cfg() -> RingConfig {
         cq_depth: 4 * ECHO_CONNS + 8,
         buf_count: ECHO_CONNS + 4,
         buf_size: 4096,
+        max_registered_bytes: None,
     }
 }
 
@@ -796,4 +784,159 @@ fn echo_32_connections_byte_exact_on_kernel() {
         echo_client::<kernel_tcp::TcpConn>,
     );
     assert_eq!(trace, vec![format!("served({ECHO_CONNS})")]);
+}
+
+// --- per-op deadlines: a deadlined Sqe fires Timeout while ops on
+// --- other targets proceed, and head-of-line releases afterwards ----
+
+fn deadline_server<D: RingDriver>(
+    ctx: &ProcessCtx,
+    ring: &mut RingCore<D>,
+) -> SimResult<Vec<String>> {
+    let mut trace = Vec::new();
+    let ms = SimDuration::from_millis;
+    push(ring, 1, RingOp::Accept { listener: 0 });
+    trace.extend(wait_cqes(ctx, ring, 1)?.iter().map(fmt_cqe));
+
+    // A deadlined accept nobody will ever satisfy, alongside a read the
+    // client answers at ~1 ms. The read must complete on schedule — the
+    // stalled accept is on a different target and cannot block it —
+    // and the accept must then expire as a typed Timeout at 5 ms.
+    ring.push(Sqe::new(20, RingOp::Accept { listener: 0 }).with_deadline(ctx.now() + ms(5)))
+        .expect("push deadlined accept");
+    push(ring, 21, RingOp::Read { conn: 0, buf: 0 });
+    trace.extend(wait_cqes(ctx, ring, 2)?.iter().map(fmt_cqe));
+
+    // A deadlined read the client never satisfies, with a write queued
+    // behind it on the same connection: per-target FIFO holds the write
+    // until the deadline retires the read, then the write proceeds.
+    ring.fill(2, &[7; 4]).expect("fill");
+    ring.push(Sqe::new(22, RingOp::Read { conn: 0, buf: 1 }).with_deadline(ctx.now() + ms(5)))
+        .expect("push deadlined read");
+    push(
+        ring,
+        23,
+        RingOp::Write {
+            conn: 0,
+            buf: 2,
+            len: 4,
+        },
+    );
+    trace.extend(wait_cqes(ctx, ring, 2)?.iter().map(fmt_cqe));
+
+    push(ring, 24, RingOp::Close { conn: 0 });
+    trace.extend(wait_cqes(ctx, ring, 1)?.iter().map(fmt_cqe));
+    Ok(trace)
+}
+
+fn deadline_client<C: ConfClient>(ctx: &ProcessCtx, _i: usize, c: &C) -> SimResult<()> {
+    ctx.delay(SimDuration::from_millis(1))?;
+    c.send_all(ctx, &[9; 4])?;
+    let got = c.recv_exact(ctx, 4)?;
+    assert_eq!(got, [7; 4], "post-timeout write corrupted");
+    c.shut(ctx)
+}
+
+fn deadline_trace() -> Vec<String> {
+    vec![
+        "1:accepted(0)".to_string(),
+        "21:read(b0,4)".to_string(),
+        "20:failed(Timeout)".to_string(),
+        "22:failed(Timeout)".to_string(),
+        "23:wrote(b2,4)".to_string(),
+        "24:closed(0)".to_string(),
+    ]
+}
+
+#[test]
+fn deadlined_sqes_time_out_while_other_targets_proceed_on_both_stacks() {
+    let cfg = RingConfig::default();
+    let emp = run_emp(
+        1,
+        cfg,
+        deadline_server,
+        deadline_client::<sockets_emp::Connection>,
+    );
+    let tcp = run_tcp(
+        1,
+        cfg,
+        deadline_server,
+        deadline_client::<kernel_tcp::TcpConn>,
+    );
+    assert_eq!(emp, deadline_trace(), "substrate deadline trace");
+    assert_eq!(tcp, deadline_trace(), "kernel deadline trace");
+}
+
+// --- ring deadlines compose with the substrate's connection-level
+// --- timeout knobs (connect timeout, peer watchdog) -----------------
+
+#[test]
+fn ring_deadlines_fire_under_connect_timeout_and_peer_watchdog() {
+    let ms = SimDuration::from_millis;
+    let sim = Sim::new();
+    let cl = build_cluster(2, EmpConfig::default(), SwitchConfig::default());
+    // Both overload knobs armed: the connect path carries a 50 ms
+    // deadline, blocking waits a 20 ms ack-starvation watchdog. Ring
+    // deadlines are shorter than both and must fire independently.
+    let cfg = SubstrateConfig::ds_da_uq()
+        .with_connect_timeout(ms(50))
+        .with_peer_watchdog(ms(20));
+    let ssub = EmpSockets::new(cl.nodes[1].endpoint(), cfg.clone());
+    let csub = EmpSockets::new(cl.nodes[0].endpoint(), cfg);
+    let addr = sockets_emp::SockAddr::new(cl.nodes[1].addr(), PORT);
+    let done = Completion::new();
+    let cdone = Completion::new();
+    let (d2, cd2) = (done.clone(), cdone.clone());
+
+    sim.spawn("watchdog-ring-server", move |ctx| {
+        let l = ssub.listen(ctx, PORT, 4)?.expect("port free");
+        let mut ring = sockets_emp::ring::ring(RingConfig::default(), "wd-ring");
+        ring.add_listener(l);
+        push(&mut ring, 1, RingOp::Accept { listener: 0 });
+        let cqes = wait_cqes(ctx, &mut ring, 1)?;
+        assert!(matches!(cqes[0].result, CqeResult::Accepted { conn: 0 }));
+
+        // The client stays silent for 10 ms — longer than the 5 ms ring
+        // deadline, shorter than the 20 ms watchdog. The deadline wins
+        // and the connection survives it.
+        let t0 = ctx.now();
+        ring.push(Sqe::new(20, RingOp::Read { conn: 0, buf: 0 }).with_deadline(t0 + ms(5)))
+            .expect("push deadlined read");
+        let cqes = wait_cqes(ctx, &mut ring, 1)?;
+        assert!(
+            matches!(
+                cqes[0].result,
+                CqeResult::Failed {
+                    err: simnet::ring::OpError::Timeout
+                }
+            ),
+            "5 ms ring deadline must fire before the 20 ms watchdog: {cqes:?}"
+        );
+        assert_eq!(ctx.now().since(t0), ms(5), "deadline fired off schedule");
+
+        // The connection is still live: a fresh undeadlined read picks
+        // up the client's (late) payload.
+        push(&mut ring, 21, RingOp::Read { conn: 0, buf: 0 });
+        let cqes = wait_cqes(ctx, &mut ring, 1)?;
+        assert!(
+            matches!(cqes[0].result, CqeResult::Read { buf: 0, len: 4 }),
+            "post-deadline read must still deliver: {cqes:?}"
+        );
+        push(&mut ring, 22, RingOp::Close { conn: 0 });
+        let _ = wait_cqes(ctx, &mut ring, 1)?;
+        finish_ring(ctx, &mut ring)?;
+        d2.complete(ctx);
+        Ok(())
+    });
+    sim.spawn("watchdog-ring-client", move |ctx| {
+        let conn = csub.connect(ctx, addr)?.expect("connect under deadline");
+        ctx.delay(ms(10))?;
+        conn.write(ctx, &[5; 4])?.expect("late write");
+        conn.close(ctx)?;
+        cd2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done(), "server did not finish");
+    assert!(cdone.is_done(), "client did not finish");
 }

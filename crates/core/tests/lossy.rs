@@ -322,16 +322,14 @@ fn ring_exchange(faults: FaultPlan, total: usize, chunk: usize) {
             cq_depth: 16,
             buf_count: 4,
             buf_size: 8192,
+            max_registered_bytes: None,
         };
         let l = server.listen(ctx, 80, 4)?.expect("port free");
         let mut ring = sockets_emp::ring::ring(cfg, "lossy-ring");
         assert_eq!(ring.add_listener(l), 0);
 
-        ring.push(Sqe {
-            user_data: 0,
-            op: RingOp::Accept { listener: 0 },
-        })
-        .expect("push accept");
+        ring.push(Sqe::new(0, RingOp::Accept { listener: 0 }))
+            .expect("push accept");
         ring.submit_and_wait(ctx, 1)?.expect("accept committed");
         let cqes = ring.reap(usize::MAX);
         assert!(
@@ -343,11 +341,8 @@ fn ring_exchange(faults: FaultPlan, total: usize, chunk: usize) {
         // connection; per-target FIFO order makes reassembly trivial.
         let mut ud = 1u64;
         for b in 0..cfg.buf_count as u32 {
-            ring.push(Sqe {
-                user_data: ud,
-                op: RingOp::Read { conn: 0, buf: b },
-            })
-            .expect("arm read");
+            ring.push(Sqe::new(ud, RingOp::Read { conn: 0, buf: b }))
+                .expect("arm read");
             ud += 1;
         }
         let mut got = Vec::with_capacity(total);
@@ -359,11 +354,8 @@ fn ring_exchange(faults: FaultPlan, total: usize, chunk: usize) {
                     CqeResult::Read { buf, len } => {
                         got.extend_from_slice(&ring.buf(buf).expect("registered")[..len as usize]);
                         if final_seq.is_none() {
-                            ring.push(Sqe {
-                                user_data: ud,
-                                op: RingOp::Read { conn: 0, buf },
-                            })
-                            .expect("re-arm read");
+                            ring.push(Sqe::new(ud, RingOp::Read { conn: 0, buf }))
+                                .expect("re-arm read");
                             ud += 1;
                         }
                     }
@@ -386,11 +378,8 @@ fn ring_exchange(faults: FaultPlan, total: usize, chunk: usize) {
 
         // Retire the connection: still-armed reads behind the EOF drain
         // as further Close completions, then the Close op itself lands.
-        ring.push(Sqe {
-            user_data: ud,
-            op: RingOp::Close { conn: 0 },
-        })
-        .expect("push close");
+        ring.push(Sqe::new(ud, RingOp::Close { conn: 0 }))
+            .expect("push close");
         ring.submit(ctx)?;
         let _ = ring.reap(usize::MAX);
         ring.shutdown(ctx)?;
@@ -484,9 +473,9 @@ fn ring_moves_a_megabyte_across_link_outages() {
 #[test]
 fn connect_to_a_dead_peer_times_out_within_the_deadline() {
     let sim = Sim::new();
-    let cl = faulty_cluster(2, FaultPlan::none());
-    // Node 1 never runs a process: the connection request is never
-    // matched, EMP retransmits into silence.
+    // The wire swallows every frame: the connection request never
+    // arrives anywhere, EMP retransmits into silence until the deadline.
+    let cl = faulty_cluster(2, FaultPlan::seeded(9).with_drop_prob(1.0));
     let deadline = SimDuration::from_millis(50);
     let client = substrate(&cl, 0, SubstrateConfig::ds().with_connect_timeout(deadline));
     let addr = SockAddr::new(cl.nodes[1].addr(), 80);
@@ -504,6 +493,38 @@ fn connect_to_a_dead_peer_times_out_within_the_deadline() {
         assert!(
             waited <= deadline + SimDuration::from_millis(1),
             "timeout overshot the deadline: {waited:?}"
+        );
+        done2.complete(ctx);
+        Ok(())
+    });
+    sim.run();
+    assert!(done.is_done());
+}
+
+#[test]
+fn connect_to_a_live_nic_with_no_listener_is_refused_not_timed_out() {
+    let sim = Sim::new();
+    let cl = faulty_cluster(2, FaultPlan::none());
+    // Node 1's NIC is alive but no process ever listens: the connection
+    // request finds no posted descriptor and is NACKed immediately —
+    // the typed refusal, not a deadline-long hang.
+    let deadline = SimDuration::from_millis(50);
+    let client = substrate(&cl, 0, SubstrateConfig::ds().with_connect_timeout(deadline));
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let done2 = done.clone();
+
+    sim.spawn("client", move |ctx| {
+        let t0 = ctx.now();
+        let r = client.connect(ctx, addr)?;
+        let Err(err) = r else {
+            panic!("must not connect")
+        };
+        assert_eq!(err, SockError::ConnectionRefused);
+        let waited = ctx.now() - t0;
+        assert!(
+            waited < deadline,
+            "refusal must land well before the connect deadline: {waited:?}"
         );
         done2.complete(ctx);
         Ok(())
@@ -688,4 +709,158 @@ fn dgram_sender_survives_a_receiver_crash_mid_rendezvous() {
     });
     sim.run();
     assert!(done.is_done());
+}
+
+// ---- connect/disconnect churn: admission control under a hostile wire ----
+
+/// The churn preset: a storm of short-lived connections against a
+/// 2-deep accept queue, over a wire that drops 10% of frames and goes
+/// fully dark for 1 ms out of every 10 ms. Every client either gets a
+/// typed refusal/timeout or delivers its payload byte-exact — no third
+/// outcome, no leaked connection state on either station.
+#[test]
+fn connect_churn_over_a_lossy_wire_keeps_survivors_byte_exact() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    const CLIENTS: usize = 12;
+    const PAYLOAD: usize = 2048;
+    let ms = SimDuration::from_millis;
+
+    let sim = Sim::new();
+    let cl = faulty_cluster(
+        2,
+        FaultPlan::seeded(0xC4)
+            .with_drop_prob(0.10)
+            .with_down_schedule(ms(10), ms(1)),
+    );
+    let server = substrate(&cl, 1, SubstrateConfig::ds_da_uq());
+    let client = substrate(
+        &cl,
+        0,
+        SubstrateConfig::ds_da_uq().with_connect_timeout(ms(30)),
+    );
+    let addr = SockAddr::new(cl.nodes[1].addr(), 80);
+    let done = Completion::new();
+    let d2 = done.clone();
+    let finished = Arc::new(AtomicUsize::new(0));
+    let served = Arc::new(AtomicUsize::new(0));
+    let zombies = Arc::new(AtomicUsize::new(0));
+    let refused = Arc::new(AtomicUsize::new(0));
+    let timed_out = Arc::new(AtomicUsize::new(0));
+    let (srv2, fin2, zom2) = (
+        Arc::clone(&served),
+        Arc::clone(&finished),
+        Arc::clone(&zombies),
+    );
+
+    let server2 = server.clone();
+    sim.spawn("churn-server", move |ctx| {
+        // Backlog 2 against 12 staggered clients: overflow is the point.
+        let l = server2.listen(ctx, 80, 2)?.expect("port free");
+        loop {
+            match l.accept_deadline(ctx, ms(5))? {
+                Ok(conn) => {
+                    // Serve serially — the slow consumer is what makes
+                    // the accept queue overflow under the storm. Reads
+                    // carry a deadline: a connect whose final ack died
+                    // in a down window leaves a half-open connection
+                    // (the client already gave up) that would otherwise
+                    // wedge the server forever.
+                    let mut got = Vec::with_capacity(1 + PAYLOAD);
+                    let dead = loop {
+                        match conn.read_deadline(ctx, 4096, ms(25))? {
+                            Ok(m) if m.is_empty() => break false,
+                            Ok(m) => got.extend_from_slice(&m),
+                            Err(SockError::Timeout) => break true,
+                            Err(other) => panic!("read failed oddly: {other:?}"),
+                        }
+                    };
+                    if dead {
+                        assert!(
+                            got.is_empty(),
+                            "a live client must never stall mid-stream for 25 ms"
+                        );
+                        conn.close(ctx)?;
+                        zom2.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let idx = usize::from(got[0]);
+                    assert_eq!(got.len(), 1 + PAYLOAD, "client {idx} truncated");
+                    for (i, b) in got[1..].iter().enumerate() {
+                        assert_eq!(*b, pat(idx, i), "client {idx} byte {i} corrupted");
+                    }
+                    conn.close(ctx)?;
+                    srv2.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(SockError::Timeout) => {
+                    if fin2.load(Ordering::Relaxed) == CLIENTS {
+                        break;
+                    }
+                }
+                Err(other) => panic!("accept failed oddly: {other:?}"),
+            }
+        }
+        d2.complete(ctx);
+        Ok(())
+    });
+
+    for i in 0..CLIENTS {
+        let (sub, fin) = (client.clone(), Arc::clone(&finished));
+        let (refu, timo) = (Arc::clone(&refused), Arc::clone(&timed_out));
+        sim.spawn(format!("churn-client-{i}"), move |ctx| {
+            ctx.delay(SimDuration::from_millis(2) * (i as u64))?;
+            match sub.connect(ctx, addr)? {
+                Ok(conn) => {
+                    let mut msg = vec![i as u8];
+                    msg.extend_from_slice(&pattern(i, PAYLOAD));
+                    let mut rest = &msg[..];
+                    while !rest.is_empty() {
+                        let n = conn.write(ctx, rest)?.expect("survivor write");
+                        rest = &rest[n..];
+                    }
+                    conn.close(ctx)?;
+                }
+                Err(SockError::ConnectionRefused) => {
+                    refu.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(SockError::Timeout) => {
+                    timo.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(other) => panic!("connect failed oddly: {other:?}"),
+            }
+            fin.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+    }
+    sim.run();
+    assert!(done.is_done(), "server never drained the churn");
+
+    use std::sync::atomic::Ordering::Relaxed;
+    let (s, r, t) = (
+        served.load(Relaxed),
+        refused.load(Relaxed),
+        timed_out.load(Relaxed),
+    );
+    let z = zombies.load(Relaxed);
+    assert_eq!(
+        s + r + t,
+        CLIENTS,
+        "every client must land in exactly one bucket: served={s} refused={r} timed_out={t}"
+    );
+    assert!(s > 0, "the storm must not refuse everyone (served={s})");
+    assert!(
+        r + t > 0,
+        "a 2-deep backlog under 12 clients and a dark wire must shed someone"
+    );
+    // A half-open connection can only come from a timed-out connect
+    // whose request had in fact been admitted before the ack died.
+    assert!(
+        z <= t,
+        "zombies ({z}) in excess of timed-out connects ({t})"
+    );
+    // No half-open state survives: both stations' tables drain to zero.
+    assert_eq!(server.stats().connections, 0, "server leaked connections");
+    assert_eq!(server.stats().listeners, 1, "listener itself stays");
+    assert_eq!(client.stats().connections, 0, "client leaked connections");
 }

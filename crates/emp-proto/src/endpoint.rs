@@ -35,6 +35,14 @@ impl SendHandle {
         *self.state.ok.lock()
     }
 
+    /// True when the send failed because the peer NIC *refused* it (a
+    /// `no_uq` message that matched no descriptor), as opposed to failing
+    /// after silence. Meaningful once [`SendHandle::status`] is
+    /// `Some(false)`.
+    pub fn refused(&self) -> bool {
+        *self.state.refused.lock()
+    }
+
     /// The completion to block on.
     pub fn completion(&self) -> &simnet::Completion {
         &self.state.completion
@@ -131,7 +139,24 @@ impl EmpEndpoint {
         data: Bytes,
         buf: VirtRange,
     ) -> SimResult<SendHandle> {
-        self.post_send_buf(ctx, dst, tag, TxBuf::one(data), buf)
+        self.post_send_buf(ctx, dst, tag, TxBuf::one(data), buf, false)
+    }
+
+    /// [`EmpEndpoint::post_send`], but the message is flagged `no_uq`: it
+    /// must match a pre-posted descriptor at the receiver, and an
+    /// unmatched delivery comes back as an explicit refusal (the handle
+    /// completes unacknowledged with [`SendHandle::refused`] set) instead
+    /// of parking in the unexpected queue or timing out in silence. The
+    /// admission-control send — connection requests use it.
+    pub fn post_send_refusable(
+        &self,
+        ctx: &ProcessCtx,
+        dst: MacAddr,
+        tag: Tag,
+        data: Bytes,
+        buf: VirtRange,
+    ) -> SimResult<SendHandle> {
+        self.post_send_buf(ctx, dst, tag, TxBuf::one(data), buf, true)
     }
 
     /// [`EmpEndpoint::post_send`] with the message as a header + payload
@@ -146,7 +171,7 @@ impl EmpEndpoint {
         payload: Bytes,
         buf: VirtRange,
     ) -> SimResult<SendHandle> {
-        self.post_send_buf(ctx, dst, tag, TxBuf::pair(header, payload), buf)
+        self.post_send_buf(ctx, dst, tag, TxBuf::pair(header, payload), buf, false)
     }
 
     fn post_send_buf(
@@ -156,12 +181,13 @@ impl EmpEndpoint {
         tag: Tag,
         data: TxBuf,
         buf: VirtRange,
+        no_uq: bool,
     ) -> SimResult<SendHandle> {
         let cfg = self.nic.cfg();
         let (pin, _) = self.host.memory().lock().register(buf, self.host.cost());
         ctx.delay(cfg.desc_build + pin + self.host.cost().doorbell_write)?;
         self.trace(ctx, EventKind::TxDoorbell, data.len() as u64, 0);
-        let state = self.nic.start_send(ctx, dst, tag, data);
+        let state = self.nic.start_send(ctx, dst, tag, data, no_uq);
         Ok(SendHandle { state })
     }
 

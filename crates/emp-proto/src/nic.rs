@@ -48,6 +48,14 @@ pub struct EmpStats {
     pub sends_failed: u64,
     /// Protocol acks put on the wire.
     pub acks_sent: u64,
+    /// Negative acknowledgments put on the wire (busy backpressure and
+    /// refusals of `no_uq` messages that matched nothing).
+    pub nacks_sent: u64,
+    /// Negative acknowledgments received from peers.
+    pub nacks_received: u64,
+    /// Sends refused by the peer NIC (a `no_uq` message matched no
+    /// descriptor there) — a subset of `sends_failed`.
+    pub sends_refused: u64,
     /// Messages that completed through the unexpected queue.
     pub unexpected_msgs: u64,
     /// Total descriptors examined by the tag matcher (walk length sum).
@@ -65,6 +73,9 @@ pub struct EmpStats {
 pub struct SendState {
     pub(crate) completion: Completion,
     pub(crate) ok: Arc<Mutex<Option<bool>>>,
+    /// Set (before `ok`) when the failure was an explicit peer refusal
+    /// (a `no_uq` message the peer NIC NACKed), as opposed to silence.
+    pub(crate) refused: Arc<Mutex<bool>>,
 }
 
 impl SendState {
@@ -72,6 +83,7 @@ impl SendState {
         SendState {
             completion: Completion::new(),
             ok: Arc::new(Mutex::new(None)),
+            refused: Arc::new(Mutex::new(false)),
         }
     }
 }
@@ -150,6 +162,9 @@ struct TxRecord {
     dst: MacAddr,
     tag: Tag,
     data: TxBuf,
+    /// This message may not park in the receiver's unexpected queue; an
+    /// unmatched delivery comes back as a refusal NACK.
+    no_uq: bool,
     num_frames: u32,
     /// Sim time (ns) the host posted the send — start of the
     /// per-message latency measured at final ack.
@@ -417,7 +432,14 @@ impl EmpNic {
     /// Accept a host send request (T1 has already been paid by the host;
     /// this starts the firmware side). Returns the send's host-visible
     /// state.
-    pub fn start_send(&self, s: &dyn SimAccess, dst: MacAddr, tag: Tag, data: TxBuf) -> SendState {
+    pub fn start_send(
+        &self,
+        s: &dyn SimAccess,
+        dst: MacAddr,
+        tag: Tag,
+        data: TxBuf,
+        no_uq: bool,
+    ) -> SendState {
         self.ensure_telemetry(s);
         let state = SendState::new();
         let msg_id = {
@@ -431,6 +453,7 @@ impl EmpNic {
                     dst,
                     tag,
                     data,
+                    no_uq,
                     num_frames,
                     posted_ns: s.now().nanos(),
                     next_to_send: 0,
@@ -495,6 +518,7 @@ impl EmpNic {
                             frame_idx: idx,
                             num_frames: rec.num_frames,
                             total_len: rec.data.len() as u32,
+                            no_uq: rec.no_uq,
                             chunk: rec.data.slice(a, b),
                         }),
                     });
@@ -783,6 +807,7 @@ impl EmpNic {
             frame_idx,
             num_frames,
             total_len,
+            no_uq,
             chunk,
         } = wire
         else {
@@ -799,6 +824,7 @@ impl EmpNic {
                 walked: 0,
                 dma_bytes: 0,
                 ack: Some((src, *msg_id, frames)),
+                nack: None,
                 deliver: None,
             };
         }
@@ -816,6 +842,7 @@ impl EmpNic {
                     walked: 0,
                     dma_bytes: 0,
                     ack: Some((src, *msg_id, contiguous)),
+                    nack: None,
                     deliver: None,
                 };
             }
@@ -829,6 +856,7 @@ impl EmpNic {
                 walked: 0,
                 dma_bytes: chunk.len(),
                 ack,
+                nack: None,
                 deliver: None,
             };
         }
@@ -876,6 +904,24 @@ impl EmpNic {
                 self.trace(sim, EventKind::DescConsume, desc.id, u64::from(*total_len));
                 RecvDest::Desc(desc.state)
             }
+            None if *no_uq => {
+                // A no-park message matched nothing: refuse it outright.
+                // This is the admission-control path — a connection
+                // request hitting a full backlog (or no listener) fails
+                // deterministically at the requester instead of camping
+                // in the unexpected queue.
+                st.stats.frames_dropped += 1;
+                if emp_trace::ENABLED {
+                    self.trace(sim, EventKind::FrameDrop, chunk.len() as u64, 0);
+                }
+                return RxPhase2 {
+                    walked,
+                    dma_bytes: 0,
+                    ack: None,
+                    nack: Some((src, *msg_id, false)),
+                    deliver: None,
+                };
+            }
             None => {
                 // Unexpected queue: checked after the whole pre-posted list.
                 if st.unexpected_in_use < st.unexpected_capacity {
@@ -884,6 +930,9 @@ impl EmpNic {
                     self.trace(sim, EventKind::UqHit, u64::from(*total_len), 0);
                     RecvDest::Unexpected
                 } else {
+                    // Transient exhaustion: the frame is lost, but the
+                    // sender hears an explicit busy NACK (backpressure)
+                    // instead of waiting out its retransmission timer.
                     st.stats.frames_dropped += 1;
                     if emp_trace::ENABLED {
                         self.trace(sim, EventKind::UqOverflow, u64::from(*total_len), 0);
@@ -893,6 +942,7 @@ impl EmpNic {
                         walked,
                         dma_bytes: 0,
                         ack: None,
+                        nack: Some((src, *msg_id, true)),
                         deliver: None,
                     };
                 }
@@ -920,6 +970,7 @@ impl EmpNic {
             walked,
             dma_bytes: chunk.len(),
             ack,
+            nack: None,
             deliver: None,
         }
     }
@@ -970,6 +1021,7 @@ impl EmpNic {
             walked,
             dma_bytes: last_chunk,
             ack,
+            nack: None,
             deliver: Some(deliver),
         }
     }
@@ -1052,6 +1104,72 @@ impl EmpNic {
                 me.tigon.send_frame(sim, frame);
             });
     }
+
+    /// Put a negative acknowledgment on the wire (same tx-CPU cost as an
+    /// ack — it is the same kind of firmware-generated control frame).
+    fn send_nack(&self, s: &dyn SimAccess, dst: MacAddr, msg_id: u64, busy: bool) {
+        self.state.lock().stats.nacks_sent += 1;
+        let me = self.arc();
+        let frame = Frame {
+            src: self.mac(),
+            dst,
+            ethertype: EtherType::EMP,
+            payload: wire_payload(EmpWire::Nack { msg_id, busy }),
+        };
+        self.tigon
+            .cpu_tx
+            .exec(s, self.cfg.nic.ack_cost, move |sim| {
+                me.tigon.send_frame(sim, frame);
+            });
+    }
+
+    /// React to a peer's negative acknowledgment. `busy` is transient
+    /// exhaustion: rewind the unacknowledged frames and release again
+    /// after a short pause (explicit backpressure, cheaper than waiting
+    /// out the retransmission timer). `!busy` is a refusal: the send
+    /// fails immediately with the `refused` flag set, which the host
+    /// maps to `ConnectionRefused`.
+    fn process_nack(&self, sim: &Sim, msg_id: u64, busy: bool) {
+        if busy {
+            {
+                let mut st = self.state.lock();
+                st.stats.nacks_received += 1;
+                let Some(rec) = st.tx.get_mut(&msg_id) else {
+                    return; // already completed or abandoned
+                };
+                let rewound = rec.next_to_send - rec.acked;
+                if rewound == 0 {
+                    return; // nothing outstanding (already rewound)
+                }
+                rec.next_to_send = rec.acked;
+                st.tx_inflight -= rewound;
+                st.stats.frames_retransmitted += u64::from(rewound);
+                if !st.tx_order.contains(&msg_id) {
+                    st.tx_order.push_front(msg_id);
+                }
+            }
+            let me = self.arc();
+            let pause = SimDuration::from_nanos(self.cfg.retransmit_timeout.nanos() / 4);
+            sim.schedule_after(pause, move |sim| me.release_tx(sim));
+        } else {
+            let state = {
+                let mut st = self.state.lock();
+                st.stats.nacks_received += 1;
+                let Some(rec) = st.tx.remove(&msg_id) else {
+                    return; // duplicate refusal
+                };
+                st.tx_inflight -= rec.next_to_send - rec.acked;
+                st.tx_order.retain(|&id| id != msg_id);
+                st.stats.sends_failed += 1;
+                st.stats.sends_refused += 1;
+                rec.state
+            };
+            *state.refused.lock() = true;
+            *state.ok.lock() = Some(false);
+            state.completion.complete(sim);
+            self.release_tx(sim);
+        }
+    }
 }
 
 /// Work computed by the rx matching phase, executed as the second rx task.
@@ -1059,6 +1177,8 @@ struct RxPhase2 {
     walked: usize,
     dma_bytes: usize,
     ack: Option<(MacAddr, u64, u32)>,
+    /// A negative acknowledgment to put on the wire: `(dst, msg_id, busy)`.
+    nack: Option<(MacAddr, u64, bool)>,
     deliver: Option<Deliver>,
 }
 
@@ -1096,13 +1216,24 @@ impl FrameSink for EmpNic {
                         me.process_ack(sim, msg_id, frames);
                     });
             }
-            EmpWire::Data { .. } => {
+            EmpWire::Nack { msg_id, busy } => {
+                let me = self.arc();
+                self.tigon
+                    .cpu_rx
+                    .exec(s, self.cfg.nic.ack_cost, move |sim| {
+                        me.process_nack(sim, msg_id, busy);
+                    });
+            }
+            EmpWire::Data { msg_id, .. } => {
                 // Injected NIC fault: the receive-descriptor ring is
                 // exhausted, so the frame has nowhere to land and is lost
-                // before the firmware sees it. The sender's retransmission
-                // machinery recovers, exactly as for wire loss.
+                // before the firmware even classifies it. The loss is no
+                // longer silent: the hardware path answers with a busy
+                // NACK so the sender rewinds under explicit backpressure
+                // instead of waiting out its retransmission timer.
                 if self.tigon.inject_rx_ring_exhausted() {
                     self.trace(s, EventKind::NicFault, 0, frame.payload.wire_len() as u64);
+                    self.send_nack(s, frame.src, msg_id, true);
                     return;
                 }
                 self.trace(s, EventKind::NicRxStart, frame.payload.wire_len() as u64, 0);
@@ -1142,6 +1273,9 @@ impl FrameSink for EmpNic {
                             }
                             if let Some((dst, msg_id, frames)) = phase2.ack {
                                 me2.send_ack(sim, dst, msg_id, frames);
+                            }
+                            if let Some((dst, msg_id, busy)) = phase2.nack {
+                                me2.send_nack(sim, dst, msg_id, busy);
                             }
                             match phase2.deliver {
                                 Some(Deliver::Host { state, msg }) => {

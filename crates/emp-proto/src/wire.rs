@@ -55,6 +55,13 @@ pub enum EmpWire {
         num_frames: u32,
         /// Total message length in bytes.
         total_len: u32,
+        /// Header flag: this message must match a pre-posted descriptor
+        /// — it may never park in the unexpected queue. An unmatched
+        /// `no_uq` message is refused with an explicit [`EmpWire::Nack`]
+        /// instead, which is how a connection request to a full backlog
+        /// (or no listener at all) fails deterministically rather than
+        /// camping in the receiver's pool.
+        no_uq: bool,
         /// The fragment's bytes (a cheap slice of the message buffer —
         /// EMP is zero-copy, and so is the simulation of it).
         chunk: Bytes,
@@ -69,6 +76,17 @@ pub enum EmpWire {
         /// Cumulative fragments received.
         frames: u32,
     },
+    /// Negative acknowledgment: the receiving NIC could not take the
+    /// message. Generated and consumed by the NICs, like [`EmpWire::Ack`].
+    Nack {
+        /// The rejected message (sender-local id).
+        msg_id: u64,
+        /// `true`: transient exhaustion (rx ring / unexpected queue full)
+        /// — the sender should back off and retransmit. `false`: the
+        /// message was *refused* (a `no_uq` message matched nothing) —
+        /// the sender must fail the send immediately.
+        busy: bool,
+    },
 }
 
 impl EmpWire {
@@ -76,7 +94,7 @@ impl EmpWire {
     pub fn wire_len(&self) -> usize {
         match self {
             EmpWire::Data { chunk, .. } => DATA_HEADER + chunk.len(),
-            EmpWire::Ack { .. } => ACK_WIRE,
+            EmpWire::Ack { .. } | EmpWire::Nack { .. } => ACK_WIRE,
         }
     }
 }
@@ -132,6 +150,7 @@ mod tests {
             frame_idx: 0,
             num_frames: 1,
             total_len: 0,
+            no_uq: false,
             chunk: Bytes::new(),
         };
         assert_eq!(w.wire_len(), DATA_HEADER);
@@ -145,6 +164,7 @@ mod tests {
             frame_idx: 0,
             num_frames: 1,
             total_len: 100,
+            no_uq: false,
             chunk: Bytes::from(vec![0u8; 100]),
         };
         assert_eq!(w.wire_len(), 120);
@@ -160,6 +180,7 @@ mod tests {
             frame_idx: 0,
             num_frames: 1,
             total_len: MAX_CHUNK as u32,
+            no_uq: false,
             chunk: Bytes::from(vec![0u8; MAX_CHUNK]),
         };
         assert_eq!(w.wire_len(), MTU);

@@ -33,6 +33,7 @@ proptest! {
             frame_idx: idx,
             num_frames: n,
             total_len: len as u32,
+            no_uq: false,
             chunk: bytes::Bytes::from(vec![0u8; b - a]),
         };
         prop_assert!(w.wire_len() <= MTU);

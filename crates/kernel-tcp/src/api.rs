@@ -69,6 +69,24 @@ impl TcpApi {
         }))
     }
 
+    /// [`Self::connect`] bounded by `deadline`: fails with
+    /// [`TcpError::Timeout`] when the handshake has not completed in time
+    /// (refusal stays the distinct [`TcpError::ConnectionRefused`]).
+    pub fn connect_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        remote: SockAddr,
+        deadline: SimDuration,
+    ) -> SimResult<Result<TcpConn, TcpError>> {
+        Ok(self
+            .stack
+            .connect_inner(ctx, remote, Some(deadline))?
+            .map(|sock| TcpConn {
+                stack: Arc::clone(&self.stack),
+                sock,
+            }))
+    }
+
     /// Passive open on `port`.
     pub fn listen(
         &self,
@@ -242,6 +260,82 @@ impl TcpConn {
         self.stack.try_read(ctx, &self.sock, max)
     }
 
+    /// [`Self::read`] bounded by `deadline`: serves data the moment any
+    /// arrives, fails with [`TcpError::Timeout`] if none does in time.
+    pub fn read_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        max: usize,
+        deadline: SimDuration,
+    ) -> SimResult<Result<Bytes, TcpError>> {
+        let give_up_at = ctx.now() + deadline;
+        loop {
+            match self.try_read(ctx, max)? {
+                Ok(b) => return Ok(Ok(b)),
+                Err(TcpError::WouldBlock) => {}
+                Err(e) => return Ok(Err(e)),
+            }
+            let now = ctx.now();
+            if now >= give_up_at {
+                ctx.telemetry().counter("tcp.op_timeouts").add(1);
+                return Ok(Err(TcpError::Timeout));
+            }
+            let api = TcpApi::new(Arc::clone(&self.stack));
+            let sources = [TcpPollSource {
+                target: TcpPollTarget::Conn(self),
+                token: 0,
+                interest: Interest::READABLE,
+            }];
+            let events = match api.poll(ctx, &sources, Some(give_up_at.since(now)))? {
+                Ok(e) => e,
+                Err(e) => return Ok(Err(e)),
+            };
+            if events.is_empty() {
+                ctx.telemetry().counter("tcp.op_timeouts").add(1);
+                return Ok(Err(TcpError::Timeout));
+            }
+        }
+    }
+
+    /// [`Self::write`] bounded by `deadline`: accepts what fits the send
+    /// buffer the moment space frees up (a possibly short count, like
+    /// POSIX `write`), fails with [`TcpError::Timeout`] if the buffer
+    /// stays full — the slowloris defence on the kernel stack.
+    pub fn write_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        data: &[u8],
+        deadline: SimDuration,
+    ) -> SimResult<Result<usize, TcpError>> {
+        let give_up_at = ctx.now() + deadline;
+        loop {
+            match self.try_write(ctx, data)? {
+                Ok(n) => return Ok(Ok(n)),
+                Err(TcpError::WouldBlock) => {}
+                Err(e) => return Ok(Err(e)),
+            }
+            let now = ctx.now();
+            if now >= give_up_at {
+                ctx.telemetry().counter("tcp.op_timeouts").add(1);
+                return Ok(Err(TcpError::Timeout));
+            }
+            let api = TcpApi::new(Arc::clone(&self.stack));
+            let sources = [TcpPollSource {
+                target: TcpPollTarget::Conn(self),
+                token: 0,
+                interest: Interest::WRITABLE,
+            }];
+            let events = match api.poll(ctx, &sources, Some(give_up_at.since(now)))? {
+                Ok(e) => e,
+                Err(e) => return Ok(Err(e)),
+            };
+            if events.is_empty() {
+                ctx.telemetry().counter("tcp.op_timeouts").add(1);
+                return Ok(Err(TcpError::Timeout));
+            }
+        }
+    }
+
     /// Nonblocking write: copy what fits the send buffer and report the
     /// count accepted; [`TcpError::WouldBlock`] when it is full before
     /// any byte is taken.
@@ -280,6 +374,44 @@ impl TcpListener {
             stack: Arc::clone(&self.stack),
             sock,
         })
+    }
+
+    /// [`Self::accept`] bounded by `deadline`: fails with
+    /// [`TcpError::Timeout`] if no established connection is queued in
+    /// time — the bounded-patience accept an event loop interleaves with
+    /// housekeeping.
+    pub fn accept_deadline(
+        &self,
+        ctx: &ProcessCtx,
+        deadline: SimDuration,
+    ) -> SimResult<Result<TcpConn, TcpError>> {
+        let give_up_at = ctx.now() + deadline;
+        loop {
+            match self.try_accept(ctx)? {
+                Ok(c) => return Ok(Ok(c)),
+                Err(TcpError::WouldBlock) => {}
+                Err(e) => return Ok(Err(e)),
+            }
+            let now = ctx.now();
+            if now >= give_up_at {
+                ctx.telemetry().counter("tcp.op_timeouts").add(1);
+                return Ok(Err(TcpError::Timeout));
+            }
+            let api = TcpApi::new(Arc::clone(&self.stack));
+            let sources = [TcpPollSource {
+                target: TcpPollTarget::Listener(self),
+                token: 0,
+                interest: Interest::ACCEPTABLE,
+            }];
+            let events = match api.poll(ctx, &sources, Some(give_up_at.since(now)))? {
+                Ok(e) => e,
+                Err(e) => return Ok(Err(e)),
+            };
+            if events.is_empty() {
+                ctx.telemetry().counter("tcp.op_timeouts").add(1);
+                return Ok(Err(TcpError::Timeout));
+            }
+        }
     }
 
     /// Nonblocking accept: pop an established connection if one is

@@ -11,7 +11,7 @@
 //! semantics, different substrate underneath).
 
 use simnet::ring::{OpError, RingConfig, RingCore, RingDriver};
-use simnet::{Interest, ProcessCtx, SimResult};
+use simnet::{Interest, ProcessCtx, SimDuration, SimResult};
 
 use crate::api::{TcpApi, TcpConn, TcpListener, TcpPollSource, TcpPollTarget};
 use crate::tcp::TcpError;
@@ -37,6 +37,8 @@ fn map_err(e: TcpError) -> OpError {
         TcpError::Closed => OpError::Closed,
         TcpError::ConnectionReset => OpError::PeerClosed,
         TcpError::AddrInUse | TcpError::Invalid => OpError::Invalid,
+        TcpError::Timeout => OpError::Timeout,
+        TcpError::Exhausted => OpError::Exhausted,
         TcpError::WouldBlock => OpError::Other,
     }
 }
@@ -100,6 +102,7 @@ impl RingDriver for TcpRingDriver {
         ctx: &ProcessCtx,
         conns: &[(&TcpConn, Interest)],
         listeners: &[&TcpListener],
+        timeout: Option<SimDuration>,
     ) -> SimResult<()> {
         let mut sources: Vec<TcpPollSource<'_>> = Vec::with_capacity(conns.len() + listeners.len());
         for (i, (c, interest)) in conns.iter().enumerate() {
@@ -117,8 +120,9 @@ impl RingDriver for TcpRingDriver {
             });
         }
         // Events are discarded: RingCore re-drives every head op after
-        // the wake, which subsumes them.
-        match self.api.poll(ctx, &sources, None)? {
+        // the wake, which subsumes them (a timeout wake lets the drive
+        // pass expire deadlined head ops).
+        match self.api.poll(ctx, &sources, timeout)? {
             Ok(_) => Ok(()),
             Err(e) => Err(simnet::SimError::app(e.to_string())),
         }

@@ -43,6 +43,10 @@ pub(crate) struct StackState {
     pub(crate) next_udp_id: u64,
     /// Socket buffer size for new sockets (the Figure 13 knob).
     pub(crate) sockbuf: usize,
+    /// Per-stack connection budget: actives beyond this are refused
+    /// ([`TcpError::Exhausted`] locally, RST to remote SYNs). `None` =
+    /// unbounded.
+    pub(crate) max_conns: Option<usize>,
     pub(crate) rst_sent: u64,
     pub(crate) udp_dropped: u64,
 }
@@ -88,6 +92,7 @@ impl TcpStack {
                 next_ephemeral: 32768,
                 next_udp_id: 0,
                 sockbuf,
+                max_conns: None,
                 rst_sent: 0,
                 udp_dropped: 0,
             }),
@@ -121,9 +126,23 @@ impl TcpStack {
         self.state.lock().sockbuf = bytes;
     }
 
+    /// Cap live connections on this stack: an active open past the cap
+    /// fails with [`TcpError::Exhausted`]; a remote SYN past it is
+    /// refused with RST, exactly like a full accept backlog. `None`
+    /// removes the cap.
+    pub fn set_max_conns(&self, max: Option<usize>) {
+        self.state.lock().max_conns = max;
+    }
+
     /// RST segments emitted (refused connections).
     pub fn rsts_sent(&self) -> u64 {
         self.state.lock().rst_sent
+    }
+
+    /// Connections currently in the demux table — the overload harness's
+    /// leak check (zero once every socket is closed on both ends).
+    pub fn live_conns(&self) -> usize {
+        self.state.lock().conns.len()
     }
 
     /// Total kernel-CPU time consumed by this stack (interrupts, protocol
@@ -205,9 +224,13 @@ impl TcpStack {
             return;
         }
         if seg.flags.syn && !seg.flags.ack {
-            let listener = self.state.lock().listeners.get(&seg.dst_port).cloned();
+            let (listener, budget_free) = {
+                let st = self.state.lock();
+                let free = st.max_conns.is_none_or(|m| st.conns.len() < m);
+                (st.listeners.get(&seg.dst_port).cloned(), free)
+            };
             if let Some(l) = listener {
-                if l.queue.len() < l.backlog {
+                if budget_free && l.queue.len() < l.backlog {
                     self.spawn_child(sim, &l, key, &seg);
                     return;
                 }
@@ -515,7 +538,28 @@ impl TcpStack {
         ctx: &ProcessCtx,
         remote: SockAddr,
     ) -> SimResult<Result<Arc<TcpSocket>, TcpError>> {
+        self.connect_inner(ctx, remote, None)
+    }
+
+    /// [`Self::connect`] bounded by an optional deadline: gives up with
+    /// [`TcpError::Timeout`] (tearing the half-open socket down) when the
+    /// handshake has not completed in time. Refusal (RST) stays a
+    /// distinct outcome, as does [`TcpError::Exhausted`] past the
+    /// per-stack connection budget.
+    pub(crate) fn connect_inner(
+        &self,
+        ctx: &ProcessCtx,
+        remote: SockAddr,
+        deadline: Option<simnet::SimDuration>,
+    ) -> SimResult<Result<Arc<TcpSocket>, TcpError>> {
         ctx.delay(self.host.cost().syscall)?;
+        {
+            let st = self.state.lock();
+            if st.max_conns.is_some_and(|m| st.conns.len() >= m) {
+                ctx.telemetry().counter("tcp.connects_exhausted").add(1);
+                return Ok(Err(TcpError::Exhausted));
+            }
+        }
         let port = self.alloc_ephemeral(remote);
         let sockbuf = self.state.lock().sockbuf;
         let sock = Arc::new(TcpSocket {
@@ -536,6 +580,12 @@ impl TcpStack {
                 ..TcpFlags::default()
             },
         );
+        let give_up_at = deadline.map(|d| ctx.now() + d);
+        if let Some(at) = give_up_at {
+            // The deadline rides the socket's own wake source.
+            let cv = sock.cv.clone();
+            ctx.schedule_at(at, move |s| cv.notify_all(s));
+        }
         loop {
             {
                 let i = sock.inner.lock();
@@ -545,11 +595,24 @@ impl TcpStack {
                         .lock()
                         .conns
                         .remove(&conn_key(sock.local, sock.remote));
+                    ctx.telemetry().counter("tcp.connects_refused").add(1);
                     return Ok(Err(TcpError::ConnectionRefused));
                 }
                 if i.state == TcpState::Established {
                     break;
                 }
+            }
+            if give_up_at.is_some_and(|at| ctx.now() >= at) {
+                // Tear the half-open socket down: the demux entry goes,
+                // so a late SYN-ACK meets a drop (and the peer's child
+                // socket is cleaned up by its own lifecycle).
+                self.state
+                    .lock()
+                    .conns
+                    .remove(&conn_key(sock.local, sock.remote));
+                sock.inner.lock().state = TcpState::Closed;
+                ctx.telemetry().counter("tcp.connects_timedout").add(1);
+                return Ok(Err(TcpError::Timeout));
             }
             sock.cv.wait(ctx)?;
         }

@@ -52,6 +52,13 @@ pub enum TcpError {
     /// Invalid argument (EINVAL): e.g. `select`/`poll` over an empty set
     /// with no timeout, which could never wake.
     Invalid,
+    /// A deadline expired before the operation could complete
+    /// (ETIMEDOUT): a bounded `connect`, or a deadlined
+    /// `read`/`write`/`accept`.
+    Timeout,
+    /// A resource budget was exhausted (ENOBUFS): the per-stack
+    /// connection budget. Mirrors the substrate's `ResourceExhausted`.
+    Exhausted,
 }
 
 impl std::fmt::Display for TcpError {
@@ -63,6 +70,8 @@ impl std::fmt::Display for TcpError {
             TcpError::AddrInUse => write!(f, "address in use"),
             TcpError::WouldBlock => write!(f, "operation would block"),
             TcpError::Invalid => write!(f, "invalid argument"),
+            TcpError::Timeout => write!(f, "operation timed out"),
+            TcpError::Exhausted => write!(f, "resource budget exhausted"),
         }
     }
 }

@@ -46,6 +46,7 @@ use crate::engine::SimAccess;
 use crate::error::SimResult;
 use crate::process::ProcessCtx;
 use crate::readiness::Interest;
+use crate::time::{SimDuration, SimTime};
 
 /// Ring geometry and registered-buffer-pool shape.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +60,12 @@ pub struct RingConfig {
     pub buf_count: usize,
     /// Bytes per registered buffer.
     pub buf_size: usize,
+    /// Byte budget for the registered pool: `Some(cap)` makes
+    /// [`RingCore::try_new`] refuse a pool whose `buf_count × buf_size`
+    /// exceeds `cap` with the typed error [`RingError::PoolExhausted`],
+    /// instead of pinning unbounded memory. `None` (the default) keeps
+    /// registration unbudgeted.
+    pub max_registered_bytes: Option<usize>,
 }
 
 impl Default for RingConfig {
@@ -68,7 +75,15 @@ impl Default for RingConfig {
             cq_depth: 128,
             buf_count: 64,
             buf_size: 4096,
+            max_registered_bytes: None,
         }
+    }
+}
+
+impl RingConfig {
+    /// Bytes the registered pool pins.
+    pub fn registered_bytes(&self) -> usize {
+        self.buf_count * self.buf_size
     }
 }
 
@@ -122,6 +137,30 @@ pub struct Sqe {
     pub user_data: u64,
     /// The operation.
     pub op: RingOp,
+    /// Absolute per-op deadline. A deadlined op that reaches the head of
+    /// its target's queue and *would block* past this instant completes
+    /// as [`CqeResult::Failed`] with [`OpError::Timeout`] instead of
+    /// stalling the target forever; an op whose progress is ready
+    /// completes normally even past its deadline. `None` (the default)
+    /// waits indefinitely.
+    pub deadline: Option<SimTime>,
+}
+
+impl Sqe {
+    /// An op with no deadline.
+    pub fn new(user_data: u64, op: RingOp) -> Self {
+        Sqe {
+            user_data,
+            op,
+            deadline: None,
+        }
+    }
+
+    /// Attach an absolute deadline (see [`Sqe::deadline`]).
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// Submission-time errors: typed backpressure and validation. These are
@@ -152,6 +191,14 @@ pub enum RingError {
     /// A wait could never be satisfied: fewer completions pending (SQ +
     /// in-flight + CQ) than the wait asks for.
     Stalled,
+    /// Registering the buffer pool would exceed the configured
+    /// byte budget ([`RingConfig::max_registered_bytes`]).
+    PoolExhausted {
+        /// Bytes the requested pool would pin.
+        requested: usize,
+        /// The configured budget.
+        cap: usize,
+    },
 }
 
 impl std::fmt::Display for RingError {
@@ -166,6 +213,12 @@ impl std::fmt::Display for RingError {
                 write!(f, "length {len} exceeds buffer {buf}")
             }
             RingError::Stalled => write!(f, "wait could never be satisfied"),
+            RingError::PoolExhausted { requested, cap } => {
+                write!(
+                    f,
+                    "registered pool of {requested} bytes exceeds budget {cap}"
+                )
+            }
         }
     }
 }
@@ -188,6 +241,12 @@ pub enum OpError {
     TooBig,
     /// Invalid argument.
     Invalid,
+    /// The op's deadline passed while it would still block (per-op
+    /// deadlines, connect timeouts, peer watchdogs).
+    Timeout,
+    /// A resource budget refused the op: connection budget, reorder-
+    /// buffer cap, or another byte-accounted limit.
+    Exhausted,
     /// Anything else.
     Other,
 }
@@ -310,13 +369,16 @@ pub trait RingDriver {
     /// Close a registered listener at ring teardown.
     fn close_listener(&self, ctx: &ProcessCtx, l: Self::Listener) -> SimResult<()>;
 
-    /// Park until one of the connections could make the named progress
-    /// or a listener could accept. Called only with at least one entry.
+    /// Park until one of the connections could make the named progress,
+    /// a listener could accept, or `timeout` elapses (the ring passes the
+    /// margin to its earliest head-op deadline). Called only with at
+    /// least one entry.
     fn wait(
         &self,
         ctx: &ProcessCtx,
         conns: &[(&Self::Conn, Interest)],
         listeners: &[&Self::Listener],
+        timeout: Option<SimDuration>,
     ) -> SimResult<()>;
 }
 
@@ -374,11 +436,32 @@ pub struct RingCore<D: RingDriver> {
 
 impl<D: RingDriver> RingCore<D> {
     /// A fresh ring over `driver`. `label` namespaces the telemetry
-    /// gauges (`ring.<label>.sq` / `.in_flight` / `.cq`).
+    /// gauges (`ring.<label>.sq` / `.in_flight` / `.cq`). Panics when
+    /// the pool exceeds [`RingConfig::max_registered_bytes`]; use
+    /// [`RingCore::try_new`] for the typed error.
     pub fn new(driver: D, cfg: RingConfig, label: impl Into<String>) -> Self {
+        Self::try_new(driver, cfg, label).expect("ring registered-buffer budget")
+    }
+
+    /// [`RingCore::new`], but a pool over the configured byte budget is
+    /// the typed error [`RingError::PoolExhausted`] instead of a panic —
+    /// admission control at registration time.
+    pub fn try_new(
+        driver: D,
+        cfg: RingConfig,
+        label: impl Into<String>,
+    ) -> Result<Self, RingError> {
         assert!(cfg.sq_depth >= 1 && cfg.cq_depth >= 1, "degenerate ring");
         assert!(cfg.buf_count >= 1 && cfg.buf_size >= 1, "degenerate pool");
-        RingCore {
+        if let Some(cap) = cfg.max_registered_bytes {
+            if cfg.registered_bytes() > cap {
+                return Err(RingError::PoolExhausted {
+                    requested: cfg.registered_bytes(),
+                    cap,
+                });
+            }
+        }
+        Ok(RingCore {
             driver,
             label: label.into(),
             bufs: (0..cfg.buf_count)
@@ -399,7 +482,7 @@ impl<D: RingDriver> RingCore<D> {
             },
             gauges: None,
             cfg,
-        }
+        })
     }
 
     /// The geometry this ring was built with.
@@ -740,7 +823,20 @@ impl<D: RingDriver> RingCore<D> {
                     self.complete(sqe, CqeResult::Accepted { conn: cid });
                     progressed = true;
                 }
-                Ok(None) => return Ok(progressed),
+                Ok(None) => {
+                    if Self::deadline_due(ctx, &sqe) {
+                        e.q.pop_front();
+                        self.complete(
+                            sqe,
+                            CqeResult::Failed {
+                                err: OpError::Timeout,
+                            },
+                        );
+                        progressed = true;
+                        continue;
+                    }
+                    return Ok(progressed);
+                }
                 Err(err) => {
                     e.q.pop_front();
                     self.complete(sqe, CqeResult::Failed { err });
@@ -785,7 +881,20 @@ impl<D: RingDriver> RingCore<D> {
                             self.complete(sqe, CqeResult::Read { buf, len: n as u32 });
                             progressed = true;
                         }
-                        Ok(None) => return Ok(progressed),
+                        Ok(None) => {
+                            if Self::deadline_due(ctx, &sqe) {
+                                e.q.pop_front();
+                                self.complete(
+                                    sqe,
+                                    CqeResult::Failed {
+                                        err: OpError::Timeout,
+                                    },
+                                );
+                                progressed = true;
+                                continue;
+                            }
+                            return Ok(progressed);
+                        }
                         Err(err) => {
                             e.q.pop_front();
                             self.complete(sqe, CqeResult::Failed { err });
@@ -805,7 +914,20 @@ impl<D: RingDriver> RingCore<D> {
                             self.complete(sqe, CqeResult::Wrote { buf, len: n as u32 });
                             progressed = true;
                         }
-                        Ok(None) => return Ok(progressed),
+                        Ok(None) => {
+                            if Self::deadline_due(ctx, &sqe) {
+                                e.q.pop_front();
+                                self.complete(
+                                    sqe,
+                                    CqeResult::Failed {
+                                        err: OpError::Timeout,
+                                    },
+                                );
+                                progressed = true;
+                                continue;
+                            }
+                            return Ok(progressed);
+                        }
                         Err(err) => {
                             e.q.pop_front();
                             self.complete(sqe, CqeResult::Failed { err });
@@ -836,30 +958,52 @@ impl<D: RingDriver> RingCore<D> {
         }
     }
 
-    /// Park until some stalled head op could make progress.
+    /// Whether this op's deadline has passed (it completes as a
+    /// [`OpError::Timeout`] failure instead of blocking further).
+    fn deadline_due(ctx: &ProcessCtx, sqe: &Sqe) -> bool {
+        sqe.deadline.is_some_and(|d| ctx.now() >= d)
+    }
+
+    /// Park until some stalled head op could make progress, or until the
+    /// earliest head-op deadline so `drive` can expire it.
     fn park(&mut self, ctx: &ProcessCtx) -> SimResult<()> {
         let mut conns: Vec<(&D::Conn, Interest)> = Vec::new();
+        let mut next_deadline: Option<SimTime> = None;
+        let note = |d: Option<SimTime>, next: &mut Option<SimTime>| {
+            if let Some(d) = d {
+                *next = Some(next.map_or(d, |n: SimTime| if d < n { d } else { n }));
+            }
+        };
         for e in self.conns.values() {
-            let interest = match e.q.front().map(|s| s.op) {
+            let head = e.q.front();
+            let interest = match head.map(|s| s.op) {
                 Some(RingOp::Read { .. }) => Interest::READABLE,
                 Some(RingOp::Write { .. }) => Interest::WRITABLE,
                 // A Close head never stalls (drive retires it), and an
                 // idle connection has nothing to wait for.
                 _ => continue,
             };
+            note(head.and_then(|s| s.deadline), &mut next_deadline);
             conns.push((&e.conn, interest));
         }
-        let listeners: Vec<&D::Listener> = self
-            .listeners
-            .values()
-            .filter(|e| !e.q.is_empty())
-            .map(|e| &e.l)
-            .collect();
+        let mut listeners: Vec<&D::Listener> = Vec::new();
+        for e in self.listeners.values() {
+            let Some(head) = e.q.front() else { continue };
+            note(head.deadline, &mut next_deadline);
+            listeners.push(&e.l);
+        }
         debug_assert!(
             !(conns.is_empty() && listeners.is_empty()),
             "park only with stalled ops (submit_and_wait checks committed)"
         );
-        self.driver.wait(ctx, &conns, &listeners)
+        let timeout = match next_deadline {
+            // An already-due deadline: skip the park entirely so the
+            // next drive pass expires the op.
+            Some(d) if d <= ctx.now() => return Ok(()),
+            Some(d) => Some(d.since(ctx.now())),
+            None => None,
+        };
+        self.driver.wait(ctx, &conns, &listeners, timeout)
     }
 
     /// Export the ring depths through the telemetry registry (gauges are

@@ -145,6 +145,7 @@ fn run_schedule(g: Geom, steps: Vec<Step>) {
             cq_depth: g.cq_depth,
             buf_count: g.buf_count,
             buf_size: g.buf_size,
+            max_registered_bytes: None,
         };
         let l = server.listen(ctx, 80, 4)?.expect("port free");
         let mut ring = sockets_emp::ring::ring(cfg, "prop");
@@ -169,10 +170,8 @@ fn run_schedule(g: Geom, steps: Vec<Step>) {
         let ud = m.next_ud;
         m.next_ud += 1;
         check!(
-            ring.push(Sqe {
-                user_data: ud,
-                op: RingOp::Accept { listener: 0 },
-            }) == m.expect(RingOp::Accept { listener: 0 }),
+            ring.push(Sqe::new(ud, RingOp::Accept { listener: 0 }))
+                == m.expect(RingOp::Accept { listener: 0 }),
             "accept push disagreed with model"
         );
         m.admit(ud, RingOp::Accept { listener: 0 });
@@ -198,7 +197,7 @@ fn run_schedule(g: Geom, steps: Vec<Step>) {
                     let ud = m.next_ud;
                     m.next_ud += 1;
                     let want = m.expect(op);
-                    let got = ring.push(Sqe { user_data: ud, op });
+                    let got = ring.push(Sqe::new(ud, op));
                     check!(
                         got == want,
                         "push {op:?} (state: sq={} committed={} attached={:?}): \
@@ -267,10 +266,7 @@ fn run_schedule(g: Geom, steps: Vec<Step>) {
         }
         let close = RingOp::Close { conn: 0 };
         let want = m.expect(close);
-        let got = ring.push(Sqe {
-            user_data: m.next_ud,
-            op: close,
-        });
+        let got = ring.push(Sqe::new(m.next_ud, close));
         check!(got == want, "close push: engine {got:?}, model {want:?}");
 
         // Shutdown completes (as failures) everything still queued; the
