@@ -52,6 +52,18 @@ step "completion-smoke"
 cargo test -q -p emp-apps --test completion_model
 cargo test -q -p emp-apps --test completion_model --features emp-apps/trace
 
+step "async-smoke"
+# Async-model stage: straight-line async/await handlers on the
+# deterministic sim-driven executor serve the 32-connection webserver and
+# kvstore workloads byte-exact on both stacks, in both build modes. The
+# suite also pins the contracts the futures stand on: same-seed runs are
+# byte-identical (`deterministic_text` equality, `exec.*` telemetry
+# included), a ring-op future dropped mid-read leaks no registered
+# buffer, and the readiness layer's check-then-arm survives spurious
+# wakes, interest changes, and registration after readiness fired.
+cargo test -q -p emp-apps --test async_model
+cargo test -q -p emp-apps --test async_model --features emp-apps/trace
+
 step "traced ping-pong smoke"
 # Must print a latency budget and a non-empty Chrome trace.
 out=$(cargo run -q --release -p emp-bench --bin figures --features trace -- --trace)

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use kernel_tcp::{TcpApi, TcpConn, TcpError, TcpListener, TcpPollSource, TcpPollTarget};
-use simnet::{Event, MacAddr, ProcessCtx, SimDuration, SimResult};
+use simnet::{Event, Interest, MacAddr, ProcessCtx, SimDuration, SimResult, SimTime};
 use sockets_emp::{Connection, EmpSockets, Listener, PollSet, SockAddr as EmpAddr, SockError};
 
 use crate::api::{
@@ -136,6 +136,22 @@ impl NetConn for EmpConnAdapter {
         Some(self.0.stats())
     }
 
+    fn poll_ready(
+        &self,
+        ctx: &ProcessCtx,
+        interest: Interest,
+        waker: &std::task::Waker,
+    ) -> SimResult<Result<Interest, NetError>> {
+        Ok(self
+            .0
+            .poll_ready(ctx, interest, waker)?
+            .map_err(from_sock_err))
+    }
+
+    fn cancel_ready(&self, ctx: &ProcessCtx) -> SimResult<Result<(), NetError>> {
+        Ok(self.0.cancel_ready(ctx)?.map_err(from_sock_err))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -172,6 +188,14 @@ impl NetListener for EmpListenerAdapter {
             .accept_deadline(ctx, deadline)?
             .map(|c| Box::new(EmpConnAdapter(c)) as Conn)
             .map_err(from_sock_err))
+    }
+
+    fn poll_acceptable(
+        &self,
+        ctx: &ProcessCtx,
+        waker: &std::task::Waker,
+    ) -> SimResult<Result<Interest, NetError>> {
+        Ok(self.0.poll_acceptable(ctx, waker)?.map_err(from_sock_err))
     }
 
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()> {
@@ -389,6 +413,18 @@ impl NetConn for TcpConnAdapter {
         self.0.peer_addr().host
     }
 
+    fn poll_ready(
+        &self,
+        _ctx: &ProcessCtx,
+        interest: Interest,
+        waker: &std::task::Waker,
+    ) -> SimResult<Result<Interest, NetError>> {
+        // Pure check-and-arm on the stack's activity condvar; the
+        // kernel stack has no stateful wake source to disarm, so the
+        // default no-op `cancel_ready` is correct here.
+        Ok(Ok(self.0.poll_ready(interest, waker)))
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -422,6 +458,14 @@ impl NetListener for TcpListenerAdapter {
             .accept_deadline(ctx, deadline)?
             .map(|c| Box::new(TcpConnAdapter(c)) as Conn)
             .map_err(from_tcp_err))
+    }
+
+    fn poll_acceptable(
+        &self,
+        _ctx: &ProcessCtx,
+        waker: &std::task::Waker,
+    ) -> SimResult<Result<Interest, NetError>> {
+        Ok(Ok(self.0.poll_acceptable(waker)))
     }
 
     fn close(&self, _ctx: &ProcessCtx) -> SimResult<()> {
@@ -592,6 +636,18 @@ macro_rules! forward_ring {
 
         fn cfg(&self) -> RingConfig {
             self.0.cfg()
+        }
+
+        fn cancel(&mut self, ctx: &ProcessCtx, user_data: u64) -> bool {
+            self.0.cancel(ctx, user_data)
+        }
+
+        fn register_waker(
+            &mut self,
+            ctx: &ProcessCtx,
+            waker: &std::task::Waker,
+        ) -> SimResult<Option<SimTime>> {
+            self.0.register_waker(ctx, waker)
         }
 
         fn shutdown(&mut self, ctx: &ProcessCtx) -> SimResult<()> {

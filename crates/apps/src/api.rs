@@ -9,7 +9,7 @@ use std::any::Any;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use simnet::{MacAddr, ProcessCtx, SimDuration, SimResult};
+use simnet::{MacAddr, ProcessCtx, SimDuration, SimResult, SimTime};
 
 pub use simnet::ring::{
     Cqe, CqeResult, OpError, RingConfig, RingCounters, RingDepths, RingError, RingOp, Sqe,
@@ -117,6 +117,32 @@ pub trait NetConn: Send + Sync + 'static {
         None
     }
 
+    /// Nonblocking readiness check that arms a [`std::task::Waker`]: the
+    /// returned interests are what is ready *right now* (possibly empty);
+    /// when empty, `waker` fires once something in `interest` (or an
+    /// error) becomes ready. The async front end's bridge into the
+    /// readiness layer — registration is check-then-arm with a recheck,
+    /// so a wake racing the registration resolves toward a spurious
+    /// recheck, never a lost wakeup.
+    ///
+    /// A caller that armed write interest and then walks away without
+    /// the wake having fired must call [`Self::cancel_ready`] (stacks
+    /// may have armed stateful wake sources, e.g. the EMP substrate's
+    /// flow-control ack watch).
+    fn poll_ready(
+        &self,
+        ctx: &ProcessCtx,
+        interest: Interest,
+        waker: &std::task::Waker,
+    ) -> SimResult<Result<Interest, NetError>>;
+
+    /// Disarm any stateful wake source a prior [`Self::poll_ready`]
+    /// armed. Idempotent; the drop-guard hook for cancelled futures.
+    /// No-op on stacks whose wake sources are stateless.
+    fn cancel_ready(&self, _ctx: &ProcessCtx) -> SimResult<Result<(), NetError>> {
+        Ok(Ok(()))
+    }
+
     /// Read exactly `n` bytes; `None` on premature EOF.
     fn read_exact(&self, ctx: &ProcessCtx, n: usize) -> SimResult<Result<Option<Bytes>, NetError>> {
         let mut buf = Vec::with_capacity(n);
@@ -150,6 +176,15 @@ pub trait NetListener: Send + Sync + 'static {
         ctx: &ProcessCtx,
         deadline: SimDuration,
     ) -> SimResult<Result<Conn, NetError>>;
+    /// Nonblocking acceptability check that arms a [`std::task::Waker`]:
+    /// [`Interest::ACCEPTABLE`] when the backlog is non-empty, otherwise
+    /// empty with `waker` armed for the next arrival. Same
+    /// check-then-arm contract as [`NetConn::poll_ready`].
+    fn poll_acceptable(
+        &self,
+        ctx: &ProcessCtx,
+        waker: &std::task::Waker,
+    ) -> SimResult<Result<Interest, NetError>>;
     /// Stop listening.
     fn close(&self, ctx: &ProcessCtx) -> SimResult<()>;
     /// Downcast support for stack-specific `poll()`.
@@ -216,6 +251,23 @@ pub trait NetRing {
     fn live_conns(&self) -> usize;
     /// The geometry this ring was built with.
     fn cfg(&self) -> RingConfig;
+    /// Cancel one queued op by `user_data`: it completes with
+    /// [`OpError::Cancelled`] (buffer returned on reap as usual) and
+    /// the remaining per-target FIFO order is preserved. `false` when
+    /// no queued op carries that `user_data` (already completed, or
+    /// mid-flight past the point of no return).
+    fn cancel(&mut self, ctx: &ProcessCtx, user_data: u64) -> bool;
+    /// Arm `waker` to fire when any stalled head op's target becomes
+    /// ready. The returned instant, when `Some`, is the earliest
+    /// deadline among the stalled ops (the caller owns the timer that
+    /// expires it). When nothing is stalled, nothing is armed and
+    /// `None` comes back — completions are already reapable, so
+    /// drive/reap instead of sleeping.
+    fn register_waker(
+        &mut self,
+        ctx: &ProcessCtx,
+        waker: &std::task::Waker,
+    ) -> SimResult<Option<SimTime>>;
     /// Fail queued ops, close every registered target, release buffers.
     fn shutdown(&mut self, ctx: &ProcessCtx) -> SimResult<()>;
     /// Aggregate EMP substrate counters of the connections this ring has

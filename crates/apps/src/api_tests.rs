@@ -126,7 +126,7 @@ fn taxonomy_trace(tb: Testbed) -> Vec<String> {
         tr.push(format!("connect-overbudget:{:?}", r.err().expect("cap")));
         // Deadline on read: the server never writes.
         let r = c1.read_deadline(ctx, 64, ms(5))?;
-        tr.push(format!("read-idle:{:?}", r.err().expect("silent peer")));
+        tr.push(format!("read-idle:{:?}", r.expect_err("silent peer")));
         c1.close(ctx)?;
         c2.close(ctx)?;
         *t2.lock().unwrap() = tr;

@@ -19,6 +19,7 @@ use rand::{Rng, SeedableRng};
 use simnet::{Sim, SimAccess, SimTime};
 
 use crate::api::Conn;
+use crate::asyncio::serve_async;
 use crate::completion::serve_completion;
 use crate::eventloop::{serve_event_loop, serve_event_loop_with, OverloadPolicy, ServeReport};
 use crate::testbed::Testbed;
@@ -169,6 +170,25 @@ pub fn spawn_server_completion(sim: &Sim, tb: &Testbed, server: usize, expected_
     });
 }
 
+/// Serve `expected_conns` clients with straight-line async handlers on
+/// node `server`: the same GET/PUT protocol and incremental framing as
+/// [`spawn_server_event_loop`], but each connection is an `async` task
+/// on one executor ([`crate::asyncio::serve_async`]) instead of a hand-
+/// threaded state machine.
+pub fn spawn_server_async(sim: &Sim, tb: &Testbed, server: usize, expected_conns: u32) {
+    let api = Arc::clone(&tb.nodes[server].api);
+    sim.spawn("kv-async", move |ctx| {
+        let l = api.listen(ctx, KV_PORT, 16)?.expect("port free");
+        // Single executor process: the store moves into the service
+        // closure and needs no lock.
+        let mut store: HashMap<u32, Bytes> = HashMap::new();
+        serve_async(ctx, l, expected_conns, &[], move |inbuf, out| {
+            serve_frames(&mut store, inbuf, out)
+        })?;
+        Ok(())
+    });
+}
+
 /// As [`spawn_server_event_loop`], with a concurrency budget: at most
 /// `max_conns` clients are served at once and the overflow is answered
 /// with a [`STATUS_BUSY`] frame, then closed. Returns a handle that
@@ -294,6 +314,7 @@ pub fn run_workload_with(
         ServerModel::PerConnection => spawn_server(&sim, tb, 0, n_clients as u32),
         ServerModel::EventLoop => spawn_server_event_loop(&sim, tb, 0, n_clients as u32),
         ServerModel::Completion => spawn_server_completion(&sim, tb, 0, n_clients as u32),
+        ServerModel::Async => spawn_server_async(&sim, tb, 0, n_clients as u32),
     }
     let acc = Arc::new(Mutex::new((0u64, 0u64, 0.0f64, SimTime::ZERO)));
 

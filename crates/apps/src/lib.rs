@@ -22,6 +22,7 @@ pub mod adapters;
 pub mod api;
 #[cfg(test)]
 mod api_tests;
+pub mod asyncio;
 pub mod bandwidth;
 pub mod completion;
 pub mod eventloop;
@@ -38,6 +39,7 @@ pub use api::{
     Api, Conn, Cqe, CqeResult, Event, Interest, NetApi, NetConn, NetError, NetListener, NetRing,
     PollSource, PollTarget, RingConfig, RingCounters, RingDepths, RingError, RingOp, Sqe,
 };
+pub use asyncio::{serve_async, AsyncConnector, AsyncListener, AsyncRing, AsyncStream};
 pub use completion::serve_completion;
 pub use eventloop::{serve_event_loop, serve_event_loop_with, OverloadPolicy, ServeReport};
 pub use overload::{run_storm, run_storm_on, OverloadReport, StormConfig};

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use simnet::{Sim, SimAccess, SimTime};
 
+use crate::asyncio::serve_async;
 use crate::completion::serve_completion;
 use crate::eventloop::{serve_event_loop, serve_event_loop_with, OverloadPolicy, ServeReport};
 use crate::testbed::Testbed;
@@ -168,6 +169,10 @@ pub enum ServerModel {
     /// ops submitted over registered buffers, completions reaped in
     /// batches ([`serve_completion`]).
     Completion,
+    /// One process, one async executor ([`emp_async::LocalExecutor`]):
+    /// a straight-line `async` handler task per connection, wakes from
+    /// the readiness layer ([`crate::asyncio::serve_async`]).
+    Async,
 }
 
 impl ServerModel {
@@ -177,6 +182,7 @@ impl ServerModel {
             ServerModel::PerConnection => "per-conn",
             ServerModel::EventLoop => "event-loop",
             ServerModel::Completion => "completion",
+            ServerModel::Async => "async",
         }
     }
 }
@@ -254,6 +260,59 @@ pub fn concurrent_throughput_on(
 ) -> ConcurrencyRun {
     assert!(tb.nodes.len() >= 2, "need a server node and a client node");
     assert!(n_conns >= 1 && reqs_per_conn >= 1);
+    spawn_model_server(sim, tb, model, n_conns, response_size);
+
+    let end = Arc::new(Mutex::new((SimTime::ZERO, 0u32)));
+    for k in 0..n_conns {
+        let node = 1 + (k as usize % (tb.nodes.len() - 1));
+        let api = Arc::clone(&tb.nodes[node].api);
+        let server_host = tb.nodes[0].api.local_host();
+        let end = Arc::clone(&end);
+        sim.spawn(format!("http-conc-client-{k}"), move |ctx| {
+            let conn = api.connect(ctx, server_host, HTTP_PORT)?.expect("connect");
+            let hello = conn
+                .read_exact(ctx, 1)?
+                .expect("hello")
+                .expect("hello byte");
+            assert_eq!(hello[0], HELLO_BYTE);
+            for r in 0..reqs_per_conn {
+                conn.write(ctx, &encode_request(k, r))?.expect("request");
+                let body = conn
+                    .read_exact(ctx, response_size)?
+                    .expect("response")
+                    .expect("body");
+                for (j, &byte) in body.iter().enumerate() {
+                    assert_eq!(byte, body_byte(k, r, j), "conn {k} req {r} byte {j}");
+                }
+            }
+            conn.close(ctx)?;
+            let mut e = end.lock();
+            e.0 = e.0.max(ctx.now());
+            e.1 += 1;
+            Ok(())
+        });
+    }
+    sim.run_until(SimTime::from_secs(600));
+    let (end, finished) = *end.lock();
+    assert_eq!(finished, n_conns, "every connection must finish");
+    let requests = u64::from(n_conns) * u64::from(reqs_per_conn);
+    ConcurrencyRun {
+        requests,
+        elapsed_us: end.as_secs_f64() * 1e6,
+        reqs_per_sec: requests as f64 / end.as_secs_f64(),
+    }
+}
+
+/// Spawn the node-0 server of the concurrent workload, structured per
+/// `model`. All four models speak the same byte protocol, so the same
+/// clients verify any of them.
+fn spawn_model_server(
+    sim: &Sim,
+    tb: &Testbed,
+    model: ServerModel,
+    n_conns: u32,
+    response_size: usize,
+) {
     let api = Arc::clone(&tb.nodes[0].api);
     let backlog = n_conns as usize + 8;
     match model {
@@ -298,6 +357,19 @@ pub fn concurrent_throughput_on(
                 Ok(())
             });
         }
+        ServerModel::Async => {
+            sim.spawn("http-async", move |ctx| {
+                let l = api.listen(ctx, HTTP_PORT, backlog)?.expect("port free");
+                serve_async(ctx, l, n_conns, &[HELLO_BYTE], move |inbuf, out| {
+                    while inbuf.len() >= REQUEST_SIZE {
+                        let (cid, rid) = decode_request(&inbuf[..REQUEST_SIZE]);
+                        inbuf.drain(..REQUEST_SIZE);
+                        out.extend_from_slice(&response_body(cid, rid, response_size));
+                    }
+                })?;
+                Ok(())
+            });
+        }
         ServerModel::PerConnection => {
             sim.spawn("http-server", move |ctx| {
                 let l = api.listen(ctx, HTTP_PORT, backlog)?.expect("port free");
@@ -323,14 +395,49 @@ pub fn concurrent_throughput_on(
             });
         }
     }
+}
 
-    let end = Arc::new(Mutex::new((SimTime::ZERO, 0u32)));
+/// Latency/fairness view of one [`concurrent_throughput`]-shaped run.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyRun {
+    /// Median request → verified-response time, µs.
+    pub p50_us: f64,
+    /// 99th-percentile request time, µs — the tail the scheduling model
+    /// inflicts on unlucky connections.
+    pub p99_us: f64,
+    /// Jain fairness index over per-connection mean request times:
+    /// 1.0 = every connection served equally, 1/n = one connection
+    /// monopolized the server.
+    pub jain_fairness: f64,
+}
+
+/// The concurrent workload measured per request instead of in aggregate:
+/// each client stamps every request round trip, and the run reduces to
+/// median, tail, and a cross-connection fairness index. This is how the
+/// server models' *scheduling* differences show up — a cooperative
+/// executor or event loop that let one connection hog its turn would
+/// keep aggregate throughput but lose fairness and tail latency.
+pub fn concurrent_latency(
+    tb: &Testbed,
+    model: ServerModel,
+    n_conns: u32,
+    reqs_per_conn: u32,
+    response_size: usize,
+) -> LatencyRun {
+    assert!(tb.nodes.len() >= 2, "need a server node and a client node");
+    assert!(n_conns >= 1 && reqs_per_conn >= 1);
+    let sim = Sim::new();
+    spawn_model_server(&sim, tb, model, n_conns, response_size);
+
+    let samples: Arc<Mutex<Vec<(u32, f64)>>> = Arc::new(Mutex::new(Vec::with_capacity(
+        (n_conns * reqs_per_conn) as usize,
+    )));
     for k in 0..n_conns {
         let node = 1 + (k as usize % (tb.nodes.len() - 1));
         let api = Arc::clone(&tb.nodes[node].api);
         let server_host = tb.nodes[0].api.local_host();
-        let end = Arc::clone(&end);
-        sim.spawn(format!("http-conc-client-{k}"), move |ctx| {
+        let samples = Arc::clone(&samples);
+        sim.spawn(format!("http-lat-client-{k}"), move |ctx| {
             let conn = api.connect(ctx, server_host, HTTP_PORT)?.expect("connect");
             let hello = conn
                 .read_exact(ctx, 1)?
@@ -338,6 +445,7 @@ pub fn concurrent_throughput_on(
                 .expect("hello byte");
             assert_eq!(hello[0], HELLO_BYTE);
             for r in 0..reqs_per_conn {
+                let t0 = ctx.now();
                 conn.write(ctx, &encode_request(k, r))?.expect("request");
                 let body = conn
                     .read_exact(ctx, response_size)?
@@ -346,22 +454,37 @@ pub fn concurrent_throughput_on(
                 for (j, &byte) in body.iter().enumerate() {
                     assert_eq!(byte, body_byte(k, r, j), "conn {k} req {r} byte {j}");
                 }
+                samples.lock().push((k, (ctx.now() - t0).as_micros_f64()));
             }
             conn.close(ctx)?;
-            let mut e = end.lock();
-            e.0 = e.0.max(ctx.now());
-            e.1 += 1;
             Ok(())
         });
     }
     sim.run_until(SimTime::from_secs(600));
-    let (end, finished) = *end.lock();
-    assert_eq!(finished, n_conns, "every connection must finish");
-    let requests = u64::from(n_conns) * u64::from(reqs_per_conn);
-    ConcurrencyRun {
-        requests,
-        elapsed_us: end.as_secs_f64() * 1e6,
-        reqs_per_sec: requests as f64 / end.as_secs_f64(),
+    let s = samples.lock();
+    assert_eq!(
+        s.len(),
+        (n_conns * reqs_per_conn) as usize,
+        "every request must complete"
+    );
+    let mut rtts: Vec<f64> = s.iter().map(|&(_, us)| us).collect();
+    rtts.sort_by(f64::total_cmp);
+    let pct = |q: f64| rtts[((rtts.len() - 1) as f64 * q).round() as usize];
+    let mut per_conn = vec![(0.0f64, 0u32); n_conns as usize];
+    for &(k, us) in s.iter() {
+        per_conn[k as usize].0 += us;
+        per_conn[k as usize].1 += 1;
+    }
+    let means: Vec<f64> = per_conn
+        .iter()
+        .map(|&(sum, n)| sum / f64::from(n))
+        .collect();
+    let sum: f64 = means.iter().sum();
+    let sum_sq: f64 = means.iter().map(|m| m * m).sum();
+    LatencyRun {
+        p50_us: pct(0.5),
+        p99_us: pct(0.99),
+        jain_fairness: (sum * sum) / (means.len() as f64 * sum_sq),
     }
 }
 
@@ -523,6 +646,27 @@ mod tests {
     }
 
     #[test]
+    fn latency_run_reports_a_sane_distribution() {
+        // The fairness figure's measurement: percentiles ordered, Jain
+        // index in (0, 1], and the async model not collapsing fairness
+        // relative to process-per-connection.
+        let tb = Testbed::emp_default(3);
+        let aw = concurrent_latency(&tb, ServerModel::Async, 8, 4, 512);
+        let pc = concurrent_latency(&tb, ServerModel::PerConnection, 8, 4, 512);
+        for r in [aw, pc] {
+            assert!(r.p50_us > 0.0 && r.p50_us <= r.p99_us, "{r:?}");
+            assert!(
+                r.jain_fairness > 0.0 && r.jain_fairness <= 1.0 + 1e-9,
+                "{r:?}"
+            );
+        }
+        assert!(
+            aw.jain_fairness > 0.8,
+            "cooperative executor starved connections: {aw:?}"
+        );
+    }
+
+    #[test]
     fn event_loop_serves_concurrent_connections_byte_exact() {
         // Byte-exactness is asserted inside every client; here both server
         // models must complete the same workload on both stacks.
@@ -531,6 +675,7 @@ mod tests {
                 ServerModel::EventLoop,
                 ServerModel::PerConnection,
                 ServerModel::Completion,
+                ServerModel::Async,
             ] {
                 let r = concurrent_throughput(&tb, model, 6, 4, 512);
                 assert_eq!(

@@ -77,6 +77,7 @@ fn main() {
                 "connect-time",
                 "datacenter-kv",
                 "event-loop-concurrency",
+                "concurrency-fairness",
                 "ablation-commthread",
                 "ablation-piggyback",
                 "ablation-nic-cpus",
@@ -107,6 +108,7 @@ fn main() {
                 "connect-time" => figures::connect_time(profile),
                 "datacenter-kv" => figures::datacenter_kv(profile),
                 "event-loop-concurrency" => figures::event_loop_concurrency(profile),
+                "concurrency-fairness" => figures::concurrency_fairness(profile),
                 "small-message-throughput" => small_message_with_summary(profile, &mut perf),
                 "copy-avoidance" => copy_avoidance_with_summary(profile, &mut perf),
                 "overload-degradation" => figures::overload_degradation(profile),

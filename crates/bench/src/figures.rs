@@ -442,7 +442,9 @@ pub fn datacenter_kv(profile: Profile) -> Figure {
 /// number of concurrent persistent connections, for the single-process
 /// event-loop server (the readiness layer's `poll()` + nonblocking
 /// calls), the completion-ring server (submitted ops over registered
-/// buffers), and the process-per-connection server, over both stacks.
+/// buffers), the async/await server (straight-line handlers on one
+/// deterministic executor), and the process-per-connection server, over
+/// both stacks.
 pub fn event_loop_concurrency(profile: Profile) -> Figure {
     let conns: &[u32] = match profile {
         Profile::Quick => &[4, 16, 32],
@@ -456,13 +458,14 @@ pub fn event_loop_concurrency(profile: Profile) -> Figure {
     let mut fig = Figure::new(
         "event-loop-concurrency",
         "Concurrent connections vs throughput: readiness event loop vs \
-         completion ring vs process-per-connection",
+         completion ring vs async/await vs process-per-connection",
         "connections",
         "reqs/s",
     );
     let models = [
         webserver::ServerModel::EventLoop,
         webserver::ServerModel::Completion,
+        webserver::ServerModel::Async,
         webserver::ServerModel::PerConnection,
     ];
     for model in models {
@@ -480,6 +483,54 @@ pub fn event_loop_concurrency(profile: Profile) -> Figure {
             (f64::from(n), r.reqs_per_sec)
         });
         fig.push(format!("TCP {}", model.label()), pts);
+    }
+    fig
+}
+
+/// Fairness and tail latency of the concurrency models: per-request p50
+/// and p99 against connection count on the substrate, for the async
+/// executor, the event loop, and process-per-connection. The aggregate
+/// throughput curves above can hide a server that serves connections
+/// unevenly; the p99/p50 gap here is where a scheduling model that lets
+/// one handler hog its turn would show up (the Jain fairness index per
+/// run is asserted in the apps tests).
+pub fn concurrency_fairness(profile: Profile) -> Figure {
+    let conns: &[u32] = match profile {
+        Profile::Quick => &[8, 32],
+        Profile::Full => &[8, 16, 32, 64],
+    };
+    let reqs_per_conn: u32 = match profile {
+        Profile::Quick => 4,
+        Profile::Full => 8,
+    };
+    let response = 1024usize;
+    let mut fig = Figure::new(
+        "concurrency-fairness",
+        "Request latency under concurrency: async vs event loop vs \
+         process-per-connection (substrate, per-request percentiles)",
+        "connections",
+        "request us",
+    );
+    let models = [
+        webserver::ServerModel::Async,
+        webserver::ServerModel::EventLoop,
+        webserver::ServerModel::PerConnection,
+    ];
+    for model in models {
+        let pts = parallel_sweep(conns, |&n| {
+            let tb = emp_tb(SubstrateConfig::ds_da_uq().with_credits(4), "emp-c4", 5);
+            let r = webserver::concurrent_latency(&tb, model, n, reqs_per_conn, response);
+            (f64::from(n), r.p50_us)
+        });
+        fig.push(format!("{} p50", model.label()), pts);
+    }
+    for model in models {
+        let pts = parallel_sweep(conns, |&n| {
+            let tb = emp_tb(SubstrateConfig::ds_da_uq().with_credits(4), "emp-c4", 5);
+            let r = webserver::concurrent_latency(&tb, model, n, reqs_per_conn, response);
+            (f64::from(n), r.p99_us)
+        });
+        fig.push(format!("{} p99", model.label()), pts);
     }
     fig
 }
@@ -877,6 +928,7 @@ pub fn all_figures(profile: Profile) -> Vec<Figure> {
         connect_time(profile),
         datacenter_kv(profile),
         event_loop_concurrency(profile),
+        concurrency_fairness(profile),
         ablation_commthread(profile),
         ablation_piggyback(profile),
         ablation_nic_cpus(profile),

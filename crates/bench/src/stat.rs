@@ -41,6 +41,11 @@ pub struct StatRun {
     /// Completion-ring webserver aggregate result (same workload shape
     /// as `web`, served through the SQ/CQ model).
     pub web_completion: ConcurrencyRun,
+    /// Async-executor webserver aggregate result (same workload shape,
+    /// served by straight-line `async` handlers on the deterministic
+    /// executor), so the `exec.*` telemetry is always live in the
+    /// export.
+    pub web_async: ConcurrencyRun,
     /// Overload storm result (connect storm against a shedding server),
     /// so the admission-control counters are always live in the export.
     pub storm: OverloadReport,
@@ -72,6 +77,14 @@ pub fn run_standard_workload() -> StatRun {
         WEB_REQS,
         WEB_RESPONSE_BYTES,
     );
+    let web_async = webserver::concurrent_throughput_on(
+        &sim,
+        &tb,
+        ServerModel::Async,
+        WEB_CONNS,
+        WEB_REQS,
+        WEB_RESPONSE_BYTES,
+    );
     // A connect storm past saturation: the overload counters
     // (`sock.connects_refused`, `app.shed`, ...) register in the same
     // snapshot the dashboards scrape.
@@ -90,6 +103,7 @@ pub fn run_standard_workload() -> StatRun {
         pingpong_us,
         web,
         web_completion,
+        web_async,
         storm,
     }
 }
@@ -100,12 +114,15 @@ pub fn workload_summary(run: &StatRun) -> String {
         "empstat workload: {PINGPONG_BYTES}B ping-pong {:.2} us one-way over \
          {PINGPONG_ITERS} iters; event-loop webserver {WEB_CONNS} conns x \
          {WEB_REQS} reqs ({} requests, {:.0} req/s); completion-ring \
-         webserver ({} requests, {:.0} req/s)",
+         webserver ({} requests, {:.0} req/s); async webserver \
+         ({} requests, {:.0} req/s)",
         run.pingpong_us,
         run.web.requests,
         run.web.reqs_per_sec,
         run.web_completion.requests,
-        run.web_completion.reqs_per_sec
+        run.web_completion.reqs_per_sec,
+        run.web_async.requests,
+        run.web_async.reqs_per_sec
     ) + &format!(
         "; overload storm {STORM_CLIENTS} attempts -> served={} degraded={} \
          refused={} shed={} timed_out={} ({:.1} Mbps goodput, p99 {:.0} us)",
@@ -178,6 +195,23 @@ pub fn self_check(snap: &RegistrySnapshot) -> Result<String, String> {
     if refused + shed == 0 {
         return Err("overload storm tripped no admission control (refused+shed == 0)".into());
     }
+    // Executor telemetry: the async webserver stage runs on the
+    // deterministic executor, so its wake counter and poll-spin
+    // histogram must have fired, and every task must have retired
+    // (`exec.tasks_live` back to zero) once the workload drained.
+    let wakes = snap.counters.get("exec.wakes").copied().unwrap_or(0);
+    if wakes == 0 {
+        return Err("exec.wakes never fired (async stage did not run?)".into());
+    }
+    match snap.histograms.get("exec.poll_spins") {
+        Some(h) if h.count > 0 => {}
+        _ => return Err("histogram exec.poll_spins recorded nothing".into()),
+    }
+    match snap.gauges.get("exec.tasks_live").copied() {
+        Some(0) => {}
+        Some(v) => return Err(format!("exec.tasks_live stuck at {v} after drain")),
+        None => return Err("gauge exec.tasks_live missing".into()),
+    }
     // Registered-buffer leak gate: every completion ring's depth gauges
     // (`ring.<label>.sq` / `.in_flight` / `.cq`) must read zero once the
     // workload drained — an in-flight op past the end means a registered
@@ -193,6 +227,7 @@ pub fn self_check(snap: &RegistrySnapshot) -> Result<String, String> {
         .collect();
     parts.push(format!("series={live_series}"));
     parts.push(format!("ring_series={ring_series}"));
+    parts.push(format!("exec.wakes={wakes}"));
     parts.push(format!("refused={refused}"));
     parts.push(format!("shed={shed}"));
     Ok(format!("empstat self-check ok: {}", parts.join(" ")))

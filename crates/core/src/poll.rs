@@ -233,6 +233,101 @@ impl PollSet {
     }
 }
 
+impl Connection {
+    /// Nonblocking readiness check with a task-waker registration — the
+    /// async front end's leaf. Computes the ready mask exactly like a
+    /// [`PollSet::poll`] pass (consuming landed control traffic and
+    /// credit returns); when it is empty, registers `waker` with every
+    /// completion that could change it and returns [`Interest::EMPTY`]
+    /// (= pending). If any watch source already fired during
+    /// registration, readiness is recomputed instead of sleeping — the
+    /// lost-wakeup race resolves toward a spurious recheck, never a hang.
+    ///
+    /// In unexpected-queue mode a pending write interest leaves the
+    /// one-shot fc-ack descriptor armed (it *is* the wake source); a
+    /// future that stops waiting must call [`Connection::cancel_ready`].
+    pub fn poll_ready(
+        &self,
+        ctx: &ProcessCtx,
+        interest: Interest,
+        waker: &std::task::Waker,
+    ) -> OpResult<Interest> {
+        loop {
+            let ready = ok_or_return!(conn_ready(ctx, &self.sock, interest)?);
+            if !ready.is_empty() {
+                // Mirror PollSet::finish: a ready return never leaves the
+                // one-shot fc-ack descriptor armed behind it.
+                if self.sock.inner.lock().poll_fcack.is_some() {
+                    ok_or_return!(self.sock.disarm_poll_fcack(ctx)?);
+                }
+                return Ok(Ok(ready));
+            }
+            let target = Target::Conn(Arc::clone(&self.sock));
+            let watch = collect_watch(ctx, &target, interest)?;
+            if watch.is_empty() {
+                // Nothing can ever produce a wake (PollSet reports the
+                // same condition as an unwakeable wait).
+                return Ok(Err(SockError::Invalid));
+            }
+            let mut fired = false;
+            for c in &watch {
+                fired |= !c.watch_waker(waker);
+            }
+            if fired {
+                // Readiness already moved between the check and the
+                // registration: consume it now (conn_ready reaps what
+                // landed, so this converges).
+                continue;
+            }
+            return Ok(Ok(Interest::EMPTY));
+        }
+    }
+
+    /// Withdraw from a pending [`Connection::poll_ready`]: disarm the
+    /// one-shot fc-ack descriptor it may have armed for write interest.
+    /// Waker registrations themselves need no teardown — a fired waker
+    /// for a dropped future is a no-op wake. Drop guards call this.
+    pub fn cancel_ready(&self, ctx: &ProcessCtx) -> OpResult<()> {
+        if self.sock.inner.lock().poll_fcack.is_some() {
+            ok_or_return!(self.sock.disarm_poll_fcack(ctx)?);
+        }
+        Ok(Ok(()))
+    }
+}
+
+impl Listener {
+    /// Nonblocking accept-readiness with a task-waker registration: the
+    /// listener-side analogue of [`Connection::poll_ready`]. Returns the
+    /// ready mask ([`Interest::ACCEPTABLE`], [`Interest::ERROR`] for a
+    /// closed listener, or [`Interest::EMPTY`] = pending with `waker`
+    /// registered on the head-of-backlog completion).
+    pub fn poll_acceptable(
+        &self,
+        ctx: &ProcessCtx,
+        waker: &std::task::Waker,
+    ) -> OpResult<Interest> {
+        loop {
+            let ready = listener_ready(&self.pending, Interest::ACCEPTABLE);
+            if !ready.is_empty() {
+                return Ok(Ok(ready));
+            }
+            let target = Target::Listener(Arc::clone(&self.pending));
+            let watch = collect_watch(ctx, &target, Interest::ACCEPTABLE)?;
+            if watch.is_empty() {
+                return Ok(Err(SockError::Invalid));
+            }
+            let mut fired = false;
+            for c in &watch {
+                fired |= !c.watch_waker(waker);
+            }
+            if fired {
+                continue;
+            }
+            return Ok(Ok(Interest::EMPTY));
+        }
+    }
+}
+
 /// Compute a connection's ready mask for the given interests.
 /// Record one completed poll wait into the `core.poll_wait_ns` histogram.
 fn record_poll_wait(ctx: &ProcessCtx, entered_ns: u64) {

@@ -141,4 +141,34 @@ impl RingDriver for EmpRingDriver {
             Err(e) => Err(e.into()),
         }
     }
+
+    fn register_waker(
+        &self,
+        ctx: &ProcessCtx,
+        conns: &[(&Connection, Interest)],
+        listeners: &[&Listener],
+        waker: &std::task::Waker,
+    ) -> SimResult<bool> {
+        // Readiness found during registration means the ring should
+        // re-drive now, not sleep: deliver the wake straight back.
+        let mut wake_now = false;
+        for (c, interest) in conns {
+            match c.poll_ready(ctx, *interest, waker)? {
+                Ok(ready) => wake_now |= !ready.is_empty(),
+                // An unwakeable or failed source still wakes the ring so
+                // the next drive pass surfaces the op's error.
+                Err(_) => wake_now = true,
+            }
+        }
+        for l in listeners {
+            match l.poll_acceptable(ctx, waker)? {
+                Ok(ready) => wake_now |= !ready.is_empty(),
+                Err(_) => wake_now = true,
+            }
+        }
+        if wake_now {
+            waker.wake_by_ref();
+        }
+        Ok(true)
+    }
 }

@@ -358,6 +358,36 @@ impl TcpConn {
     pub fn writable(&self) -> bool {
         self.sock.inner.lock().writable()
     }
+
+    /// Nonblocking readiness with a task-waker registration — the async
+    /// front end's leaf on the kernel stack. Computes the same ready mask
+    /// as a [`TcpApi::poll`] pass; when it is empty, registers `waker` on
+    /// the stack's activity condvar (the single wake source every segment
+    /// notifies) and reports pending. Condvar wakes are multi-shot and
+    /// may be spurious: the caller re-checks and re-registers each poll,
+    /// which is exactly the waker contract. Registration happens *after*
+    /// the readiness check inside the engine's strict alternation, so no
+    /// segment can land in between — the lost-wakeup race cannot occur.
+    pub fn poll_ready(&self, interest: Interest, waker: &std::task::Waker) -> Interest {
+        let ready = {
+            let i = self.sock.inner.lock();
+            let mut r = Interest::EMPTY;
+            if i.reset {
+                r |= Interest::ERROR;
+            }
+            if interest.intersects(Interest::READABLE) && i.readable() {
+                r |= Interest::READABLE;
+            }
+            if interest.intersects(Interest::WRITABLE) && i.writable() {
+                r |= Interest::WRITABLE;
+            }
+            r
+        };
+        if ready.is_empty() {
+            self.stack.activity.watch_waker(waker);
+        }
+        ready
+    }
 }
 
 /// A listening socket.
@@ -422,6 +452,19 @@ impl TcpListener {
             stack: Arc::clone(&self.stack),
             sock,
         }))
+    }
+
+    /// Nonblocking accept-readiness with a task-waker registration: the
+    /// listener-side analogue of [`TcpConn::poll_ready`]. Reports
+    /// [`Interest::ACCEPTABLE`] when an established connection is queued,
+    /// otherwise registers `waker` on the stack's activity condvar and
+    /// reports [`Interest::EMPTY`] (= pending).
+    pub fn poll_acceptable(&self, waker: &std::task::Waker) -> Interest {
+        if !self.l.queue.is_empty() {
+            return Interest::ACCEPTABLE;
+        }
+        self.stack.activity.watch_waker(waker);
+        Interest::EMPTY
     }
 
     /// Stop listening (the port frees; queued connections stay valid).

@@ -127,4 +127,27 @@ impl RingDriver for TcpRingDriver {
             Err(e) => Err(simnet::SimError::app(e.to_string())),
         }
     }
+
+    fn register_waker(
+        &self,
+        _ctx: &ProcessCtx,
+        conns: &[(&TcpConn, Interest)],
+        listeners: &[&TcpListener],
+        waker: &std::task::Waker,
+    ) -> SimResult<bool> {
+        // Every source registers on the stack's single activity condvar;
+        // readiness discovered during registration wakes immediately so
+        // the ring re-drives instead of sleeping.
+        let mut wake_now = false;
+        for (c, interest) in conns {
+            wake_now |= !c.poll_ready(*interest, waker).is_empty();
+        }
+        for l in listeners {
+            wake_now |= !l.poll_acceptable(waker).is_empty();
+        }
+        if wake_now {
+            waker.wake_by_ref();
+        }
+        Ok(true)
+    }
 }

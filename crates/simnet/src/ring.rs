@@ -247,6 +247,10 @@ pub enum OpError {
     /// A resource budget refused the op: connection budget, reorder-
     /// buffer cap, or another byte-accounted limit.
     Exhausted,
+    /// The op was cancelled by [`RingCore::cancel`] before it ran (the
+    /// async front end maps dropped futures here). Later ops on the same
+    /// target keep their submission order.
+    Cancelled,
     /// Anything else.
     Other,
 }
@@ -380,6 +384,23 @@ pub trait RingDriver {
         listeners: &[&Self::Listener],
         timeout: Option<SimDuration>,
     ) -> SimResult<()>;
+
+    /// Register a task waker to fire when one of the connections could
+    /// make the named progress or a listener could accept — the async
+    /// executor's completion-layer wake source. Wakes may be spurious;
+    /// the ring re-drives and re-registers on every poll. Returns
+    /// `Ok(false)` when the driver has no waker support (the default),
+    /// in which case [`RingCore::register_waker`] reports the ring as
+    /// unpollable rather than losing wakeups.
+    fn register_waker(
+        &self,
+        _ctx: &ProcessCtx,
+        _conns: &[(&Self::Conn, Interest)],
+        _listeners: &[&Self::Listener],
+        _waker: &std::task::Waker,
+    ) -> SimResult<bool> {
+        Ok(false)
+    }
 }
 
 enum BufState {
@@ -717,6 +738,109 @@ impl<D: RingDriver> RingCore<D> {
             out.push(cqe);
         }
         out
+    }
+
+    /// Cancel the op tagged `user_data` if it has not yet run: it
+    /// completes as [`CqeResult::Failed`] with [`OpError::Cancelled`]
+    /// (any attached buffer returns to the application when that CQE is
+    /// reaped — buffer ownership follows the normal completion path, so
+    /// nothing leaks). Ops behind it on the same target keep their FIFO
+    /// order. Returns `false` when no queued op carries the tag — it
+    /// already completed (its CQE is in the CQ or was reaped) or never
+    /// existed; distinguishing those is the caller's `user_data`
+    /// discipline. The async front end calls this when an op future is
+    /// dropped before completing.
+    pub fn cancel(&mut self, ctx: &ProcessCtx, user_data: u64) -> bool {
+        // Not yet submitted: still on the SQ.
+        if let Some(pos) = self.sq.iter().position(|s| s.user_data == user_data) {
+            let sqe = self.sq.remove(pos).expect("position found");
+            self.in_flight += 1; // complete() expects an in-flight op
+            self.complete(
+                sqe,
+                CqeResult::Failed {
+                    err: OpError::Cancelled,
+                },
+            );
+            self.publish_gauges(ctx);
+            return true;
+        }
+        // Submitted: sitting in some target's FIFO.
+        let found = |q: &VecDeque<Sqe>| q.iter().position(|s| s.user_data == user_data);
+        let mut cancelled: Option<Sqe> = None;
+        for e in self.conns.values_mut() {
+            if let Some(pos) = found(&e.q) {
+                cancelled = e.q.remove(pos);
+                break;
+            }
+        }
+        if cancelled.is_none() {
+            for e in self.listeners.values_mut() {
+                if let Some(pos) = found(&e.q) {
+                    cancelled = e.q.remove(pos);
+                    break;
+                }
+            }
+        }
+        match cancelled {
+            Some(sqe) => {
+                self.complete(
+                    sqe,
+                    CqeResult::Failed {
+                        err: OpError::Cancelled,
+                    },
+                );
+                self.publish_gauges(ctx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Register a task waker to fire when a stalled head op could make
+    /// progress — the completion layer as an executor wake source.
+    /// Returns the earliest head-op deadline so the caller can arm a
+    /// timer for expiry, or `Ok(None)` when nothing is stalled (no
+    /// registration happens; the caller should reap instead of sleeping).
+    /// Wakes may be spurious: re-drive ([`RingCore::submit`]) and
+    /// re-register on every poll.
+    ///
+    /// Panics if the driver lacks waker support (the base
+    /// [`RingDriver::register_waker`]) — a sleep would otherwise never
+    /// end.
+    pub fn register_waker(
+        &mut self,
+        ctx: &ProcessCtx,
+        waker: &std::task::Waker,
+    ) -> SimResult<Option<SimTime>> {
+        let mut conns: Vec<(&D::Conn, Interest)> = Vec::new();
+        let mut next_deadline: Option<SimTime> = None;
+        let note = |d: Option<SimTime>, next: &mut Option<SimTime>| {
+            if let Some(d) = d {
+                *next = Some(next.map_or(d, |n: SimTime| if d < n { d } else { n }));
+            }
+        };
+        for e in self.conns.values() {
+            let head = e.q.front();
+            let interest = match head.map(|s| s.op) {
+                Some(RingOp::Read { .. }) => Interest::READABLE,
+                Some(RingOp::Write { .. }) => Interest::WRITABLE,
+                _ => continue,
+            };
+            note(head.and_then(|s| s.deadline), &mut next_deadline);
+            conns.push((&e.conn, interest));
+        }
+        let mut listeners: Vec<&D::Listener> = Vec::new();
+        for e in self.listeners.values() {
+            let Some(head) = e.q.front() else { continue };
+            note(head.deadline, &mut next_deadline);
+            listeners.push(&e.l);
+        }
+        if conns.is_empty() && listeners.is_empty() {
+            return Ok(None);
+        }
+        let supported = self.driver.register_waker(ctx, &conns, &listeners, waker)?;
+        assert!(supported, "ring driver has no waker support");
+        Ok(next_deadline)
     }
 
     /// Tear the ring down: fail every queued op (as [`OpError::Closed`]

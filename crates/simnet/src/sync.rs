@@ -57,6 +57,8 @@ pub struct Completion {
 struct CompletionState {
     done: bool,
     waiters: Vec<Arc<WaitGuard>>,
+    /// Task wakers (async front end) fired alongside process wakes.
+    wakers: Vec<std::task::Waker>,
 }
 
 impl Completion {
@@ -79,13 +81,16 @@ impl Completion {
 
     /// Mark complete and wake all waiters. Subsequent calls are no-ops.
     pub fn complete(&self, s: &dyn SimAccess) {
-        let waiters = {
+        let (waiters, wakers) = {
             let mut st = self.inner.lock();
             if st.done {
                 return;
             }
             st.done = true;
-            std::mem::take(&mut st.waiters)
+            (
+                std::mem::take(&mut st.waiters),
+                std::mem::take(&mut st.wakers),
+            )
         };
         let shared = s.shared();
         let now = shared.now();
@@ -93,6 +98,11 @@ impl Completion {
             if guard.claim() {
                 shared.schedule_wake(guard.pid, now);
             }
+        }
+        // Task wakers fire after process wakes, in registration order — a
+        // fixed sequence, so the executor's ready queue stays deterministic.
+        for waker in wakers {
+            waker.wake();
         }
     }
 
@@ -105,6 +115,25 @@ impl Completion {
         // (e.g. a control channel polled by every read) stay small.
         st.waiters.retain(|w| !w.spent());
         st.waiters.push(Arc::clone(guard));
+        true
+    }
+
+    /// Register a task waker to be fired (once) when this completion
+    /// completes. Returns `false` — registering nothing — when already
+    /// complete: the caller must treat that as "ready now" and re-check
+    /// instead of sleeping, which closes the classic lost-wakeup race.
+    ///
+    /// Re-registering a waker that [`std::task::Waker::will_wake`] an
+    /// already-stored one is a no-op, so a task polling the same
+    /// long-lived completion many times costs one slot, not one per poll.
+    pub fn watch_waker(&self, waker: &std::task::Waker) -> bool {
+        let mut st = self.inner.lock();
+        if st.done {
+            return false;
+        }
+        if !st.wakers.iter().any(|w| w.will_wake(waker)) {
+            st.wakers.push(waker.clone());
+        }
         true
     }
 
@@ -195,7 +224,13 @@ pub fn wait_any(ctx: &ProcessCtx, completions: &[&Completion]) -> SimResult<usiz
 /// nothing runs between the predicate check and the park).
 #[derive(Clone, Default)]
 pub struct SimCondvar {
-    waiters: Arc<Mutex<Vec<ProcId>>>,
+    waiters: Arc<Mutex<CondvarWaiters>>,
+}
+
+#[derive(Default)]
+struct CondvarWaiters {
+    pids: Vec<ProcId>,
+    wakers: Vec<std::task::Waker>,
 }
 
 impl SimCondvar {
@@ -206,18 +241,35 @@ impl SimCondvar {
 
     /// Wake every currently waiting process.
     pub fn notify_all(&self, s: &dyn SimAccess) {
-        let waiters = std::mem::take(&mut *self.waiters.lock());
+        let (waiters, wakers) = {
+            let mut st = self.waiters.lock();
+            (std::mem::take(&mut st.pids), std::mem::take(&mut st.wakers))
+        };
         let shared = s.shared();
         let now = shared.now();
         for pid in waiters {
             shared.schedule_wake(pid, now);
+        }
+        for waker in wakers {
+            waker.wake();
+        }
+    }
+
+    /// Register a task waker for the *next* `notify_all` (multi-shot: the
+    /// registration is consumed by each notify, so a task that wants the
+    /// one after must re-register — exactly the condvar re-check loop, in
+    /// future form). Wakes may be spurious; always re-check the predicate.
+    pub fn watch_waker(&self, waker: &std::task::Waker) {
+        let mut st = self.waiters.lock();
+        if !st.wakers.iter().any(|w| w.will_wake(waker)) {
+            st.wakers.push(waker.clone());
         }
     }
 
     /// Block until the next `notify_all`. Always re-check the guarded
     /// predicate in a loop around this call.
     pub fn wait(&self, ctx: &ProcessCtx) -> SimResult<()> {
-        self.waiters.lock().push(ctx.pid());
+        self.waiters.lock().pids.push(ctx.pid());
         ctx.park()
     }
 }
@@ -572,5 +624,66 @@ mod tests {
         });
         sim.run();
         assert_eq!(*finished.lock(), vec![(1, 10), (2, 20)]);
+    }
+
+    /// Waker counting its `wake` calls, for watch_waker tests.
+    struct CountWaker(std::sync::atomic::AtomicUsize);
+
+    impl CountWaker {
+        fn pair() -> (Arc<Self>, std::task::Waker) {
+            let w = Arc::new(CountWaker(std::sync::atomic::AtomicUsize::new(0)));
+            let waker = std::task::Waker::from(Arc::clone(&w));
+            (w, waker)
+        }
+
+        fn count(&self) -> usize {
+            self.0.load(std::sync::atomic::Ordering::Relaxed)
+        }
+    }
+
+    impl std::task::Wake for CountWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn completion_watch_waker_fires_once_and_dedupes() {
+        let sim = Sim::new();
+        let done = Completion::new();
+        let (count, waker) = CountWaker::pair();
+        // Registering the same task twice stores one slot.
+        assert!(done.watch_waker(&waker));
+        assert!(done.watch_waker(&waker.clone()));
+        let d = done.clone();
+        sim.schedule_at(SimTime::from_nanos(5), move |s| {
+            d.complete(s);
+            d.complete(s); // second complete must not re-fire wakers
+        });
+        sim.run();
+        assert_eq!(count.count(), 1);
+        // Registration after completion reports "ready now".
+        let (late, late_waker) = CountWaker::pair();
+        assert!(!done.watch_waker(&late_waker));
+        assert_eq!(late.count(), 0);
+    }
+
+    #[test]
+    fn condvar_watch_waker_is_consumed_per_notify() {
+        let sim = Sim::new();
+        let cv = SimCondvar::new();
+        let (count, waker) = CountWaker::pair();
+        cv.watch_waker(&waker);
+        cv.watch_waker(&waker); // deduped
+        let cv2 = cv.clone();
+        let w2 = waker.clone();
+        sim.schedule_at(SimTime::from_nanos(5), move |s| {
+            cv2.notify_all(s); // fires the registration once
+            cv2.notify_all(s); // nothing registered: no extra wake
+            cv2.watch_waker(&w2); // re-arm, multi-shot
+            cv2.notify_all(s);
+        });
+        sim.run();
+        assert_eq!(count.count(), 2);
     }
 }
